@@ -1,0 +1,41 @@
+// Command experiments regenerates the paper-reproduction experiments
+// indexed in DESIGN.md and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments             # run everything (E01..E24)
+//	experiments -run E15    # run one experiment
+//	experiments -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphquery/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment by ID (e.g. E15)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			fmt.Printf("%s  %s\n", id, e.Title)
+		}
+	case *runID != "":
+		if err := experiments.Run(os.Stdout, *runID); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

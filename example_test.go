@@ -1,0 +1,75 @@
+package graphquery_test
+
+import (
+	"fmt"
+	"log"
+
+	"graphquery"
+)
+
+// buildExampleGraph assembles a three-account transfer graph.
+func buildExampleGraph() *graphquery.Graph {
+	return graphquery.NewBuilder().
+		AddNode("a1", "Account", graphquery.Props{"owner": graphquery.Str("Megan")}).
+		AddNode("a2", "Account", graphquery.Props{"owner": graphquery.Str("Mike")}).
+		AddNode("a3", "Account", graphquery.Props{"owner": graphquery.Str("Jay")}).
+		AddEdge("t1", "Transfer", "a1", "a2", graphquery.Props{"amount": graphquery.Float(5e6)}).
+		AddEdge("t2", "Transfer", "a2", "a3", graphquery.Props{"amount": graphquery.Float(1e6)}).
+		MustBuild()
+}
+
+func ExampleEngine_pairs() {
+	eng := graphquery.NewEngine(buildExampleGraph())
+	pairs, err := eng.Pairs("Transfer+")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pr := range pairs {
+		fmt.Printf("(%s, %s)\n", pr[0], pr[1])
+	}
+	// Output:
+	// (a1, a2)
+	// (a1, a3)
+	// (a2, a3)
+}
+
+func ExampleEngine_paths() {
+	eng := graphquery.NewEngine(buildExampleGraph())
+	res, err := eng.Paths("(Transfer^z)+", "a1", "a3", graphquery.Shortest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Println(r.Format(eng.Graph()))
+	}
+	// Output:
+	// path(a1, t1, a2, t2, a3)  {z -> list(t1, t2)}
+}
+
+func ExampleEngine_dataTests() {
+	eng := graphquery.NewEngine(buildExampleGraph())
+	// A dl-RPQ: transfer chains containing at least one transfer under 2M.
+	res, err := eng.Paths(
+		"() {[Transfer]()}* [Transfer][amount < 2000000] () {[Transfer]()}*",
+		"a1", "a3", graphquery.Shortest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Println(r.Path.Format(eng.Graph()))
+	}
+	// Output:
+	// path(a1, t1, a2, t2, a3)
+}
+
+func ExampleEngine_rows() {
+	eng := graphquery.NewEngine(buildExampleGraph())
+	res, err := eng.Rows("q(x, y) :- Transfer(x, y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Format(eng.Graph()))
+	// Output:
+	// a1, a2
+	// a2, a3
+}

@@ -1,0 +1,3 @@
+module graphquery
+
+go 1.22

@@ -1,0 +1,100 @@
+// Package graphquery is a reference implementation of the graph query
+// language tower surveyed in "Querying Graph Data: Where We Are and Where
+// To Go" (Libkin, Martens, Murlak, Peterfreund, Vrgoč; PODS Companion '25):
+// property graphs and edge-labeled graphs, RPQs, CRPQs, RPQs with list
+// variables (ℓ-RPQs), RPQs with data tests and list variables (dl-RPQs),
+// dl-CRPQs, CoreGQL, path modes, product-construction evaluation, and path
+// multiset representations.
+//
+// This root package is the public facade: it re-exports the graph model and
+// the query engine. The building blocks live under internal/ — one package
+// per subsystem of the paper (see DESIGN.md for the inventory and
+// EXPERIMENTS.md for the reproduced results).
+//
+// Quick start:
+//
+//	g := graphquery.NewBuilder().
+//		AddNode("a", "Account", graphquery.Props{"owner": graphquery.Str("Megan")}).
+//		AddNode("b", "Account", nil).
+//		AddEdge("t", "Transfer", "a", "b", graphquery.Props{"amount": graphquery.Float(5e6)}).
+//		MustBuild()
+//	eng := graphquery.NewEngine(g)
+//	pairs, _ := eng.Pairs("Transfer+")
+//	paths, _ := eng.Paths("(Transfer^z)+", "a", "b", graphquery.Shortest)
+//	rows, _ := eng.Rows("q(x, y) :- Transfer(x, y)")
+package graphquery
+
+import (
+	"io"
+
+	"graphquery/internal/core"
+	"graphquery/internal/eval"
+	"graphquery/internal/graph"
+)
+
+// Graph is a labeled property graph (Definition 6 of the paper); it doubles
+// as an edge-labeled graph (Definition 4) by ignoring node labels and
+// properties.
+type Graph = graph.Graph
+
+// Builder assembles a Graph.
+type Builder = graph.Builder
+
+// NodeID and EdgeID are external element identifiers.
+type (
+	NodeID = graph.NodeID
+	EdgeID = graph.EdgeID
+)
+
+// Props maps property names to values (the partial function ρ).
+type Props = graph.Props
+
+// Value is an atomic property value.
+type Value = graph.Value
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// Value constructors.
+var (
+	// Str returns a string Value.
+	Str = graph.Str
+	// Int returns an integer Value.
+	Int = graph.Int
+	// Float returns a floating-point Value.
+	Float = graph.Float
+	// Bool returns a boolean Value.
+	Bool = graph.Bool
+	// Null returns the null Value.
+	Null = graph.Null
+)
+
+// ReadJSON parses a graph from its JSON serialization.
+func ReadJSON(r io.Reader) (*Graph, error) { return graph.ReadJSON(r) }
+
+// WriteJSON serializes a graph as JSON.
+func WriteJSON(w io.Writer, g *Graph) error { return graph.WriteJSON(w, g) }
+
+// Mode is a path mode m ∈ {all, shortest, simple, trail} (Section 3.1.5).
+type Mode = eval.Mode
+
+// The path modes.
+const (
+	All      = eval.All
+	Shortest = eval.Shortest
+	Simple   = eval.Simple
+	Trail    = eval.Trail
+)
+
+// Engine evaluates RPQ / ℓ-RPQ / dl-RPQ / (dl-)CRPQ queries over a graph.
+type Engine = core.Engine
+
+// PathResult is one path answer with its list-variable bindings.
+type PathResult = core.PathResult
+
+// NewEngine returns a query engine over g.
+func NewEngine(g *Graph) *Engine { return core.New(g) }
+
+// ReadCSV builds a graph from nodes and edges CSV streams
+// (id,label[,props…] and id,label,src,tgt[,props…]).
+func ReadCSV(nodes, edges io.Reader) (*Graph, error) { return graph.ReadCSV(nodes, edges) }

@@ -1,0 +1,74 @@
+package graphquery
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end: build, query,
+// serialize.
+func TestFacadeRoundTrip(t *testing.T) {
+	g := NewBuilder().
+		AddNode("a", "Account", Props{"owner": Str("Megan"), "score": Int(7)}).
+		AddNode("b", "Account", Props{"owner": Str("Mike"), "active": Bool(true)}).
+		AddNode("c", "Account", Props{"rate": Float(0.5)}).
+		AddEdge("t1", "Transfer", "a", "b", Props{"amount": Float(5e6)}).
+		AddEdge("t2", "Transfer", "b", "c", Props{"amount": Float(1e6)}).
+		MustBuild()
+
+	eng := NewEngine(g)
+	pairs, err := eng.Pairs("Transfer+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 { // a→b, b→c, a→c
+		t.Errorf("pairs = %d, want 3", len(pairs))
+	}
+
+	paths, err := eng.Paths("(Transfer^z)+", "a", "c", Shortest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0].Path.Len() != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+
+	dl, err := eng.Paths("() [Transfer][amount < 2000000] ()", "b", "c", All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dl) != 1 {
+		t.Errorf("dl-RPQ results = %d, want 1", len(dl))
+	}
+
+	rows, err := eng.Rows("q(x, y) :- Transfer(x, y), Transfer(y, z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 1 {
+		t.Errorf("rows = %d, want 1 (a,b)", len(rows.Rows))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 3 || g2.NumEdges() != 2 {
+		t.Error("JSON round trip lost elements")
+	}
+	if Null().Kind() != 0 {
+		t.Error("Null should be the zero kind")
+	}
+}
+
+func TestFacadeModes(t *testing.T) {
+	for _, m := range []Mode{All, Shortest, Simple, Trail} {
+		if m.String() == "" {
+			t.Error("mode should render")
+		}
+	}
+}

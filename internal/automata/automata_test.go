@@ -1,0 +1,483 @@
+package automata
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// evenA returns an NFA for (aa)*: strings of a's of even length.
+func evenA() *NFA {
+	a := NewNFA(2, 0)
+	a.SetAccept(0)
+	a.AddTransition(0, GuardLabel("a"), 1)
+	a.AddTransition(1, GuardLabel("a"), 0)
+	return a
+}
+
+// anyA returns an NFA for a*.
+func anyA() *NFA {
+	a := NewNFA(1, 0)
+	a.SetAccept(0)
+	a.AddTransition(0, GuardLabel("a"), 0)
+	return a
+}
+
+// ambiguousA returns an ambiguous NFA for a+ (two interchangeable states).
+func ambiguousA() *NFA {
+	a := NewNFA(3, 0)
+	a.AddTransition(0, GuardLabel("a"), 1)
+	a.AddTransition(0, GuardLabel("a"), 2)
+	a.AddTransition(1, GuardLabel("a"), 1)
+	a.AddTransition(2, GuardLabel("a"), 2)
+	a.SetAccept(1)
+	a.SetAccept(2)
+	return a
+}
+
+func rep(sym string, n int) []string {
+	w := make([]string, n)
+	for i := range w {
+		w[i] = sym
+	}
+	return w
+}
+
+func TestGuardMatches(t *testing.T) {
+	tests := []struct {
+		g     Guard
+		label string
+		want  bool
+	}{
+		{GuardLabel("a"), "a", true},
+		{GuardLabel("a"), "b", false},
+		{GuardAny(), "anything", true},
+		{GuardNotIn("a", "b"), "a", false},
+		{GuardNotIn("a", "b"), "c", true},
+		{GuardIn("a", "b"), "b", true},
+		{GuardIn("a", "b"), "c", false},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Matches(tc.label); got != tc.want {
+			t.Errorf("%v.Matches(%q) = %v, want %v", tc.g, tc.label, got, tc.want)
+		}
+	}
+}
+
+func TestGuardString(t *testing.T) {
+	if GuardAny().String() != "_" {
+		t.Errorf("wildcard string = %q", GuardAny().String())
+	}
+	if GuardNotIn("a").String() != "!{a}" {
+		t.Errorf("!{a} string = %q", GuardNotIn("a").String())
+	}
+	if GuardLabel("a").String() != "a" {
+		t.Errorf("label string = %q", GuardLabel("a").String())
+	}
+}
+
+func TestNFAAccepts(t *testing.T) {
+	e := evenA()
+	for n := 0; n <= 8; n++ {
+		want := n%2 == 0
+		if got := e.Accepts(rep("a", n)); got != want {
+			t.Errorf("evenA on a^%d = %v, want %v", n, got, want)
+		}
+	}
+	if e.Accepts([]string{"b"}) {
+		t.Error("evenA should reject b")
+	}
+}
+
+func TestNFAWildcardAccepts(t *testing.T) {
+	// _ · !{a} : any label followed by a non-a label.
+	a := NewNFA(3, 0)
+	a.AddTransition(0, GuardAny(), 1)
+	a.AddTransition(1, GuardNotIn("a"), 2)
+	a.SetAccept(2)
+	if !a.Accepts([]string{"x", "b"}) {
+		t.Error("should accept xb")
+	}
+	if a.Accepts([]string{"x", "a"}) {
+		t.Error("should reject xa")
+	}
+	if a.Accepts([]string{"x"}) {
+		t.Error("should reject length-1 words")
+	}
+}
+
+func TestIsEmptyAndTrim(t *testing.T) {
+	a := NewNFA(4, 0)
+	a.AddTransition(0, GuardLabel("a"), 1)
+	a.AddTransition(0, GuardLabel("a"), 2) // 2 is a dead end
+	a.AddTransition(3, GuardLabel("a"), 1) // 3 is unreachable
+	a.SetAccept(1)
+	if a.IsEmpty() {
+		t.Error("language is non-empty")
+	}
+	trimmed := a.Trim()
+	if trimmed.NumStates != 2 {
+		t.Errorf("Trim states = %d, want 2", trimmed.NumStates)
+	}
+	if !trimmed.Accepts([]string{"a"}) {
+		t.Error("Trim changed the language")
+	}
+
+	empty := NewNFA(2, 0)
+	empty.AddTransition(0, GuardLabel("a"), 1)
+	if !empty.IsEmpty() {
+		t.Error("no accepting states: language should be empty")
+	}
+	if got := empty.Trim(); got.NumStates != 1 || !got.IsEmpty() {
+		t.Errorf("Trim of empty language: %d states", got.NumStates)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := Union(evenA(), anyA()) // (aa)* ∪ a* = a*
+	for n := 0; n <= 6; n++ {
+		if !u.Accepts(rep("a", n)) {
+			t.Errorf("union should accept a^%d", n)
+		}
+	}
+	if u.Accepts([]string{"b"}) {
+		t.Error("union should reject b")
+	}
+	if !Equivalent(u, anyA()) {
+		t.Error("(aa)* ∪ a* should equal a*")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	// (aa)* ∩ a* = (aa)*
+	i := Intersect(evenA(), anyA())
+	if !Equivalent(i, evenA()) {
+		t.Error("(aa)* ∩ a* should equal (aa)*")
+	}
+	// (aa)* ∩ (complement-ish) via wildcard guards:
+	// b-only automaton ∩ a-only automaton accepts only ε.
+	b := NewNFA(1, 0)
+	b.SetAccept(0)
+	b.AddTransition(0, GuardLabel("b"), 0)
+	i2 := Intersect(anyA(), b)
+	if !i2.Accepts(nil) {
+		t.Error("ε should be in the intersection")
+	}
+	if i2.Accepts([]string{"a"}) || i2.Accepts([]string{"b"}) {
+		t.Error("intersection of a* and b* should contain only ε")
+	}
+}
+
+func TestIntersectWildcardGuards(t *testing.T) {
+	// !{a} ∩ !{b} = !{a,b}; _ ∩ a = a; a ∩ !{a} = ∅.
+	g1, ok := guardIntersect(GuardNotIn("a"), GuardNotIn("b"))
+	if !ok || !g1.Negated || !reflect.DeepEqual(g1.Labels, []string{"a", "b"}) {
+		t.Errorf("!{a} ∩ !{b} = %v, %v", g1, ok)
+	}
+	g2, ok := guardIntersect(GuardAny(), GuardLabel("a"))
+	if !ok || g2.Negated || !reflect.DeepEqual(g2.Labels, []string{"a"}) {
+		t.Errorf("_ ∩ a = %v, %v", g2, ok)
+	}
+	if _, ok := guardIntersect(GuardLabel("a"), GuardNotIn("a")); ok {
+		t.Error("a ∩ !{a} should be empty")
+	}
+	if _, ok := guardIntersect(GuardLabel("a"), GuardLabel("b")); ok {
+		t.Error("a ∩ b should be empty")
+	}
+}
+
+func TestDeterminize(t *testing.T) {
+	d := evenA().Determinize()
+	for n := 0; n <= 8; n++ {
+		want := n%2 == 0
+		if got := d.Accepts(rep("a", n)); got != want {
+			t.Errorf("DFA on a^%d = %v, want %v", n, got, want)
+		}
+	}
+	if d.Accepts([]string{"b"}) {
+		t.Error("DFA should reject b")
+	}
+}
+
+func TestDeterminizeWildcard(t *testing.T) {
+	// !{a}* : all words avoiding label a.
+	n := NewNFA(1, 0)
+	n.SetAccept(0)
+	n.AddTransition(0, GuardNotIn("a"), 0)
+	d := n.Determinize()
+	if !d.Accepts([]string{"b", "c", "zzz"}) {
+		t.Error("should accept any non-a word")
+	}
+	if d.Accepts([]string{"b", "a"}) {
+		t.Error("should reject words containing a")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	d := evenA().Determinize().Complement()
+	for n := 0; n <= 8; n++ {
+		want := n%2 == 1
+		if got := d.Accepts(rep("a", n)); got != want {
+			t.Errorf("complement on a^%d = %v, want %v", n, got, want)
+		}
+	}
+	// b ∉ (aa)*, so b is in the complement.
+	if !d.Accepts([]string{"b"}) {
+		t.Error("complement should accept b")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Build a redundant DFA for (aa)* by determinizing the union of two
+	// copies; the minimal DFA needs 3 states (even, odd, sink).
+	u := Union(evenA(), evenA())
+	d := u.Determinize().Minimize()
+	if d.NumStates() != 3 {
+		t.Errorf("minimal (aa)* DFA has %d states, want 3", d.NumStates())
+	}
+	for n := 0; n <= 8; n++ {
+		want := n%2 == 0
+		if got := d.Accepts(rep("a", n)); got != want {
+			t.Errorf("minimized DFA on a^%d = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestMinimizePreservesLanguageRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabet := []string{"a", "b"}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(5)
+		a := NewNFA(n, 0)
+		for q := 0; q < n; q++ {
+			if rng.Intn(3) == 0 {
+				a.SetAccept(q)
+			}
+			for _, l := range alphabet {
+				for k := rng.Intn(3); k > 0; k-- {
+					a.AddTransition(q, GuardLabel(l), rng.Intn(n))
+				}
+			}
+		}
+		d := a.Determinize()
+		m := d.Minimize()
+		// Compare on all words of length ≤ 6.
+		var words [][]string
+		var genWords func(prefix []string, depth int)
+		genWords = func(prefix []string, depth int) {
+			words = append(words, append([]string(nil), prefix...))
+			if depth == 0 {
+				return
+			}
+			for _, l := range alphabet {
+				genWords(append(prefix, l), depth-1)
+			}
+		}
+		genWords(nil, 6)
+		for _, w := range words {
+			if d.Accepts(w) != m.Accepts(w) {
+				t.Fatalf("trial %d: minimize changed language on %v", trial, w)
+			}
+		}
+		if m.NumStates() > d.NumStates() {
+			t.Fatalf("trial %d: minimize grew the DFA", trial)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	if Equivalent(evenA(), anyA()) {
+		t.Error("(aa)* and a* are not equivalent")
+	}
+	if !Equivalent(anyA(), Union(anyA(), evenA())) {
+		t.Error("a* = a* ∪ (aa)*")
+	}
+}
+
+func TestIsUnambiguous(t *testing.T) {
+	if !evenA().IsUnambiguous() {
+		t.Error("(aa)* NFA is deterministic, hence unambiguous")
+	}
+	if ambiguousA().IsUnambiguous() {
+		t.Error("two-branch a+ NFA is ambiguous")
+	}
+	// After trimming dead branches, ambiguity can disappear.
+	a := NewNFA(3, 0)
+	a.AddTransition(0, GuardLabel("a"), 1)
+	a.AddTransition(0, GuardLabel("a"), 2) // 2 is a dead end
+	a.SetAccept(1)
+	if !a.IsUnambiguous() {
+		t.Error("dead-end nondeterminism is not ambiguity")
+	}
+}
+
+func TestCountRunsMatchesAmbiguity(t *testing.T) {
+	amb := ambiguousA()
+	if got := amb.CountRuns(rep("a", 3)); got != 2 {
+		t.Errorf("ambiguous NFA runs on aaa = %d, want 2", got)
+	}
+	if got := evenA().CountRuns(rep("a", 4)); got != 1 {
+		t.Errorf("unambiguous NFA runs on aaaa = %d, want 1", got)
+	}
+	if got := evenA().CountRuns(rep("a", 3)); got != 0 {
+		t.Errorf("rejected word runs = %d, want 0", got)
+	}
+}
+
+func TestShortestAcceptedWord(t *testing.T) {
+	a := NewNFA(3, 0)
+	a.AddTransition(0, GuardLabel("x"), 1)
+	a.AddTransition(1, GuardLabel("y"), 2)
+	a.SetAccept(2)
+	w, ok := a.ShortestAcceptedWord()
+	if !ok || !reflect.DeepEqual(w, []string{"x", "y"}) {
+		t.Errorf("ShortestAcceptedWord = %v, %v", w, ok)
+	}
+	if w, ok := evenA().ShortestAcceptedWord(); !ok || len(w) != 0 {
+		t.Errorf("ε expected, got %v, %v", w, ok)
+	}
+	empty := NewNFA(1, 0)
+	if _, ok := empty.ShortestAcceptedWord(); ok {
+		t.Error("empty language should have no witness")
+	}
+}
+
+func TestShortestWitnessUsesWildcardClass(t *testing.T) {
+	// Language !{a}: the shortest word must use some non-a label.
+	n := NewNFA(2, 0)
+	n.AddTransition(0, GuardNotIn("a"), 1)
+	n.SetAccept(1)
+	w, ok := n.ShortestAcceptedWord()
+	if !ok || len(w) != 1 || w[0] == "a" {
+		t.Errorf("witness = %v, %v; want one non-a label", w, ok)
+	}
+	if !n.Accepts(w) {
+		t.Error("witness not accepted")
+	}
+}
+
+func TestEquivalentWithWildcards(t *testing.T) {
+	// !{a} + a  ≡  _ (every single label).
+	lhs := NewNFA(2, 0)
+	lhs.AddTransition(0, GuardNotIn("a"), 1)
+	lhs.AddTransition(0, GuardLabel("a"), 1)
+	lhs.SetAccept(1)
+	rhs := NewNFA(2, 0)
+	rhs.AddTransition(0, GuardAny(), 1)
+	rhs.SetAccept(1)
+	if !Equivalent(lhs, rhs) {
+		t.Error("!{a} + a should equal _")
+	}
+	// And !{a} alone is not _.
+	lhs2 := NewNFA(2, 0)
+	lhs2.AddTransition(0, GuardNotIn("a"), 1)
+	lhs2.SetAccept(1)
+	if Equivalent(lhs2, rhs) {
+		t.Error("!{a} should differ from _")
+	}
+}
+
+func TestDeterminizationCorrectProperty(t *testing.T) {
+	// Property: for random NFAs and random words, NFA and DFA agree.
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, wordPat []uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		a := NewNFA(n, 0)
+		alphabet := []string{"a", "b", "c"}
+		for q := 0; q < n; q++ {
+			if r.Intn(2) == 0 {
+				a.SetAccept(q)
+			}
+			for k := r.Intn(4); k > 0; k-- {
+				a.AddTransition(q, GuardLabel(alphabet[r.Intn(3)]), r.Intn(n))
+			}
+		}
+		d := a.Determinize()
+		if len(wordPat) > 8 {
+			wordPat = wordPat[:8]
+		}
+		w := make([]string, len(wordPat))
+		for i, c := range wordPat {
+			w[i] = alphabet[int(c)%3]
+		}
+		return a.Accepts(w) == d.Accepts(w)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNFAString(t *testing.T) {
+	s := evenA().String()
+	if s == "" {
+		t.Error("String should render something")
+	}
+}
+
+func TestContained(t *testing.T) {
+	// (aa)* ⊆ a* but not conversely.
+	if !Contained(evenA(), anyA()) {
+		t.Error("(aa)* ⊆ a* should hold")
+	}
+	if Contained(anyA(), evenA()) {
+		t.Error("a* ⊈ (aa)*")
+	}
+	// Everything contains the empty language.
+	empty := NewNFA(1, 0)
+	if !Contained(empty, evenA()) {
+		t.Error("∅ ⊆ L always")
+	}
+	if Contained(evenA(), empty) {
+		t.Error("nonempty ⊄ ∅")
+	}
+	// Containment with wildcard guards across different mention sets.
+	notA := NewNFA(2, 0)
+	notA.AddTransition(0, GuardNotIn("a"), 1)
+	notA.SetAccept(1)
+	b := NewNFA(2, 0)
+	b.AddTransition(0, GuardLabel("b"), 1)
+	b.SetAccept(1)
+	if !Contained(b, notA) {
+		t.Error("{b} ⊆ !{a}")
+	}
+	if Contained(notA, b) {
+		t.Error("!{a} ⊈ {b} (infinitely many other labels)")
+	}
+}
+
+func TestContainedMutualIsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		mk := func() *NFA {
+			n := 1 + rng.Intn(4)
+			a := NewNFA(n, 0)
+			for q := 0; q < n; q++ {
+				if rng.Intn(2) == 0 {
+					a.SetAccept(q)
+				}
+				for k := rng.Intn(3); k > 0; k-- {
+					a.AddTransition(q, GuardLabel([]string{"a", "b"}[rng.Intn(2)]), rng.Intn(n))
+				}
+			}
+			return a
+		}
+		x, y := mk(), mk()
+		if (Contained(x, y) && Contained(y, x)) != Equivalent(x, y) {
+			t.Fatalf("trial %d: mutual containment must equal equivalence", trial)
+		}
+	}
+}
+
+func TestCanonicalIdentifiesLanguages(t *testing.T) {
+	// Two structurally different automata for a* share a canonical form.
+	u := Union(anyA(), evenA()) // = a*
+	if u.Determinize().Canonical() != anyA().Determinize().Canonical() {
+		t.Error("equal languages must share Canonical()")
+	}
+	if evenA().Determinize().Canonical() == anyA().Determinize().Canonical() {
+		t.Error("different languages must differ in Canonical()")
+	}
+}

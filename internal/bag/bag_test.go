@@ -1,0 +1,141 @@
+package bag
+
+import (
+	"math/big"
+	"testing"
+
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+	"graphquery/internal/rpq"
+)
+
+func TestCountBase(t *testing.T) {
+	g := graph.NewBuilder().
+		AddNode("u", "", nil).AddNode("v", "", nil).
+		AddEdge("e1", "a", "u", "v", nil).
+		AddEdge("e2", "a", "u", "v", nil). // parallel
+		AddEdge("e3", "b", "u", "v", nil).
+		MustBuild()
+	u, v := g.MustNode("u"), g.MustNode("v")
+	if got := Count(g, rpq.MustParse("a"), u, v); got.Int64() != 2 {
+		t.Errorf("count(a) = %v, want 2 (parallel edges)", got)
+	}
+	if got := Count(g, rpq.MustParse("!{a}"), u, v); got.Int64() != 1 {
+		t.Errorf("count(!{a}) = %v, want 1", got)
+	}
+	if got := Count(g, rpq.MustParse("()"), u, u); got.Int64() != 1 {
+		t.Errorf("count(ε, u, u) = %v, want 1", got)
+	}
+	if got := Count(g, rpq.MustParse("()"), u, v); got.Int64() != 0 {
+		t.Errorf("count(ε, u, v) = %v, want 0", got)
+	}
+	if got := Count(g, rpq.MustParse("a | b"), u, v); got.Int64() != 3 {
+		t.Errorf("count(a|b) = %v, want 3", got)
+	}
+}
+
+func TestCountConcat(t *testing.T) {
+	// u -a-> w (two ways), w -a-> v (three ways): count(aa) = 6.
+	b := graph.NewBuilder().
+		AddNode("u", "", nil).AddNode("w", "", nil).AddNode("v", "", nil)
+	b.AddEdge("e1", "a", "u", "w", nil)
+	b.AddEdge("e2", "a", "u", "w", nil)
+	b.AddEdge("f1", "a", "w", "v", nil)
+	b.AddEdge("f2", "a", "w", "v", nil)
+	b.AddEdge("f3", "a", "w", "v", nil)
+	g := b.MustBuild()
+	got := Count(g, rpq.MustParse("a a"), g.MustNode("u"), g.MustNode("v"))
+	if got.Int64() != 6 {
+		t.Errorf("count(aa) = %v, want 6", got)
+	}
+}
+
+func TestCountStarHandComputed(t *testing.T) {
+	// K3 with single a-edges between distinct nodes.
+	g := gen.Clique(3, "a")
+	u, v := 0, 1
+	// count(a*, u, v): duplicate-free sequences u→v: (u,v) and (u,w,v) = 2.
+	if got := Count(g, rpq.MustParse("a*"), u, v); got.Int64() != 2 {
+		t.Errorf("count(a*) = %v, want 2", got)
+	}
+	// count(a*, u, u): only the empty sequence = 1.
+	if got := Count(g, rpq.MustParse("a*"), u, u); got.Int64() != 1 {
+		t.Errorf("count(a*, u, u) = %v, want 1", got)
+	}
+	// count((a*)*, u, v): seq (u,v): 2; seq (u,w,v): 2·2 = 4; total 6.
+	if got := Count(g, rpq.MustParse("(a*)*"), u, v); got.Int64() != 6 {
+		t.Errorf("count((a*)*) = %v, want 6", got)
+	}
+}
+
+// TestExplosionMonotone: each extra star multiplies the answer count; on
+// the 6-clique the quadruple-star count is astronomically larger than the
+// single-star count (Section 6.1's "Boom!").
+func TestExplosionMonotone(t *testing.T) {
+	g := gen.Clique(4, "a")
+	exprs := []string{"a*", "(a*)*", "((a*)*)*", "(((a*)*)*)*"}
+	var prev *big.Int
+	for _, es := range exprs {
+		total := TotalCount(g, rpq.MustParse(es))
+		if prev != nil && total.Cmp(prev) <= 0 {
+			t.Errorf("%s total %v not larger than previous %v", es, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestSixCliqueBeyondProtons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exact count")
+	}
+	g := gen.Clique(6, "a")
+	total := TotalCount(g, rpq.MustParse("(((a*)*)*)*"))
+	// "More answers than the number of protons in the observable universe"
+	// (~10⁸⁰). Check the count exceeds 10⁷⁰ — the claim's order of
+	// magnitude — and record its digit count for EXPERIMENTS.md.
+	bound := new(big.Int).Exp(big.NewInt(10), big.NewInt(70), nil)
+	if total.Cmp(bound) <= 0 {
+		t.Errorf("6-clique quadruple-star total = %v (only %d digits), expected > 10^70",
+			total, len(total.String()))
+	}
+}
+
+func TestSetSemanticsStaysTiny(t *testing.T) {
+	// Under set semantics the same query returns exactly k² answers.
+	for k := 2; k <= 5; k++ {
+		g := gen.Clique(k, "a")
+		if got := SetCount(g, rpq.MustParse("(((a*)*)*)*")); got != k*k {
+			t.Errorf("k=%d: set count = %d, want %d", k, got, k*k)
+		}
+	}
+}
+
+func TestCountAgreesWithSimplify(t *testing.T) {
+	// Set semantics is invariant under the rewrite (((a*)*)*)* → a*.
+	g := gen.Clique(4, "a")
+	nested := rpq.MustParse("(((a*)*)*)*")
+	simple := rpq.Simplify(nested)
+	if simple.String() != "a*" {
+		t.Fatalf("Simplify = %s", simple)
+	}
+	if SetCount(g, nested) != SetCount(g, simple) {
+		t.Error("set counts must agree after simplification")
+	}
+	// Bag counts do NOT agree — that is the point of Section 6.1.
+	if TotalCount(g, nested).Cmp(TotalCount(g, simple)) <= 0 {
+		t.Error("bag count of the nested expression should exceed the simplified one")
+	}
+}
+
+func TestCountRepeatDesugar(t *testing.T) {
+	g := gen.APath(3, "a")
+	u, v := g.MustNode("v0"), g.MustNode("v2")
+	if got := Count(g, rpq.MustParse("a{2}"), u, v); got.Int64() != 1 {
+		t.Errorf("count(a{2}) = %v, want 1", got)
+	}
+	// a{1,3} desugars to a(ε+a)(ε+a); the 2-edge path has two parses
+	// (a·a·ε and a·ε·a) — bag semantics counts derivations, so 2.
+	if got := Count(g, rpq.MustParse("a{1,3}"), u, v); got.Int64() != 2 {
+		t.Errorf("count(a{1,3}) = %v, want 2 (two derivations)", got)
+	}
+}

@@ -1,0 +1,118 @@
+package cardest
+
+import (
+	"testing"
+
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+	"graphquery/internal/rpq"
+)
+
+func TestCollect(t *testing.T) {
+	g := gen.BankEdgeLabeled()
+	s := Collect(g)
+	if s.Nodes != g.NumNodes() {
+		t.Errorf("Nodes = %d", s.Nodes)
+	}
+	if s.EdgeCount["Transfer"] != 10 {
+		t.Errorf("Transfer count = %d, want 10", s.EdgeCount["Transfer"])
+	}
+	if s.EdgeCount["owner"] != 6 || s.EdgeCount["isBlocked"] != 6 {
+		t.Error("owner/isBlocked counts wrong")
+	}
+	if s.TotalEdges != 22 {
+		t.Errorf("TotalEdges = %d", s.TotalEdges)
+	}
+	if s.DistinctSrc["Transfer"] != 6 { // every account sends at least once? a2 sends t3: yes, all six send
+		t.Errorf("DistinctSrc[Transfer] = %d, want 6", s.DistinctSrc["Transfer"])
+	}
+}
+
+func TestEstimateExactCases(t *testing.T) {
+	// Single label on a graph with no fan-out variance: estimate is exact.
+	g := gen.APath(9, "a")
+	s := Collect(g)
+	est := s.Estimate(rpq.MustParse("a"), 0)
+	if est != 9 {
+		t.Errorf("estimate(a) = %v, want 9", est)
+	}
+	// ε: every node pairs with itself.
+	est = s.Estimate(rpq.MustParse("()"), 0)
+	if est != 10 {
+		t.Errorf("estimate(ε) = %v, want 10", est)
+	}
+	// Empty graph.
+	empty := graph.NewBuilder().MustBuild()
+	if got := Collect(empty).Estimate(rpq.MustParse("a"), 0); got != 0 {
+		t.Errorf("estimate on empty graph = %v", got)
+	}
+}
+
+func TestEstimateCap(t *testing.T) {
+	// On a clique, a* saturates at n² answer pairs.
+	g := gen.Clique(5, "a")
+	s := Collect(g)
+	est := s.Estimate(rpq.MustParse("a*"), 0)
+	if est > 25 {
+		t.Errorf("estimate exceeds the n² cap: %v", est)
+	}
+	if est < 20 {
+		t.Errorf("estimate far below saturation: %v", est)
+	}
+}
+
+func TestQError(t *testing.T) {
+	if q := QError(10, 10); q != 1 {
+		t.Errorf("perfect estimate q-error = %v", q)
+	}
+	if q := QError(10, 100); q < 9 {
+		t.Errorf("10× over: q = %v", q)
+	}
+	if QError(0, 0) != 1 {
+		t.Error("smoothed zero case should be 1")
+	}
+	if QError(100, 1) != QError(1, 100) {
+		t.Error("q-error should be symmetric")
+	}
+}
+
+func TestCompareReasonableOnRandomGraphs(t *testing.T) {
+	queries := []string{"a", "b", "a b", "a | b", "a a", "a{2,3}"}
+	for trial := 0; trial < 5; trial++ {
+		g := gen.Random(60, 240, []string{"a", "b"}, int64(trial)*29+1)
+		rows, err := Compare(g, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			// Uniform random graphs are the estimator's best case: the
+			// independence assumptions roughly hold. Allow generous slack.
+			if r.QError > 8 {
+				t.Errorf("trial %d %q: q-error %.2f (actual %d, est %.1f)",
+					trial, r.Query, r.QError, r.Actual, r.Estimate)
+			}
+		}
+	}
+}
+
+func TestCompareParseError(t *testing.T) {
+	g := gen.APath(2, "a")
+	if _, err := Compare(g, []string{"((("}); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestGuardEdges(t *testing.T) {
+	g := gen.BankEdgeLabeled()
+	s := Collect(g)
+	nfa := rpq.Compile(rpq.MustParse("!{Transfer}"))
+	var total float64
+	for _, trs := range nfa.Trans {
+		for _, tr := range trs {
+			total = s.guardEdges(tr.Guard)
+		}
+	}
+	if total != 12 { // 22 edges − 10 Transfer
+		t.Errorf("guardEdges(!{Transfer}) = %v, want 12", total)
+	}
+}

@@ -1,0 +1,263 @@
+// Package core wires the paper's language tower into a single query
+// engine: plain RPQs (Section 3.1.1), ℓ-RPQs (3.1.4), dl-RPQs (3.2.1), and
+// (dl-)CRPQs (3.1.2/3.1.5/3.2.2) over one property graph, with path modes
+// and the product-construction machinery of Section 6. It is the engine
+// behind cmd/gqd and the examples.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphquery/internal/cardest"
+	"graphquery/internal/crpq"
+	"graphquery/internal/dlrpq"
+	"graphquery/internal/eval"
+	"graphquery/internal/gpath"
+	"graphquery/internal/gql"
+	"graphquery/internal/graph"
+	"graphquery/internal/lrpq"
+	"graphquery/internal/pmr"
+	"graphquery/internal/regular"
+	"graphquery/internal/rpq"
+	"graphquery/internal/twoway"
+)
+
+// Engine evaluates queries over a fixed graph.
+type Engine struct {
+	g *graph.Graph
+
+	// MaxLen bounds mode-all enumerations (0: require finite modes).
+	MaxLen int
+	// Limit bounds the number of returned paths/rows (0: unlimited).
+	Limit int
+}
+
+// New returns an engine over g with a default enumeration bound.
+func New(g *graph.Graph) *Engine {
+	return &Engine{g: g, MaxLen: 16}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// QueryKind classifies a query string.
+type QueryKind int
+
+// The query kinds the engine auto-detects.
+const (
+	KindCRPQ  QueryKind = iota // contains ":-"
+	KindDLRPQ                  // contains atom brackets or data tests
+	KindRPQ                    // plain regular path query (ℓ-RPQ if it has ^vars)
+)
+
+// Detect classifies a query string: CRPQs contain ":-", dl-RPQs contain
+// bracketed atoms or data tests, everything else parses as an (ℓ-)RPQ.
+func Detect(q string) QueryKind {
+	if strings.Contains(q, ":-") {
+		return KindCRPQ
+	}
+	for i := 0; i < len(q); i++ {
+		switch q[i] {
+		case '[', '=', '<', '>':
+			return KindDLRPQ
+		case ':':
+			if i+1 < len(q) && q[i+1] == '=' {
+				return KindDLRPQ
+			}
+		}
+	}
+	return KindRPQ
+}
+
+// PathResult is one path answer with its list-variable bindings.
+type PathResult struct {
+	Path    gpath.Path
+	Binding gpath.Binding
+}
+
+// Format renders the result with external IDs.
+func (r PathResult) Format(g *graph.Graph) string {
+	if len(r.Binding) == 0 {
+		return r.Path.Format(g)
+	}
+	return r.Path.Format(g) + "  " + r.Binding.Format(g)
+}
+
+// Pairs evaluates a plain RPQ to its endpoint-pair semantics ⟦R⟧_G.
+func (e *Engine) Pairs(query string) ([][2]graph.NodeID, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]graph.NodeID
+	for _, pr := range eval.Pairs(e.g, expr) {
+		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
+	}
+	return out, nil
+}
+
+// Paths evaluates an (ℓ-)RPQ or dl-RPQ between two nodes under a mode.
+func (e *Engine) Paths(query string, src, dst graph.NodeID, mode eval.Mode) ([]PathResult, error) {
+	u, ok := e.g.NodeIndex(src)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", src)
+	}
+	v, ok := e.g.NodeIndex(dst)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", dst)
+	}
+	switch Detect(query) {
+	case KindCRPQ:
+		return nil, errors.New("core: CRPQ queries return rows; use Rows")
+	case KindDLRPQ:
+		expr, err := dlrpq.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+		pbs, err := dlrpq.EvalBetween(e.g, expr, u, v, mode, dlrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit})
+		if err != nil {
+			return nil, err
+		}
+		return toResults(pbs), nil
+	default:
+		expr, err := lrpq.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+		pbs, err := lrpq.EvalBetween(e.g, expr, u, v, mode, lrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit})
+		if err != nil {
+			return nil, err
+		}
+		return toResults(pbs), nil
+	}
+}
+
+func toResults(pbs []gpath.PathBinding) []PathResult {
+	out := make([]PathResult, len(pbs))
+	for i, pb := range pbs {
+		out[i] = PathResult{Path: pb.Path, Binding: pb.Binding}
+	}
+	return out
+}
+
+// Rows evaluates a (dl-)CRPQ and renders its output tuples.
+func (e *Engine) Rows(query string) (*crpq.Result, error) {
+	q, err := crpq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return crpq.Eval(e.g, q, crpq.Options{AtomMaxLen: e.MaxLen})
+}
+
+// Representation builds a PMR for the matching paths of a plain RPQ
+// between two nodes — the compact intermediate representation of Section
+// 6.4 — without enumerating them.
+func (e *Engine) Representation(query string, src, dst graph.NodeID, shortestOnly bool) (*pmr.PMR, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	u, ok := e.g.NodeIndex(src)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", src)
+	}
+	v, ok := e.g.NodeIndex(dst)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", dst)
+	}
+	if shortestOnly {
+		return pmr.ShortestFromProduct(e.g, expr, u, v), nil
+	}
+	return pmr.FromProduct(e.g, expr, u, v), nil
+}
+
+// Explain reports the compiled automaton's size and ambiguity for an RPQ —
+// the statistics of the E22 experiment.
+func (e *Engine) Explain(query string) (string, error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	simplified := rpq.Simplify(expr)
+	nfa := rpq.Compile(simplified)
+	det := nfa.Determinize().Minimize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "expression:      %s (size %d)\n", expr, rpq.Size(expr))
+	if simplified.String() != expr.String() {
+		fmt.Fprintf(&b, "simplified:      %s (size %d)\n", simplified, rpq.Size(simplified))
+	}
+	fmt.Fprintf(&b, "glushkov NFA:    %d states, %d transitions\n", nfa.NumStates, nfa.NumTransitions())
+	fmt.Fprintf(&b, "unambiguous:     %v\n", nfa.IsUnambiguous())
+	fmt.Fprintf(&b, "minimal DFA:     %d states\n", det.NumStates())
+	return b.String(), nil
+}
+
+// ProgramRows evaluates a nested-CRPQ program (package regular): every line
+// but the last defines a virtual edge label; the last line is the final
+// query (Section 3.1.3, Example 15).
+func (e *Engine) ProgramRows(program string) (*crpq.Result, error) {
+	p, err := regular.Parse(program)
+	if err != nil {
+		return nil, err
+	}
+	return regular.Eval(e.g, p, crpq.Options{AtomMaxLen: e.MaxLen})
+}
+
+// TwoWayPairs evaluates a two-way RPQ (inverse atoms written ~a, Remark 9)
+// to its endpoint-pair semantics.
+func (e *Engine) TwoWayPairs(query string) ([][2]graph.NodeID, error) {
+	expr, err := twoway.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]graph.NodeID
+	for _, pr := range twoway.Pairs(e.g, expr) {
+		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
+	}
+	return out, nil
+}
+
+// Estimate returns the predicted and actual answer counts of an RPQ (the
+// Section 7.1 cardinality-estimation direction, package cardest).
+func (e *Engine) Estimate(query string) (estimate float64, actual int, err error) {
+	expr, err := rpq.Parse(query)
+	if err != nil {
+		return 0, 0, err
+	}
+	stats := cardest.Collect(e.g)
+	return stats.Estimate(expr, 0), len(eval.Pairs(e.g, expr)), nil
+}
+
+// GQLMatch evaluates a GQL ASCII-art pattern (package gql: group variables,
+// partial bindings — the practice-side semantics of Examples 1 and 2) and
+// renders its matches.
+func (e *Engine) GQLMatch(pattern string) ([]string, error) {
+	p, err := gql.ParsePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := gql.EvalPattern(e.g, p, gql.Options{MaxLen: e.MaxLen})
+	if err != nil {
+		return nil, err
+	}
+	if e.Limit > 0 && len(ms) > e.Limit {
+		ms = ms[:e.Limit]
+	}
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		line := m.Path.Format(e.g)
+		vars := make([]string, 0, len(m.B))
+		for v := range m.B {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			line += "  " + v + "=" + m.B[v].Format(e.g)
+		}
+		out[i] = line
+	}
+	return out, nil
+}

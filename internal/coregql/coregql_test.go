@@ -1,0 +1,408 @@
+package coregql
+
+import (
+	"errors"
+	"testing"
+
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+	"graphquery/internal/relalg"
+)
+
+// twoPath builds u -e1-> v -e2-> w with k-values on nodes and edges.
+func twoPath(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.NewBuilder().
+		AddNode("u", "L", graph.Props{"k": graph.Int(1)}).
+		AddNode("v", "L", graph.Props{"k": graph.Int(2)}).
+		AddNode("w", "M", graph.Props{"k": graph.Int(3)}).
+		AddEdge("e1", "a", "u", "v", graph.Props{"k": graph.Int(10)}).
+		AddEdge("e2", "a", "v", "w", graph.Props{"k": graph.Int(20)}).
+		MustBuild()
+}
+
+func TestFigure4NodePattern(t *testing.T) {
+	g := twoPath(t)
+	ms, err := EvalPattern(g, Node("x"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("(x) matched %d, want 3", len(ms))
+	}
+	for _, m := range ms {
+		if m.Path.Len() != 0 || len(m.Binding) != 1 {
+			t.Errorf("node match malformed: %+v", m)
+		}
+	}
+	// Anonymous node binds nothing.
+	ms, _ = EvalPattern(g, AnonNode(), Options{})
+	if len(ms) != 3 || len(ms[0].Binding) != 0 {
+		t.Error("() should match all nodes with empty bindings")
+	}
+}
+
+func TestFigure4EdgePattern(t *testing.T) {
+	g := twoPath(t)
+	ms, err := EvalPattern(g, Edge("y"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("-y-> matched %d, want 2", len(ms))
+	}
+	for _, m := range ms {
+		// Every produced path is node-to-node (Section 4.1.1).
+		if !m.Path.StartsWithNode() || !m.Path.EndsWithNode() || m.Path.Len() != 1 {
+			t.Errorf("edge match path malformed: %v", m.Path)
+		}
+		if !m.Binding["y"].IsEdge() {
+			t.Error("edge variable must bind the edge")
+		}
+	}
+}
+
+func TestFigure4Concat(t *testing.T) {
+	g := twoPath(t)
+	// (x) -y-> (z): joins on shared nodes via path composition.
+	p := Concat(Node("x"), Edge("y"), Node("z"))
+	ms, err := EvalPattern(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matched %d, want 2", len(ms))
+	}
+	// Repeated variable forces a join: (x) -y-> (x) needs a self-loop.
+	p = Concat(Node("x"), Edge("y"), Node("x"))
+	ms, _ = EvalPattern(g, p, Options{})
+	if len(ms) != 0 {
+		t.Errorf("(x)-y->(x) without self-loops matched %d", len(ms))
+	}
+}
+
+func TestFigure4Union(t *testing.T) {
+	g := twoPath(t)
+	// (x) + (x): same FV, idempotent under set semantics.
+	ms, err := EvalPattern(g, Union(Node("x"), Node("x")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Errorf("union matched %d, want 3 (dedup)", len(ms))
+	}
+	// Different FV: rejected (no nulls, Section 4.2).
+	if _, err := EvalPattern(g, Union(Node("x"), Node("z")), Options{}); err == nil {
+		t.Error("union with different free variables must be invalid")
+	}
+}
+
+func TestFigure4RepeatErasesVariables(t *testing.T) {
+	g := twoPath(t)
+	// ((x) -y-> (x'))^{2..2}: FV = ∅, so the inner variables do not join
+	// across iterations and the pattern matches the 2-edge path.
+	unit := Concat(Node("x"), Edge("y"), Node("x2"))
+	rep := Repeat(unit, 2, 2)
+	if fv := FreeVars(rep); len(fv) != 0 {
+		t.Fatalf("FV(π^{2..2}) = %v, want ∅", fv)
+	}
+	ms, err := EvalPattern(g, rep, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms {
+		if m.Path.Len() == 2 {
+			found = true
+			if len(m.Binding) != 0 {
+				t.Error("repeat must erase bindings")
+			}
+		}
+	}
+	if !found {
+		t.Error("π^{2..2} should match the 2-edge path")
+	}
+}
+
+// TestExample1Phenomenon: π^{2..2} is NOT equivalent to ππ when π carries a
+// variable — the Example 1 disconnect between patterns and regular
+// expressions, reproduced in CoreGQL.
+func TestExample1Phenomenon(t *testing.T) {
+	g := twoPath(t)
+	unit := Concat(AnonNode(), Edge("z"), AnonNode())
+	// ππ: both occurrences of z must bind the same edge, which forces the
+	// two copies to overlap — impossible on a simple 2-path with z shared.
+	pipi := Concat(unit, unit)
+	msJoin, err := EvalPattern(g, pipi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msJoin {
+		if m.Path.Len() == 2 {
+			t.Error("ππ with shared z cannot match a 2-edge path (join on z)")
+		}
+	}
+	// π^{2..2}: variables erased, matches the 2-edge path.
+	msRep, err := EvalPattern(g, Repeat(unit, 2, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has2 := false
+	for _, m := range msRep {
+		if m.Path.Len() == 2 {
+			has2 = true
+		}
+	}
+	if !has2 {
+		t.Error("π^{2..2} should match the 2-edge path")
+	}
+}
+
+func TestConditionEvaluation(t *testing.T) {
+	g := twoPath(t)
+	u := map[string]graph.Object{"x": graph.MakeNodeObject(g.MustNode("u"))}
+	uv := map[string]graph.Object{
+		"x": graph.MakeNodeObject(g.MustNode("u")),
+		"y": graph.MakeNodeObject(g.MustNode("v")),
+	}
+	cases := []struct {
+		c    Condition
+		b    map[string]graph.Object
+		want bool
+	}{
+		{CmpConst("x", "k", graph.OpEq, graph.Int(1)), u, true},
+		{CmpConst("x", "k", graph.OpGt, graph.Int(5)), u, false},
+		{Cmp("x", "k", graph.OpLt, "y", "k"), uv, true},
+		{Cmp("y", "k", graph.OpLt, "x", "k"), uv, false},
+		{HasLabel("x", "L"), u, true},
+		{HasLabel("x", "M"), u, false},
+		{And{HasLabel("x", "L"), CmpConst("x", "k", graph.OpEq, graph.Int(1))}, u, true},
+		{Or{HasLabel("x", "M"), CmpConst("x", "k", graph.OpEq, graph.Int(1))}, u, true},
+		{Not{HasLabel("x", "M")}, u, true},
+		{CmpConst("x", "missing", graph.OpEq, graph.Int(1)), u, false}, // undefined prop
+		{CmpConst("q", "k", graph.OpEq, graph.Int(1)), u, false},       // unbound var
+	}
+	for _, tc := range cases {
+		if got := tc.c.Holds(g, tc.b); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestPiInc: the increasing-node-values pattern of Section 5.1 works.
+func TestPiInc(t *testing.T) {
+	inc := Concat(
+		Node("x"),
+		Star(Filter(Concat(Node("u"), AnonEdge(), Node("v")), Cmp("u", "k", graph.OpLt, "v", "k"))),
+		Node("y"),
+	)
+	up := gen.DateNodePath("a", []int64{1, 2, 3, 4})
+	ms, err := EvalPattern(up, inc, Options{MaxLen: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := false
+	for _, m := range ms {
+		if m.Path.Len() == 3 {
+			full = true
+		}
+	}
+	if !full {
+		t.Error("πinc should match the increasing 3-edge node path end-to-end")
+	}
+	down := gen.DateNodePath("a", []int64{3, 4, 1, 2})
+	ms, err = EvalPattern(down, inc, Options{MaxLen: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Path.Len() == 3 {
+			t.Error("πinc must not match the 3,4,1,2 node path end-to-end")
+		}
+	}
+}
+
+// TestProposition23Naive: the naive stride-2 pattern for increasing EDGE
+// values is matched by the 3,4,1,2 edge path — the false positive of
+// Example 3 and Proposition 23.
+func TestProposition23Naive(t *testing.T) {
+	naive := Concat(
+		Node("x"),
+		Star(Filter(
+			Concat(AnonNode(), Edge("u"), AnonNode(), Edge("v"), AnonNode()),
+			Cmp("u", "k", graph.OpLt, "v", "k"))),
+		Node("y"),
+	)
+	bad := gen.DateEdgePath("a", []int64{3, 4, 1, 2})
+	ms, err := EvalPattern(bad, naive, Options{MaxLen: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	falsePositive := false
+	for _, m := range ms {
+		if m.Path.Len() == 4 {
+			falsePositive = true
+		}
+	}
+	if !falsePositive {
+		t.Error("the naive pattern SHOULD (incorrectly) match 3,4,1,2 — that is the paper's point")
+	}
+	// And a genuinely increasing path also matches.
+	good := gen.DateEdgePath("a", []int64{1, 2, 3, 4})
+	ms, _ = EvalPattern(good, naive, Options{MaxLen: 5})
+	okFull := false
+	for _, m := range ms {
+		if m.Path.Len() == 4 {
+			okFull = true
+		}
+	}
+	if !okFull {
+		t.Error("naive pattern should match the increasing path too")
+	}
+}
+
+func TestUnboundedNeedsMaxLen(t *testing.T) {
+	g := gen.Cycle(3, "a")
+	p := Concat(Node("x"), Star(Concat(AnonNode(), AnonEdge(), AnonNode())), Node("y"))
+	if _, err := EvalPattern(g, p, Options{}); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+	ms, err := EvalPattern(g, p, Options{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Error("bounded evaluation should produce matches")
+	}
+}
+
+func TestValidateConditionVars(t *testing.T) {
+	// Condition over a variable erased by repetition: invalid.
+	p := Filter(Repeat(Concat(Node("u"), AnonEdge(), Node("v")), 0, -1),
+		Cmp("u", "k", graph.OpLt, "v", "k"))
+	if err := Validate(p); err == nil {
+		t.Error("condition over erased variables must be invalid")
+	}
+	// Negative bounds.
+	if err := Validate(Repeat(Node("x"), 2, 1)); err == nil {
+		t.Error("bad repetition bounds must be invalid")
+	}
+}
+
+func TestOutputRelation(t *testing.T) {
+	g := twoPath(t)
+	// π = (x) -e-> (y), Ω = (x, x.k, e, y.k).
+	p := Concat(Node("x"), Edge("e"), Node("y"))
+	rel, err := Output(g, p, []string{"x", "x.k", "e", "y.k"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || rel.Arity() != 4 {
+		t.Fatalf("output relation %d×%d, want 2×4", rel.Len(), rel.Arity())
+	}
+	// Undefined property drops the row (no nulls).
+	rel2, err := Output(g, p, []string{"x", "x.missing"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != 0 {
+		t.Errorf("rows with undefined properties must be dropped, got %d", rel2.Len())
+	}
+	// Unbound variable in Ω also drops rows.
+	rel3, err := Output(g, p, []string{"nope"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel3.Len() != 0 {
+		t.Errorf("unbound Ω variable must drop rows, got %d", rel3.Len())
+	}
+}
+
+// TestSection413Example reproduces the worked CoreGQL query of Section
+// 4.1.3: nodes u (with property s) connected to two different nodes with
+// the same value of property p.
+func TestSection413Example(t *testing.T) {
+	g := graph.NewBuilder().
+		AddNode("hub", "", graph.Props{"s": graph.Str("center")}).
+		AddNode("n1", "", graph.Props{"p": graph.Int(7)}).
+		AddNode("n2", "", graph.Props{"p": graph.Int(7)}).
+		AddNode("n3", "", graph.Props{"p": graph.Int(8)}).
+		AddNode("lone", "", graph.Props{"s": graph.Str("side")}).
+		AddEdge("e1", "a", "hub", "n1", nil).
+		AddEdge("e2", "a", "hub", "n2", nil).
+		AddEdge("e3", "a", "hub", "n3", nil).
+		AddEdge("e4", "a", "lone", "n3", nil).
+		MustBuild()
+	// π_i := (x) --> (x_i), Ω_i = (x, x.s, x_i, x_i.p)
+	p1 := Concat(Node("x"), AnonEdge(), Node("x1"))
+	p2 := Concat(Node("x"), AnonEdge(), Node("x2"))
+	r1, err := Output(g, p1, []string{"x", "x.s", "x1", "x1.p"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Output(g, p2, []string{"x", "x.s", "x2", "x2.p"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := r1.Join(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1c, _ := j.Col("x1")
+	x2c, _ := j.Col("x2")
+	p1c, _ := j.Col("x1.p")
+	p2c, _ := j.Col("x2.p")
+	sel := j.Select(func(tu []relalg.Cell) bool {
+		return !tu[x1c].Equal(tu[x2c]) && tu[p1c].Equal(tu[p2c])
+	})
+	proj, err := sel.Project("x", "x.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Len() != 1 {
+		t.Fatalf("result = %d rows, want 1:\n%s", proj.Len(), proj.Format(g))
+	}
+	row := proj.Sorted()[0]
+	if row[0].Format(g) != "hub" || row[1].Format(g) != "center" {
+		t.Errorf("row = %v %v", row[0].Format(g), row[1].Format(g))
+	}
+}
+
+// TestRepeatMinWithNullableBase is a regression test: when the repeated
+// subpattern can match a single node (zero edges), a path realizable at an
+// early level is also realizable at every later level, and levels ≥ Min
+// must still report it.
+func TestRepeatMinWithNullableBase(t *testing.T) {
+	g := twoPath(t)
+	// π = (() + ()-->()): a single node or one edge.
+	base := Union(AnonNode(), Concat(AnonNode(), AnonEdge(), AnonNode()))
+	// π{2..2}: 1-edge paths arise as node·edge and edge·node compositions
+	// and must be present even though they already exist at level 1.
+	ms, err := EvalPattern(g, Repeat(base, 2, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneEdge := 0
+	for _, m := range ms {
+		if m.Path.Len() == 1 {
+			oneEdge++
+		}
+	}
+	if oneEdge != 2 {
+		t.Errorf("π{2,2} should include both 1-edge paths, got %d", oneEdge)
+	}
+	// And π{3..3} reaches the full 2-edge path.
+	ms, err = EvalPattern(g, Repeat(base, 3, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoEdge := false
+	for _, m := range ms {
+		if m.Path.Len() == 2 {
+			twoEdge = true
+		}
+	}
+	if !twoEdge {
+		t.Error("π{3,3} should include the 2-edge path")
+	}
+}

@@ -1,0 +1,132 @@
+package crpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphquery/internal/eval"
+	"graphquery/internal/graph"
+	"graphquery/internal/lrpq"
+	"graphquery/internal/wcoj"
+)
+
+// EvalWCOJ evaluates a CRPQ with the worst-case-optimal join strategy of
+// Section 7.1 (package wcoj): each atom's RPQ is materialized to its
+// answer-pair relation via the product construction, and the conjunction is
+// then enumerated attribute-at-a-time instead of by pairwise hash joins.
+// On cyclic join shapes (triangles and friends) this avoids the
+// intermediate-result blowups the AGM bound warns about.
+//
+// Eligibility: every atom must be a plain RPQ (or an ℓ-RPQ without list
+// variables) under mode all, and the head must contain node variables only.
+// Ineligible queries return ErrNotWCOJEligible — callers fall back to Eval.
+func EvalWCOJ(g *graph.Graph, q *Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := wcojEligible(q); err != nil {
+		return nil, err
+	}
+
+	wq := &wcoj.Query{}
+	fresh := 0
+	for _, a := range q.Atoms {
+		expr := a.RPQ
+		if expr == nil {
+			expr = lrpq.Erase(a.L)
+		}
+		rel := wcoj.NewRel(eval.Pairs(g, expr))
+		xVar, rel2, err := wcojTerm(g, a.Src, rel, true, &fresh)
+		if err != nil {
+			return nil, err
+		}
+		yVar, rel3, err := wcojTerm(g, a.Dst, rel2, false, &fresh)
+		if err != nil {
+			return nil, err
+		}
+		wq.Atoms = append(wq.Atoms, wcoj.Atom{Rel: rel3, X: xVar, Y: yVar})
+	}
+	rows, err := wq.Enumerate(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Head: append([]string(nil), q.Head...)}
+	seen := map[string]struct{}{}
+	for _, row := range rows {
+		tuple := make([]OutValue, len(q.Head))
+		var kb strings.Builder
+		for i, x := range q.Head {
+			tuple[i] = OutValue{Node: row[x]}
+			fmt.Fprintf(&kb, "N%d|", row[x])
+		}
+		if _, dup := seen[kb.String()]; dup {
+			continue
+		}
+		seen[kb.String()] = struct{}{}
+		out.Rows = append(out.Rows, tuple)
+	}
+	sortRows(out)
+	return out, nil
+}
+
+// ErrNotWCOJEligible reports a query outside the WCOJ fragment.
+var ErrNotWCOJEligible = fmt.Errorf("crpq: query not eligible for worst-case-optimal evaluation")
+
+func wcojEligible(q *Query) error {
+	for _, a := range q.Atoms {
+		if a.DL != nil {
+			return fmt.Errorf("%w: dl-RPQ atom %s", ErrNotWCOJEligible, a)
+		}
+		if a.L != nil && len(lrpq.Vars(a.L)) > 0 {
+			return fmt.Errorf("%w: list variables in %s", ErrNotWCOJEligible, a)
+		}
+		if a.Mode != eval.All {
+			return fmt.Errorf("%w: path mode %v", ErrNotWCOJEligible, a.Mode)
+		}
+	}
+	listVars := map[string]bool{}
+	for _, a := range q.Atoms {
+		for _, z := range a.vars() {
+			listVars[z] = true
+		}
+	}
+	for _, x := range q.Head {
+		if listVars[x] {
+			return fmt.Errorf("%w: head list variable %q", ErrNotWCOJEligible, x)
+		}
+	}
+	return nil
+}
+
+// wcojTerm resolves a term to a variable name, restricting the relation
+// when the term is a constant (the constant becomes a fresh variable over a
+// singleton domain).
+func wcojTerm(g *graph.Graph, t Term, rel *wcoj.Rel, isSrc bool, fresh *int) (string, *wcoj.Rel, error) {
+	if !t.IsConst {
+		return t.Var, rel, nil
+	}
+	n, ok := g.NodeIndex(t.Const)
+	if !ok {
+		return "", nil, fmt.Errorf("crpq: unknown constant node %q", t.Const)
+	}
+	*fresh++
+	name := fmt.Sprintf("$const%d", *fresh)
+	var filtered [][2]int
+	for _, p := range relPairs(rel) {
+		if isSrc && p[0] == n || !isSrc && p[1] == n {
+			filtered = append(filtered, p)
+		}
+	}
+	return name, wcoj.NewRel(filtered), nil
+}
+
+// relPairs re-extracts the pair list of a relation (small helper to keep
+// wcoj's internals private).
+func relPairs(r *wcoj.Rel) [][2]int { return r.Pairs() }
+
+func sortRows(res *Result) {
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return rowKey(res.Rows[i]) < rowKey(res.Rows[j])
+	})
+}

@@ -1,0 +1,86 @@
+package crpq
+
+import (
+	"errors"
+	"testing"
+
+	"graphquery/internal/gen"
+)
+
+// TestWCOJAgreesWithEval: on random graphs, the worst-case-optimal plan and
+// the pairwise-join plan return identical results.
+func TestWCOJAgreesWithEval(t *testing.T) {
+	queries := []string{
+		"q(x, y, z) :- a(x, y), a(y, z), a(z, x)", // triangle
+		"q(x, y) :- a(x, y), b(y, x)",
+		"q(x) :- a(x, x)",
+		"q(x, z) :- a+(x, y), b(y, z)",
+		"q() :- a(x, y), b(y, z)",
+	}
+	for trial := 0; trial < 8; trial++ {
+		g := gen.Random(8, 24, []string{"a", "b"}, int64(trial)*17+3)
+		for _, qs := range queries {
+			q := MustParse(qs)
+			ref, err := Eval(g, q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EvalWCOJ(g, q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Format(g) != got.Format(g) {
+				t.Fatalf("trial %d %q:\nwcoj:\n%s\nref:\n%s", trial, qs, got.Format(g), ref.Format(g))
+			}
+		}
+	}
+}
+
+func TestWCOJConstants(t *testing.T) {
+	g := gen.BankEdgeLabeled()
+	q := MustParse("q(y) :- Transfer(@a3, y), Transfer(y, @a6)")
+	ref, err := Eval(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvalWCOJ(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Format(g) != got.Format(g) {
+		t.Fatalf("wcoj %q vs ref %q", got.Format(g), ref.Format(g))
+	}
+	if len(got.Rows) != 1 || got.Rows[0][0].Format(g) != "a4" {
+		t.Errorf("a3→y→a6 should give y = a4:\n%s", got.Format(g))
+	}
+	if _, err := EvalWCOJ(g, MustParse("q(y) :- Transfer(@nope, y)"), Options{}); err == nil {
+		t.Error("unknown constant should fail")
+	}
+}
+
+func TestWCOJEligibility(t *testing.T) {
+	g := gen.BankEdgeLabeled()
+	ineligible := []string{
+		"q(z) :- (Transfer^z)+(x, y)",     // list variable
+		"q(x) :- shortest Transfer(x, y)", // path mode
+		"q(x) :- () [Transfer] () (x, y)", // dl-RPQ atom
+	}
+	for _, qs := range ineligible {
+		if _, err := EvalWCOJ(g, MustParse(qs), Options{}); !errors.Is(err, ErrNotWCOJEligible) {
+			t.Errorf("%q: err = %v, want ErrNotWCOJEligible", qs, err)
+		}
+	}
+}
+
+// TestWCOJTriangleOnBank: the Example 13 q1 triangle via WCOJ.
+func TestWCOJTriangleOnBank(t *testing.T) {
+	g := gen.BankEdgeLabeled()
+	q := MustParse("q(x1, x2, x3) :- Transfer(x1, x2), Transfer(x1, x3), Transfer(x2, x3)")
+	res, err := EvalWCOJ(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || !res.Contains(g, "a3, a2, a4") || !res.Contains(g, "a6, a3, a5") {
+		t.Errorf("q1 via WCOJ:\n%s", res.Format(g))
+	}
+}

@@ -1,0 +1,269 @@
+// Package cypherfrag implements the Cypher pattern fragment of Section 5.1
+// used for Proposition 22: patterns are built from label-disjunction edges,
+// starred label disjunctions (repetition is allowed only over disjunctions
+// of labels), concatenation, and union —
+//
+//	π := (x:L) | -x:L-> | -:L*-> | π₁ π₂ | π₁ + π₂
+//
+// Since the proposition concerns the edge-label languages such patterns can
+// match, the package works with the label-language view: node patterns
+// contribute ε. Compile translates a fragment pattern to an RPQ, and
+// SearchEquivalent performs the bounded-exhaustive expressiveness search
+// used to exhibit Proposition 22 empirically ("the RPQ (ℓℓ)* is not
+// expressible using Cypher patterns").
+package cypherfrag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphquery/internal/automata"
+	"graphquery/internal/rpq"
+)
+
+// Pattern is a Cypher-fragment pattern (label-language view).
+type Pattern interface {
+	fmt.Stringer
+	isPattern()
+}
+
+// EdgeDisj is -:ℓ₁|…|ℓₙ->: one edge whose label is in the disjunction.
+type EdgeDisj struct{ Labels []string }
+
+// StarDisj is -:(ℓ₁|…|ℓₙ)*->: any number of edges with labels from the
+// disjunction — the only repetition Cypher patterns allow (Section 5.1).
+type StarDisj struct{ Labels []string }
+
+// ConcatPat is π₁ π₂.
+type ConcatPat struct{ Left, Right Pattern }
+
+// UnionPat is π₁ + π₂.
+type UnionPat struct{ Left, Right Pattern }
+
+func (EdgeDisj) isPattern()  {}
+func (StarDisj) isPattern()  {}
+func (ConcatPat) isPattern() {}
+func (UnionPat) isPattern()  {}
+
+func (p EdgeDisj) String() string { return "-[:" + strings.Join(p.Labels, "|") + "]->" }
+func (p StarDisj) String() string { return "-[:(" + strings.Join(p.Labels, "|") + ")*]->" }
+func (p ConcatPat) String() string {
+	return p.Left.String() + " " + p.Right.String()
+}
+func (p UnionPat) String() string {
+	return "(" + p.Left.String() + " + " + p.Right.String() + ")"
+}
+
+// Edge returns the single-edge pattern over a label disjunction.
+func Edge(labels ...string) Pattern {
+	return EdgeDisj{Labels: sortedLabels(labels)}
+}
+
+// StarOf returns the starred label disjunction.
+func StarOf(labels ...string) Pattern {
+	return StarDisj{Labels: sortedLabels(labels)}
+}
+
+// Concat chains fragment patterns.
+func Concat(ps ...Pattern) Pattern {
+	if len(ps) == 0 {
+		panic("cypherfrag: Concat needs at least one pattern")
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = ConcatPat{Left: out, Right: p}
+	}
+	return out
+}
+
+// Union returns π₁ + π₂.
+func Union(a, b Pattern) Pattern { return UnionPat{Left: a, Right: b} }
+
+func sortedLabels(ls []string) []string {
+	out := append([]string(nil), ls...)
+	sort.Strings(out)
+	return out
+}
+
+// Compile translates the fragment pattern to an RPQ over edge labels.
+func Compile(p Pattern) rpq.Expr {
+	switch n := p.(type) {
+	case EdgeDisj:
+		return disjExpr(n.Labels)
+	case StarDisj:
+		return rpq.Kleene(disjExpr(n.Labels))
+	case ConcatPat:
+		return rpq.Seq(Compile(n.Left), Compile(n.Right))
+	case UnionPat:
+		return rpq.Alt(Compile(n.Left), Compile(n.Right))
+	default:
+		panic(fmt.Sprintf("cypherfrag: unknown pattern %T", p))
+	}
+}
+
+func disjExpr(labels []string) rpq.Expr {
+	alts := make([]rpq.Expr, len(labels))
+	for i, l := range labels {
+		alts[i] = rpq.L(l)
+	}
+	return rpq.Alt(alts...)
+}
+
+// Size is the syntactic size measure of the bounded-exhaustive search:
+// atoms count 1, concatenation and union count 1 plus their parts.
+func Size(p Pattern) int {
+	switch n := p.(type) {
+	case EdgeDisj, StarDisj:
+		return 1
+	case ConcatPat:
+		return 1 + Size(n.Left) + Size(n.Right)
+	case UnionPat:
+		return 1 + Size(n.Left) + Size(n.Right)
+	default:
+		panic(fmt.Sprintf("cypherfrag: unknown pattern %T", p))
+	}
+}
+
+// SearchResult reports the outcome of a bounded-exhaustive search.
+type SearchResult struct {
+	// Found is the equivalent fragment pattern, if any.
+	Found Pattern
+	// Candidates is the number of language-distinct fragment patterns
+	// explored.
+	Candidates int
+	// Witnesses maps each explored language (by a representative pattern
+	// rendering) to a word distinguishing it from the target.
+	Witnesses map[string][]string
+}
+
+// SearchEquivalent enumerates all fragment patterns over the given labels
+// up to the size bound and reports whether any is language-equivalent to
+// the target RPQ. For each inequivalent candidate language it records a
+// distinguishing word (a witness from the symmetric difference), which is
+// how Proposition 22's claim is exhibited empirically.
+func SearchEquivalent(target rpq.Expr, labels []string, maxSize int) SearchResult {
+	targetNFA := rpq.Compile(target)
+	universe := append(append([]string(nil), labels...), rpq.Labels(target)...)
+
+	res := SearchResult{Witnesses: map[string][]string{}}
+
+	// atoms: all nonempty label subsets as single edges and stars.
+	subsets := nonEmptySubsets(labels)
+	var atoms []Pattern
+	for _, s := range subsets {
+		atoms = append(atoms, Edge(s...), StarOf(s...))
+	}
+
+	// bySize[s] holds one representative per distinct language of size s.
+	bySize := make([][]Pattern, maxSize+1)
+	seenLang := map[string]struct{}{}
+
+	tryAdd := func(p Pattern, size int) (equivalent bool) {
+		nfa := rpq.Compile(Compile(p))
+		canon := nfa.DeterminizeOver(universe).Canonical()
+		if _, dup := seenLang[canon]; dup {
+			return false
+		}
+		seenLang[canon] = struct{}{}
+		bySize[size] = append(bySize[size], p)
+		res.Candidates++
+		if automata.Equivalent(nfa, targetNFA) {
+			res.Found = p
+			return true
+		}
+		// Record a distinguishing witness word.
+		if w, ok := distinguishingWord(nfa, targetNFA, universe); ok {
+			res.Witnesses[p.String()] = w
+		}
+		return false
+	}
+
+	for _, a := range atoms {
+		if tryAdd(a, 1) {
+			return res
+		}
+	}
+	for size := 2; size <= maxSize; size++ {
+		// Composites: left size i, right size size-1-i (operator costs 1).
+		for i := 1; i <= size-2; i++ {
+			j := size - 1 - i
+			for _, l := range bySize[i] {
+				for _, r := range bySize[j] {
+					if tryAdd(ConcatPat{Left: l, Right: r}, size) {
+						return res
+					}
+					if tryAdd(UnionPat{Left: l, Right: r}, size) {
+						return res
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// distinguishingWord returns a shortest word in the symmetric difference of
+// the two languages.
+func distinguishingWord(a, b *automata.NFA, universe []string) ([]string, bool) {
+	da := a.DeterminizeOver(universe)
+	db := b.DeterminizeOver(universe)
+	// BFS over the product until acceptance differs.
+	type pair struct{ p, q int }
+	type crumb struct {
+		prev pair
+		sym  string
+		has  bool
+	}
+	from := map[pair]crumb{{da.Start, db.Start}: {}}
+	queue := []pair{{da.Start, db.Start}}
+	cols := len(da.Labels) + 1
+	symbol := func(c int) string {
+		if c < len(da.Labels) {
+			return da.Labels[c]
+		}
+		return "other"
+	}
+	for len(queue) > 0 {
+		pr := queue[0]
+		queue = queue[1:]
+		if da.Accept[pr.p] != db.Accept[pr.q] {
+			var word []string
+			for cur := pr; ; {
+				c := from[cur]
+				if !c.has {
+					break
+				}
+				word = append(word, c.sym)
+				cur = c.prev
+			}
+			for i, j := 0, len(word)-1; i < j; i, j = i+1, j-1 {
+				word[i], word[j] = word[j], word[i]
+			}
+			return word, true
+		}
+		for c := 0; c < cols; c++ {
+			np := pair{da.Next[pr.p][c], db.Next[pr.q][c]}
+			if _, seen := from[np]; !seen {
+				from[np] = crumb{prev: pr, sym: symbol(c), has: true}
+				queue = append(queue, np)
+			}
+		}
+	}
+	return nil, false
+}
+
+func nonEmptySubsets(labels []string) [][]string {
+	var out [][]string
+	n := len(labels)
+	for mask := 1; mask < 1<<n; mask++ {
+		var s []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, labels[i])
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

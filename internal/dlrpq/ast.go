@@ -1,0 +1,374 @@
+// Package dlrpq implements RPQs with data tests and list variables
+// (dl-RPQs, Section 3.2.1) — the paper's primary formalism. Expressions are
+// regular expressions over node atoms (a), (a^z), (et) and edge atoms [a],
+// [a^z], [et], where et ranges over the ETest grammar
+//
+//	ETest := x := pname | pname op c | pname op x
+//
+// with op ∈ {=, ≠, <, >, ≤, ≥}. Nodes and edges are treated symmetrically:
+// consecutive atoms of the same kind match the *same* object (the
+// boundary-collapse rule of path concatenation), which is what makes
+// "increasing property values on edges" as easy to express as on nodes
+// (Example 21) — the capability GQL lacks (Proposition 23, Section 5.2).
+//
+// Evaluation (eval.go) follows the register-automaton approach referenced
+// in Section 6.4 "Data Filters": configurations pair a position in the
+// graph with an automaton state and a value assignment ν drawn lazily from
+// the active domain.
+package dlrpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphquery/internal/graph"
+)
+
+// Test is one element test (ETest). Exactly one of the three forms holds:
+//
+//	Assign:   AssignVar := Prop        (x := pname)
+//	constant: Prop Op Const            (pname op c)
+//	variable: Prop Op CmpVar           (pname op x)
+type Test struct {
+	Assign    bool
+	AssignVar string
+
+	Prop string
+	Op   graph.CompareOp
+
+	UseConst bool
+	Const    graph.Value
+	CmpVar   string
+}
+
+// AssignTest returns the test x := pname.
+func AssignTest(x, pname string) Test { return Test{Assign: true, AssignVar: x, Prop: pname} }
+
+// ConstTest returns the test pname op c.
+func ConstTest(pname string, op graph.CompareOp, c graph.Value) Test {
+	return Test{Prop: pname, Op: op, UseConst: true, Const: c}
+}
+
+// VarTest returns the test pname op x.
+func VarTest(pname string, op graph.CompareOp, x string) Test {
+	return Test{Prop: pname, Op: op, CmpVar: x}
+}
+
+func (t Test) String() string {
+	if t.Assign {
+		return t.AssignVar + " := " + t.Prop
+	}
+	if t.UseConst {
+		c := t.Const.String()
+		if t.Const.Kind() == graph.KindString {
+			c = "'" + c + "'"
+		}
+		return t.Prop + " " + t.Op.String() + " " + c
+	}
+	return t.Prop + " " + t.Op.String() + " " + t.CmpVar
+}
+
+// Atom matches a single object: a node when Edge is false — rendered (…) —
+// or an edge when Edge is true — rendered […]. The content is either a
+// label pattern (Name/Wild/Except, with optional list variable Var) or an
+// element test.
+type Atom struct {
+	Edge bool
+
+	// Label-pattern form:
+	Name   string
+	Wild   bool
+	Except []string
+	Var    string
+
+	// Test form (mutually exclusive with the label form):
+	Test *Test
+}
+
+// Expr is a node of the dl-RPQ AST.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Epsilon is ε (matches without consuming an object).
+type Epsilon struct{}
+
+// Concat is R₁·…·Rₙ.
+type Concat struct{ Parts []Expr }
+
+// Union is R₁+…+Rₙ.
+type Union struct{ Alts []Expr }
+
+// Star is R*.
+type Star struct{ Sub Expr }
+
+// Repeat is R{Min,Max}; Max < 0 means unbounded.
+type Repeat struct {
+	Sub Expr
+	Min int
+	Max int
+}
+
+func (Epsilon) isExpr() {}
+func (Atom) isExpr()    {}
+func (Concat) isExpr()  {}
+func (Union) isExpr()   {}
+func (Star) isExpr()    {}
+func (Repeat) isExpr()  {}
+
+func (Epsilon) String() string { return "eps" }
+
+func (a Atom) String() string {
+	var inner string
+	switch {
+	case a.Test != nil:
+		inner = a.Test.String()
+	case a.Wild && len(a.Except) == 0 && a.Var == "":
+		inner = ""
+	case a.Wild && len(a.Except) == 0:
+		inner = "_"
+	case a.Wild:
+		parts := make([]string, len(a.Except))
+		copy(parts, a.Except)
+		inner = "!{" + strings.Join(parts, ",") + "}"
+	default:
+		inner = a.Name
+	}
+	if a.Var != "" && a.Test == nil {
+		inner += "^" + a.Var
+	}
+	if a.Edge {
+		return "[" + inner + "]"
+	}
+	return "(" + inner + ")"
+}
+
+func (c Concat) String() string {
+	parts := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		parts[i] = childString(p, 2)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (u Union) String() string {
+	parts := make([]string, len(u.Alts))
+	for i, a := range u.Alts {
+		parts[i] = childString(a, 2)
+	}
+	return strings.Join(parts, " | ")
+}
+
+func (s Star) String() string { return childString(s.Sub, 3) + "*" }
+
+func (r Repeat) String() string {
+	sub := childString(r.Sub, 3)
+	switch {
+	case r.Min == 0 && r.Max == 1:
+		return sub + "?"
+	case r.Min == 1 && r.Max < 0:
+		return sub + "+"
+	case r.Max < 0:
+		return fmt.Sprintf("%s{%d,}", sub, r.Min)
+	case r.Min == r.Max:
+		return fmt.Sprintf("%s{%d}", sub, r.Min)
+	default:
+		return fmt.Sprintf("%s{%d,%d}", sub, r.Min, r.Max)
+	}
+}
+
+func childString(e Expr, parent int) string {
+	var prec int
+	switch e.(type) {
+	case Epsilon, Atom, Star, Repeat:
+		prec = 3
+	case Concat:
+		prec = 2
+	case Union:
+		prec = 1
+	}
+	s := e.String()
+	if prec < parent {
+		return "{" + s + "}"
+	}
+	return s
+}
+
+// Constructors.
+
+// NodeLabel returns (a).
+func NodeLabel(a string) Expr { return Atom{Name: a} }
+
+// NodeLabelVar returns (a^z).
+func NodeLabelVar(a, z string) Expr { return Atom{Name: a, Var: z} }
+
+// AnyNode returns the anonymous node atom ().
+func AnyNode() Expr { return Atom{Wild: true} }
+
+// AnyNodeVar returns (_^z).
+func AnyNodeVar(z string) Expr { return Atom{Wild: true, Var: z} }
+
+// EdgeLabel returns [a].
+func EdgeLabel(a string) Expr { return Atom{Edge: true, Name: a} }
+
+// EdgeLabelVar returns [a^z].
+func EdgeLabelVar(a, z string) Expr { return Atom{Edge: true, Name: a, Var: z} }
+
+// AnyEdge returns the anonymous edge atom [].
+func AnyEdge() Expr { return Atom{Edge: true, Wild: true} }
+
+// AnyEdgeVar returns [_^z].
+func AnyEdgeVar(z string) Expr { return Atom{Edge: true, Wild: true, Var: z} }
+
+// NodeTest returns (et).
+func NodeTest(t Test) Expr { return Atom{Test: &t} }
+
+// EdgeTest returns [et].
+func EdgeTest(t Test) Expr { return Atom{Edge: true, Test: &t} }
+
+// Seq returns the concatenation of parts.
+func Seq(parts ...Expr) Expr {
+	switch len(parts) {
+	case 0:
+		return Epsilon{}
+	case 1:
+		return parts[0]
+	default:
+		return Concat{Parts: parts}
+	}
+}
+
+// Alt returns the disjunction of alternatives.
+func Alt(alts ...Expr) Expr {
+	switch len(alts) {
+	case 0:
+		panic("dlrpq: Alt needs at least one alternative")
+	case 1:
+		return alts[0]
+	default:
+		return Union{Alts: alts}
+	}
+}
+
+// Kleene returns R*.
+func Kleene(e Expr) Expr { return Star{Sub: e} }
+
+// PlusOf returns R⁺.
+func PlusOf(e Expr) Expr { return Repeat{Sub: e, Min: 1, Max: -1} }
+
+// Opt returns R?.
+func Opt(e Expr) Expr { return Repeat{Sub: e, Min: 0, Max: 1} }
+
+// Vars returns the sorted list variables of e (Var(R)).
+func Vars(e Expr) []string {
+	set := map[string]struct{}{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case Atom:
+			if n.Var != "" && n.Test == nil {
+				set[n.Var] = struct{}{}
+			}
+		case Concat:
+			for _, p := range n.Parts {
+				walk(p)
+			}
+		case Union:
+			for _, a := range n.Alts {
+				walk(a)
+			}
+		case Star:
+			walk(n.Sub)
+		case Repeat:
+			walk(n.Sub)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DataVars returns the sorted data variables of e (the x's of ETests).
+func DataVars(e Expr) []string {
+	set := map[string]struct{}{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case Atom:
+			if n.Test != nil {
+				if n.Test.Assign {
+					set[n.Test.AssignVar] = struct{}{}
+				} else if !n.Test.UseConst {
+					set[n.Test.CmpVar] = struct{}{}
+				}
+			}
+		case Concat:
+			for _, p := range n.Parts {
+				walk(p)
+			}
+		case Union:
+			for _, a := range n.Alts {
+				walk(a)
+			}
+		case Star:
+			walk(n.Sub)
+		case Repeat:
+			walk(n.Sub)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Desugar expands Repeat into the core grammar.
+func Desugar(e Expr) Expr {
+	switch n := e.(type) {
+	case Epsilon, Atom:
+		return e
+	case Concat:
+		parts := make([]Expr, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = Desugar(p)
+		}
+		return Concat{Parts: parts}
+	case Union:
+		alts := make([]Expr, len(n.Alts))
+		for i, a := range n.Alts {
+			alts[i] = Desugar(a)
+		}
+		return Union{Alts: alts}
+	case Star:
+		return Star{Sub: Desugar(n.Sub)}
+	case Repeat:
+		sub := Desugar(n.Sub)
+		var parts []Expr
+		for i := 0; i < n.Min; i++ {
+			parts = append(parts, sub)
+		}
+		switch {
+		case n.Max < 0:
+			parts = append(parts, Star{Sub: sub})
+		case n.Max < n.Min:
+			panic(fmt.Sprintf("dlrpq: invalid repetition {%d,%d}", n.Min, n.Max))
+		default:
+			opt := Union{Alts: []Expr{Epsilon{}, sub}}
+			for i := n.Min; i < n.Max; i++ {
+				parts = append(parts, opt)
+			}
+		}
+		return Seq(parts...)
+	default:
+		panic(fmt.Sprintf("dlrpq: unknown expression type %T", e))
+	}
+}

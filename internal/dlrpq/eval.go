@@ -1,0 +1,499 @@
+package dlrpq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphquery/internal/eval"
+	"graphquery/internal/gpath"
+	"graphquery/internal/graph"
+)
+
+// ErrUnbounded is returned when mode-all enumeration has no MaxLen/Limit.
+var ErrUnbounded = errors.New("dlrpq: unbounded enumeration under mode all requires MaxLen or Limit")
+
+// Options bound result enumeration. MaxLen bounds len(p) (edge count).
+type Options struct {
+	MaxLen int
+	Limit  int
+}
+
+// assignment is a value assignment ν: DataVar → Values (partial).
+type assignment map[string]graph.Value
+
+func (v assignment) key() string {
+	if len(v) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		val := v[k]
+		fmt.Fprintf(&b, "%s=%d:%s;", k, val.Kind(), val.String())
+	}
+	return b.String()
+}
+
+func (v assignment) with(x string, val graph.Value) assignment {
+	out := make(assignment, len(v)+1)
+	for k, w := range v {
+		out[k] = w
+	}
+	out[x] = val
+	return out
+}
+
+// matchAtom checks whether atom can be applied to object o under ν,
+// returning the updated assignment. The object's kind must already agree
+// with the atom (callers guarantee this).
+func matchAtom(g *graph.Graph, a Atom, o graph.Object, nu assignment) (assignment, bool) {
+	if a.Test == nil {
+		lab := g.Label(o)
+		if a.Wild {
+			for _, ex := range a.Except {
+				if lab == ex {
+					return nil, false
+				}
+			}
+			return nu, true
+		}
+		if lab != a.Name {
+			return nil, false
+		}
+		return nu, true
+	}
+	t := a.Test
+	val, defined := g.Prop(o, t.Prop)
+	if t.Assign {
+		if !defined {
+			return nil, false // assignment from an undefined property fails
+		}
+		return nu.with(t.AssignVar, val), true
+	}
+	if !defined {
+		return nil, false
+	}
+	var rhs graph.Value
+	if t.UseConst {
+		rhs = t.Const
+	} else {
+		stored, ok := nu[t.CmpVar]
+		if !ok {
+			return nil, false // comparing against an unset data variable
+		}
+		rhs = stored
+	}
+	if !t.Op.Apply(val, rhs) {
+		return nil, false
+	}
+	return nu, true
+}
+
+// config is an evaluation configuration: the current (last) object of the
+// path being built — or none at the start — the automaton state, and ν.
+type config struct {
+	hasObj bool
+	obj    graph.Object
+	state  int
+	nu     assignment
+}
+
+func (c config) key() string {
+	var b strings.Builder
+	if c.hasObj {
+		if c.obj.IsEdge() {
+			fmt.Fprintf(&b, "E%d", c.obj.Index())
+		} else {
+			fmt.Fprintf(&b, "N%d", c.obj.Index())
+		}
+	} else {
+		b.WriteByte('-')
+	}
+	fmt.Fprintf(&b, "#%d#", c.state)
+	b.WriteString(c.nu.key())
+	return b.String()
+}
+
+// move is one application of an atom: the successor configuration, the
+// object appended to the path (if any), the binding append (if any), and
+// whether a new edge was consumed (cost 1).
+type move struct {
+	next     config
+	appended bool
+	appObj   graph.Object
+	bindVar  string // non-empty when appObj (or collapsed object) joins a list
+	bindObj  graph.Object
+	cost     int
+}
+
+// successors enumerates the legal atom applications from cfg. anchor is the
+// required src(p) for paths still empty (-1 for unanchored evaluation).
+func successors(g *graph.Graph, a *ANFA, cfg config, anchor int) []move {
+	var out []move
+	for _, tr := range a.Trans[cfg.state] {
+		atom := tr.Atom
+		if !atom.Edge {
+			// Node atom: candidate objects per the concatenation rules.
+			var candidates []int
+			var appended bool
+			switch {
+			case !cfg.hasObj:
+				appended = true
+				if anchor >= 0 {
+					candidates = []int{anchor}
+				} else {
+					for n := 0; n < g.NumNodes(); n++ {
+						candidates = append(candidates, n)
+					}
+				}
+			case cfg.obj.IsNode():
+				appended = false // collapse onto the same node
+				candidates = []int{cfg.obj.Index()}
+			default: // last object is an edge: the node must be its target
+				appended = true
+				candidates = []int{g.Edge(cfg.obj.Index()).Tgt}
+			}
+			for _, n := range candidates {
+				o := graph.MakeNodeObject(n)
+				nu, ok := matchAtom(g, atom, o, cfg.nu)
+				if !ok {
+					continue
+				}
+				m := move{
+					next:     config{hasObj: true, obj: o, state: tr.To, nu: nu},
+					appended: appended,
+					appObj:   o,
+				}
+				if atom.Test == nil && atom.Var != "" {
+					m.bindVar, m.bindObj = atom.Var, o
+				}
+				out = append(out, m)
+			}
+		} else {
+			// Edge atom.
+			var candidates []int
+			var appended bool
+			var cost int
+			switch {
+			case !cfg.hasObj:
+				appended, cost = true, 1
+				if anchor >= 0 {
+					candidates = append(candidates, g.Out(anchor)...)
+				} else {
+					for e := 0; e < g.NumEdges(); e++ {
+						candidates = append(candidates, e)
+					}
+				}
+			case cfg.obj.IsEdge():
+				appended, cost = false, 0 // collapse onto the same edge
+				candidates = []int{cfg.obj.Index()}
+			default: // last object is a node: outgoing edges
+				appended, cost = true, 1
+				candidates = append(candidates, g.Out(cfg.obj.Index())...)
+			}
+			for _, e := range candidates {
+				o := graph.MakeEdgeObject(e)
+				nu, ok := matchAtom(g, atom, o, cfg.nu)
+				if !ok {
+					continue
+				}
+				m := move{
+					next:     config{hasObj: true, obj: o, state: tr.To, nu: nu},
+					appended: appended,
+					appObj:   o,
+					cost:     cost,
+				}
+				if atom.Test == nil && atom.Var != "" {
+					m.bindVar, m.bindObj = atom.Var, o
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// endpointOK reports whether tgt(p) = dst for the path ending in cfg.obj.
+func endpointOK(g *graph.Graph, cfg config, dst int) bool {
+	if !cfg.hasObj {
+		return false // the empty path has no endpoints
+	}
+	if cfg.obj.IsNode() {
+		return cfg.obj.Index() == dst
+	}
+	return g.Edge(cfg.obj.Index()).Tgt == dst
+}
+
+// EvalBetween computes m(σ_{u,v}(⟦R⟧_G)): the (p, µ) results whose path runs
+// from src to dst, under a path mode, with the mode applied after endpoint
+// selection (Section 3.1.5 via Section 3.2.2).
+//
+// Idle derivation loops — zero-cost cycles through a repeated configuration
+// that only pump list variables (e.g. ((a^z))* re-collapsing on one node) —
+// are cut: each configuration is visited at most once between consecutive
+// edge consumptions. This keeps result sets finite without affecting which
+// paths are found.
+func EvalBetween(g *graph.Graph, e Expr, src, dst int, mode eval.Mode, opts Options) ([]gpath.PathBinding, error) {
+	a := Compile(e)
+	switch mode {
+	case eval.All:
+		if opts.MaxLen <= 0 && opts.Limit <= 0 {
+			return nil, ErrUnbounded
+		}
+		if opts.MaxLen <= 0 {
+			// Limit-only: iteratively deepen until enough results or the
+			// search space is exhausted at the configuration level.
+			return deepen(g, a, src, dst, opts.Limit), nil
+		}
+		return search(g, a, src, dst, opts, 0), nil
+	case eval.Shortest:
+		best, reachable := shortestDistance(g, a, src, dst)
+		if !reachable {
+			return nil, nil
+		}
+		return search(g, a, src, dst, Options{MaxLen: best, Limit: opts.Limit}, flagExact), nil
+	case eval.Simple:
+		return search(g, a, src, dst, opts, modeSimple), nil
+	case eval.Trail:
+		return search(g, a, src, dst, opts, modeTrail), nil
+	default:
+		return nil, fmt.Errorf("dlrpq: unknown mode %v", mode)
+	}
+}
+
+// Eval enumerates ⟦R⟧_G unanchored (all endpoints), requiring MaxLen.
+func Eval(g *graph.Graph, e Expr, opts Options) ([]gpath.PathBinding, error) {
+	if opts.MaxLen <= 0 {
+		return nil, ErrUnbounded
+	}
+	a := Compile(e)
+	out, _ := searchAnchor(g, a, -1, -1, opts, 0)
+	return sortPBs(out, opts.Limit), nil
+}
+
+type searchFlags int
+
+const (
+	modeSimple searchFlags = 1 << iota
+	modeTrail
+	flagExact
+)
+
+func search(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags searchFlags) []gpath.PathBinding {
+	out, _ := searchAnchor(g, a, src, dst, opts, flags)
+	return sortPBs(out, opts.Limit)
+}
+
+// searchAnchor is the core DFS over configurations. src = -1 means any
+// start; dst = -1 means any end. truncated reports whether some branch was
+// cut by the MaxLen bound (i.e. deeper results may exist).
+func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags searchFlags) ([]gpath.PathBinding, bool) {
+	seen := map[string]struct{}{}
+	var out []gpath.PathBinding
+
+	var objs []graph.Object // current path object sequence
+	var binds []struct {
+		v string
+		o graph.Object
+	}
+	usedNodes := map[int]struct{}{}
+	usedEdges := map[int]struct{}{}
+	limitHit := false
+	truncated := false
+
+	emit := func() {
+		p, err := gpath.New(g, objs...)
+		if err != nil {
+			panic("dlrpq: built invalid path: " + err.Error())
+		}
+		var mu gpath.Binding
+		for _, b := range binds {
+			if mu == nil {
+				mu = gpath.Binding{}
+			}
+			mu[b.v] = append(mu[b.v], b.o)
+		}
+		pb := gpath.PathBinding{Path: p, Binding: mu}
+		k := pb.Key()
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out = append(out, pb)
+			if opts.Limit > 0 && len(out) >= opts.Limit && flags&(modeSimple|modeTrail) != 0 {
+				limitHit = true
+			}
+		}
+	}
+
+	var dfs func(cfg config, edgesUsed int, sinceEdge map[string]struct{})
+	dfs = func(cfg config, edgesUsed int, sinceEdge map[string]struct{}) {
+		if limitHit {
+			return
+		}
+		if a.Accept[cfg.state] && cfg.hasObj {
+			if dst == -1 || endpointOK(g, cfg, dst) {
+				if flags&flagExact == 0 || edgesUsed == opts.MaxLen {
+					emit()
+				}
+			}
+		}
+		for _, m := range successors(g, a, cfg, src) {
+			if m.cost > 0 {
+				if opts.MaxLen > 0 && edgesUsed+1 > opts.MaxLen {
+					truncated = true
+					continue
+				}
+				if flags&modeTrail != 0 {
+					if _, used := usedEdges[m.appObj.Index()]; used {
+						continue
+					}
+				}
+			}
+			if m.appended && m.appObj.IsNode() && flags&modeSimple != 0 {
+				if _, used := usedNodes[m.appObj.Index()]; used {
+					continue
+				}
+			}
+			nextSince := sinceEdge
+			if m.cost > 0 {
+				nextSince = map[string]struct{}{}
+			} else {
+				k := m.next.key()
+				if _, loop := sinceEdge[k]; loop {
+					continue // idle derivation loop
+				}
+				nextSince = cloneSet(sinceEdge)
+				nextSince[k] = struct{}{}
+			}
+
+			if m.appended {
+				objs = append(objs, m.appObj)
+				if m.appObj.IsNode() {
+					usedNodes[m.appObj.Index()] = struct{}{}
+				} else {
+					usedEdges[m.appObj.Index()] = struct{}{}
+				}
+			}
+			hadBind := false
+			if m.bindVar != "" {
+				binds = append(binds, struct {
+					v string
+					o graph.Object
+				}{m.bindVar, m.bindObj})
+				hadBind = true
+			}
+
+			dfs(m.next, edgesUsed+m.cost, nextSince)
+
+			if hadBind {
+				binds = binds[:len(binds)-1]
+			}
+			if m.appended {
+				objs = objs[:len(objs)-1]
+				if m.appObj.IsNode() {
+					delete(usedNodes, m.appObj.Index())
+				} else {
+					delete(usedEdges, m.appObj.Index())
+				}
+			}
+		}
+	}
+
+	start := config{state: a.Start}
+	dfs(start, 0, map[string]struct{}{start.key(): {}})
+	return out, truncated
+}
+
+func cloneSet(s map[string]struct{}) map[string]struct{} {
+	out := make(map[string]struct{}, len(s)+1)
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// shortestDistance runs a 0–1 BFS over configurations to find the minimal
+// len(p) of any result from src to dst. reachable is false when there is
+// none. This is the register-automaton product search of Section 6.4: the
+// configuration space is finite because ν ranges over the active domain.
+func shortestDistance(g *graph.Graph, a *ANFA, src, dst int) (int, bool) {
+	type qitem struct {
+		cfg  config
+		dist int
+	}
+	dist := map[string]int{}
+	start := config{state: a.Start}
+	dist[start.key()] = 0
+	deque := []qitem{{start, 0}}
+	best := -1
+	for len(deque) > 0 {
+		it := deque[0]
+		deque = deque[1:]
+		k := it.cfg.key()
+		if d, ok := dist[k]; ok && d < it.dist {
+			continue // stale entry
+		}
+		if a.Accept[it.cfg.state] && endpointOK(g, it.cfg, dst) {
+			if best == -1 || it.dist < best {
+				best = it.dist
+			}
+		}
+		if best != -1 && it.dist >= best {
+			continue
+		}
+		for _, m := range successors(g, a, it.cfg, src) {
+			nd := it.dist + m.cost
+			nk := m.next.key()
+			if d, ok := dist[nk]; !ok || nd < d {
+				dist[nk] = nd
+				if m.cost == 0 {
+					deque = append([]qitem{{m.next, nd}}, deque...)
+				} else {
+					deque = append(deque, qitem{m.next, nd})
+				}
+			}
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}
+
+// deepen implements Limit-only mode-all enumeration by iterative deepening
+// on path length, stopping when the limit is reached or the search space is
+// exhausted (no branch hit the depth bound).
+func deepen(g *graph.Graph, a *ANFA, src, dst, limit int) []gpath.PathBinding {
+	for maxLen := 1; ; maxLen *= 2 {
+		res, truncated := searchAnchor(g, a, src, dst, Options{MaxLen: maxLen}, 0)
+		res = sortPBs(res, 0)
+		if len(res) >= limit {
+			return res[:limit]
+		}
+		if !truncated {
+			return res
+		}
+	}
+}
+
+func sortPBs(pbs []gpath.PathBinding, limit int) []gpath.PathBinding {
+	sort.Slice(pbs, func(i, j int) bool {
+		pi, pj := pbs[i], pbs[j]
+		if pi.Path.Len() != pj.Path.Len() {
+			return pi.Path.Len() < pj.Path.Len()
+		}
+		if ki, kj := pi.Path.Key(), pj.Path.Key(); ki != kj {
+			return ki < kj
+		}
+		return pi.Binding.Key() < pj.Binding.Key()
+	})
+	if limit > 0 && len(pbs) > limit {
+		pbs = pbs[:limit]
+	}
+	return pbs
+}

@@ -1,0 +1,53 @@
+// Package eval implements RPQ evaluation over edge-labeled and property
+// graphs using the product construction of Section 6.2: the graph and an
+// NFA for the expression are traversed in parallel, reducing query
+// answering to reachability in the product graph G×. On top of the product
+// it provides path witnesses, enumeration of matching paths under the path
+// modes of Section 3.1.5 (all / shortest / simple / trail), matching-path
+// counting via unambiguous automata, and k-shortest enumeration (Section
+// 6.4 / Eppstein's problem).
+package eval
+
+import "fmt"
+
+// Mode is a path mode m ∈ {shortest, simple, trail, all} (Section 3.1.5).
+type Mode uint8
+
+// The path modes.
+const (
+	All Mode = iota
+	Shortest
+	Simple
+	Trail
+)
+
+func (m Mode) String() string {
+	switch m {
+	case All:
+		return "all"
+	case Shortest:
+		return "shortest"
+	case Simple:
+		return "simple"
+	case Trail:
+		return "trail"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ParseMode parses a mode keyword.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "all", "":
+		return All, nil
+	case "shortest":
+		return Shortest, nil
+	case "simple":
+		return Simple, nil
+	case "trail":
+		return Trail, nil
+	default:
+		return 0, fmt.Errorf("eval: unknown path mode %q", s)
+	}
+}

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"graphquery/internal/automata"
+	"graphquery/internal/graph"
+	"graphquery/internal/rpq"
+)
+
+// Product is the product graph G× of an edge-labeled graph G and an NFA N_R
+// (Section 6.2): nodes are pairs (u, q) ∈ N × Q, and each pair of a graph
+// edge e and an automaton transition (q₁, a, q₂) with λ(e) = a yields the
+// product edge ((src(e), q₁) → (tgt(e), q₂)).
+//
+// The product is materialized lazily per state: Succ computes the outgoing
+// product edges of a state on demand, which is what makes single-pair
+// queries cheap on large graphs.
+type Product struct {
+	G *graph.Graph
+	A *automata.NFA
+}
+
+// NewProduct pairs a graph with a compiled automaton.
+func NewProduct(g *graph.Graph, a *automata.NFA) *Product {
+	return &Product{G: g, A: a}
+}
+
+// CompileProduct pairs a graph with the Glushkov automaton of an RPQ.
+func CompileProduct(g *graph.Graph, e rpq.Expr) *Product {
+	return NewProduct(g, rpq.Compile(e))
+}
+
+// State is a product-graph node (u, q).
+type State struct {
+	Node  int // graph node u
+	State int // automaton state q
+}
+
+// NumStates returns |N|·|Q|, the worst-case product size.
+func (p *Product) NumStates() int { return p.G.NumNodes() * p.A.NumStates }
+
+// id packs a State into a dense integer.
+func (p *Product) id(s State) int { return s.Node*p.A.NumStates + s.State }
+
+// unid unpacks a dense integer into a State.
+func (p *Product) unid(i int) State {
+	return State{Node: i / p.A.NumStates, State: i % p.A.NumStates}
+}
+
+// Start returns the initial product state (u, q₀) for source node u.
+func (p *Product) Start(u int) State { return State{Node: u, State: p.A.Start} }
+
+// Accepting reports whether s is accepting, i.e. its automaton component is
+// in F.
+func (p *Product) Accepting(s State) bool { return p.A.Accept[s.State] }
+
+// Step is one product edge: the graph edge taken and the resulting state.
+type Step struct {
+	Edge int
+	To   State
+}
+
+// Succ returns the outgoing product edges of s.
+func (p *Product) Succ(s State) []Step {
+	var out []Step
+	for _, ei := range p.G.Out(s.Node) {
+		lab := p.G.Edge(ei).Label
+		for _, t := range p.A.Trans[s.State] {
+			if t.Guard.Matches(lab) {
+				out = append(out, Step{Edge: ei, To: State{Node: p.G.Edge(ei).Tgt, State: t.To}})
+			}
+		}
+	}
+	return out
+}
+
+// bfs runs breadth-first search over the product from (src, q₀) and returns
+// dist (−1 for unreached) and parent pointers (product id and graph edge)
+// for witness reconstruction.
+func (p *Product) bfs(src int) (dist []int, parent []int, parentEdge []int) {
+	n := p.NumStates()
+	dist = make([]int, n)
+	parent = make([]int, n)
+	parentEdge = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	start := p.id(p.Start(src))
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		s := p.unid(cur)
+		for _, st := range p.Succ(s) {
+			ni := p.id(st.To)
+			if dist[ni] == -1 {
+				dist[ni] = dist[cur] + 1
+				parent[ni] = cur
+				parentEdge[ni] = st.Edge
+				queue = append(queue, ni)
+			}
+		}
+	}
+	return dist, parent, parentEdge
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"graphquery/internal/coregql"
+	"graphquery/internal/dlrpq"
+	"graphquery/internal/eval"
+	"graphquery/internal/gen"
+	"graphquery/internal/gpath"
+	"graphquery/internal/gql"
+	"graphquery/internal/graph"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E08",
+		Title: "Example 3 / Prop. 23: naive stride-2 edge pattern (GQL model)",
+		Claim: "the naive pattern matches 3,4,1,2 end-to-end (false positive); dl-RPQ rejects it",
+		Run:   runE08,
+	})
+	register(Experiment{
+		ID:    "E09",
+		Title: "§5.2: EXCEPT workaround vs direct dl-RPQ",
+		Claim: "both are correct; the compositional match-all-then-subtract plan degrades with path count",
+		Run:   runE09,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Title: "§5.2: reduce — increasing edges works, subset sum explodes",
+		Claim: "list processing makes NP-hard queries deceptively easy to write",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID:    "E11",
+		Title: "§5.2: shortest-vs-condition order on the quadratic query",
+		Claim: "condition-after-shortest checks a+b+c=0; shortest-after-condition finds a path whose length is a root",
+		Run:   runE11,
+	})
+	register(Experiment{
+		ID:    "E12",
+		Title: "§5.2: ⟨∀π′⇒θ⟩ conditions on matched paths",
+		Claim: "consecutive-edge increase is clean; the all-distinct variant is NP-hard in disguise",
+		Run:   runE12,
+	})
+}
+
+func runE08(w io.Writer) error {
+	bad := gen.DateEdgePath("a", []int64{3, 4, 1, 2})
+	naive := gql.Concat(
+		gql.Node("x"),
+		gql.Star(gql.Where(
+			gql.Concat(gql.AnonNode(), gql.Edge("u"), gql.AnonNode(), gql.Edge("v"), gql.AnonNode()),
+			coregql.Cmp("u", "k", graph.OpLt, "v", "k"))),
+		gql.Node("y"))
+	ms, err := gql.EvalPattern(bad, naive, gql.Options{MaxLen: 5})
+	if err != nil {
+		return err
+	}
+	naiveFull := 0
+	for _, m := range ms {
+		if m.Path.Len() == 4 {
+			naiveFull++
+		}
+	}
+	dl := dlrpq.MustParse("() [_^z][x := date] { () [_^z][date > x][x := date] }* ()")
+	dlRes, err := dlrpq.EvalBetween(bad, dl, bad.MustNode("v0"), bad.MustNode("v4"),
+		eval.All, dlrpq.Options{MaxLen: 4})
+	if err != nil {
+		return err
+	}
+	t := newTable("approach", "matches 3,4,1,2 end-to-end", "verdict")
+	t.add("naive GQL stride-2 pattern", naiveFull, "false positive (paper's point)")
+	t.add("symmetric dl-RPQ", len(dlRes), "correctly rejects")
+	t.write(w)
+	return nil
+}
+
+// walkPattern is (x) (()-->())* (y).
+func walkPattern() gql.Pattern {
+	return gql.Concat(gql.Node("x"),
+		gql.Star(gql.Concat(gql.AnonNode(), gql.AnonEdge(), gql.AnonNode())),
+		gql.Node("y"))
+}
+
+// badPairPattern is the π″ of §5.2: some consecutive pair with u.k ≥ v.k.
+func badPairPattern() gql.Pattern {
+	return gql.Concat(gql.Node("x"),
+		gql.Star(gql.Concat(gql.AnonNode(), gql.AnonEdge(), gql.AnonNode())),
+		gql.Where(gql.Concat(gql.AnonNode(), gql.Edge("u"), gql.AnonNode(), gql.Edge("v"), gql.AnonNode()),
+			coregql.Cmp("u", "k", graph.OpGe, "v", "k")),
+		gql.Star(gql.Concat(gql.AnonNode(), gql.AnonEdge(), gql.AnonNode())),
+		gql.Node("y"))
+}
+
+func runE09(w io.Writer) error {
+	t := newTable("n (edges)", "increasing v0→vn paths", "EXCEPT time", "dl-RPQ time", "agree")
+	for _, n := range []int{4, 8, 16, 32} {
+		dates := make([]int64, n)
+		for i := range dates {
+			dates[i] = int64(i) // fully increasing: the v0→vn path qualifies
+		}
+		g := gen.DateEdgePath("a", dates)
+
+		// The task: increasing-value paths between FIXED endpoints v0→vn.
+		// The compositional EXCEPT plan must materialize both full path
+		// sets and subtract before it can select the endpoints; the direct
+		// dl-RPQ evaluation is anchored from the start.
+		src, dst := g.MustNode("v0"), g.MustNode(graph.NodeID(fmt.Sprintf("v%d", n)))
+		start := time.Now()
+		all, err := gql.MatchPaths(g, walkPattern(), gql.Options{MaxLen: n})
+		if err != nil {
+			return err
+		}
+		bad, err := gql.MatchPaths(g, badPairPattern(), gql.Options{MaxLen: n})
+		if err != nil {
+			return err
+		}
+		var inc []gpath.Path
+		for _, p := range gql.Except(all, bad) {
+			if s, _ := p.Src(g); s != src {
+				continue
+			}
+			if t, _ := p.Tgt(g); t != dst {
+				continue
+			}
+			inc = append(inc, p)
+		}
+		exceptTime := time.Since(start)
+
+		start = time.Now()
+		dl := dlrpq.MustParse("() [_^z][x := k] { () [_^z][k > x][x := k] }* ()")
+		res, err := dlrpq.EvalBetween(g, dl, src, dst, eval.All, dlrpq.Options{MaxLen: n})
+		if err != nil {
+			return err
+		}
+		directTime := time.Since(start)
+
+		direct := map[string]bool{}
+		for _, pb := range res {
+			direct[pb.Path.Key()] = true
+		}
+		agree := len(inc) == len(direct)
+		for _, p := range inc {
+			if !direct[p.Key()] {
+				agree = false
+			}
+		}
+		t.add(n, len(inc), exceptTime.Round(time.Microsecond),
+			directTime.Round(time.Microsecond), agree)
+	}
+	t.write(w)
+	return nil
+}
+
+func runE10(w io.Writer) error {
+	// Part 1: the reduce-based increasing filter is correct.
+	up := gen.DateEdgePath("a", []int64{1, 2, 3, 4})
+	paths, err := gql.MatchPaths(up, walkPattern(), gql.Options{MaxLen: 4})
+	if err != nil {
+		return err
+	}
+	inc := gql.FilterPaths(paths, func(p gpath.Path) bool {
+		return gql.IncreasingProp(up, "k", gql.EdgesOf(p))
+	})
+	fmt.Fprintf(w, "  reduce-based increasing filter on 1,2,3,4: kept %d of %d paths\n", len(inc), len(paths))
+
+	// Part 2: subset-sum timing growth.
+	t := newTable("n weights", "paths enumerated", "target hit", "time")
+	for _, n := range []int{8, 10, 12, 14} {
+		weights := make([]int64, n)
+		for i := range weights {
+			weights[i] = int64(3*i + 1)
+		}
+		var target int64
+		for i := 0; i < n; i += 2 {
+			target += weights[i]
+		}
+		g := gen.SubsetSumChain(weights)
+		start := time.Now()
+		paths, err := gql.MatchPaths(g, walkPattern(), gql.Options{MaxLen: n})
+		if err != nil {
+			return err
+		}
+		hit := false
+		count := 0
+		for _, p := range paths {
+			if p.Len() != n {
+				continue
+			}
+			count++
+			if v, _ := gql.SumProp(g, "k", gql.EdgesOf(p)).AsInt(); v == target {
+				hit = true
+			}
+		}
+		t.add(n, count, hit, time.Since(start).Round(time.Millisecond))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "  (2ⁿ full paths enumerated: the reduce=target query is NP-complete in data complexity)")
+	return nil
+}
+
+func runE11(w io.Writer) error {
+	g := graph.NewBuilder().
+		AddNode("u", "l", graph.Props{
+			"a": graph.Int(1), "b": graph.Int(-5), "c": graph.Int(6)}).
+		AddEdge("loop", "t", "u", "u", graph.Props{"k": graph.Int(1)}).
+		MustBuild()
+	walk := gql.Concat(gql.NodeL("", "l"),
+		gql.Repeat(gql.Concat(gql.AnonNode(), gql.AnonEdge(), gql.AnonNode()), 1, -1),
+		gql.NodeL("x", "l"))
+	paths, err := gql.MatchPaths(g, walk, gql.Options{MaxLen: 6})
+	if err != nil {
+		return err
+	}
+	cond := func(p gpath.Path) bool {
+		s, _ := gql.SumProp(g, "k", gql.EdgesOf(p)).AsInt()
+		return 1*s*s-5*s+6 == 0 // roots 2 and 3
+	}
+	after := gql.ShortestThenFilter(g, paths, cond)
+	before := gql.FilterThenShortest(g, paths, cond)
+	t := newTable("semantics", "results", "path length")
+	lenOf := func(ps []gpath.Path) string {
+		if len(ps) == 0 {
+			return "-"
+		}
+		return fmt.Sprint(ps[0].Len())
+	}
+	t.add("condition after shortest", len(after), lenOf(after))
+	t.add("shortest after condition", len(before), lenOf(before))
+	t.write(w)
+	fmt.Fprintln(w, "  (x²-5x+6 = 0 has roots 2, 3: the second semantics finds the length-2 loop)")
+	return nil
+}
+
+func runE12(w io.Writer) error {
+	inner := gql.Concat(gql.Edge("u"), gql.AnonNode(), gql.Edge("v"))
+	theta := coregql.Cmp("u", "k", graph.OpLt, "v", "k")
+	up := gen.DateEdgePath("a", []int64{1, 2, 3, 4})
+	down := gen.DateEdgePath("a", []int64{3, 4, 1, 2})
+
+	count := func(g *graph.Graph) (kept, total int, err error) {
+		paths, err := gql.MatchPaths(g, walkPattern(), gql.Options{MaxLen: 4})
+		if err != nil {
+			return 0, 0, err
+		}
+		keptPaths, err := gql.FilterForAll(g, paths, inner, theta, gql.Options{})
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(keptPaths), len(paths), nil
+	}
+	k1, t1, err := count(up)
+	if err != nil {
+		return err
+	}
+	k2, t2, err := count(down)
+	if err != nil {
+		return err
+	}
+	t := newTable("input", "paths", "satisfy ∀ consecutive-increase")
+	t.add("1,2,3,4", t1, k1)
+	t.add("3,4,1,2", t2, k2)
+	t.write(w)
+
+	// The all-distinct variant: timing on growing paths with distinct k's.
+	tt := newTable("n (all-distinct ∀)", "paths checked", "time")
+	for _, n := range []int{4, 6, 8} {
+		dates := make([]int64, n+1)
+		for i := range dates {
+			dates[i] = int64(i)
+		}
+		g := gen.DateNodePath("a", dates)
+		start := time.Now()
+		paths, err := gql.MatchPaths(g, walkPattern(), gql.Options{MaxLen: n})
+		if err != nil {
+			return err
+		}
+		innerAll := gql.Concat(gql.Node("u"),
+			gql.Repeat(gql.Concat(gql.AnonNode(), gql.AnonEdge(), gql.AnonNode()), 1, -1),
+			gql.Node("v"))
+		thetaAll := coregql.Cmp("u", "k", graph.OpNe, "v", "k")
+		if _, err := gql.FilterForAll(g, paths, innerAll, thetaAll, gql.Options{MaxLen: n}); err != nil {
+			return err
+		}
+		tt.add(n, len(paths), time.Since(start).Round(time.Microsecond))
+	}
+	tt.write(w)
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every table, figure, and quantitative
+// claim of the paper's examples and evaluation discussion, as indexed in
+// DESIGN.md and EXPERIMENTS.md. Each experiment prints a labeled table of
+// "paper claim vs. measured" rows; cmd/experiments is the CLI front end.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment is one reproducible unit.
+type Experiment struct {
+	ID    string
+	Title string
+	// Claim summarizes what the paper asserts.
+	Claim string
+	// Run prints the measured results.
+	Run func(w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate ID " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Run executes one experiment, printing a header and its results.
+func Run(w io.Writer, id string) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	fmt.Fprintf(w, "=== %s — %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "paper: %s\n", e.Claim)
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Run(w, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// table is a tiny aligned-column printer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"time"
+
+	"graphquery/internal/dlrpq"
+	"graphquery/internal/eval"
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+)
+
+func splitLines(s string) []string { return strings.Split(s, "\n") }
+func joinLines(ls []string) string { return strings.Join(ls, "\n") }
+
+// graphBuilderE04 builds the Example 2 demonstration graph: two nodes with
+// a-self-loops connected by a-edges, plus a third node without a self-loop.
+func graphBuilderE04() *graph.Graph {
+	return graph.NewBuilder().
+		AddNode("n1", "", nil).AddNode("n2", "", nil).AddNode("n3", "", nil).
+		AddEdge("l1", "a", "n1", "n1", nil).
+		AddEdge("l2", "a", "n2", "n2", nil).
+		AddEdge("c12", "a", "n1", "n2", nil).
+		AddEdge("c23", "a", "n2", "n3", nil).
+		MustBuild()
+}
+
+func runE07(w io.Writer) error {
+	nodeInc := dlrpq.MustParse("(_^z)(x := date) { [_](_^z)(date > x)(x := date) }*")
+	edgeInc := dlrpq.MustParse("() [_^z][x := date] { () [_^z][date > x][x := date] }* ()")
+
+	check := func(g *graph.Graph, e dlrpq.Expr, src, dst graph.NodeID) int {
+		res, err := dlrpq.EvalBetween(g, e, g.MustNode(src), g.MustNode(dst),
+			eval.All, dlrpq.Options{MaxLen: 8})
+		if err != nil {
+			return -1
+		}
+		return len(res)
+	}
+	upN := gen.DateNodePath("a", []int64{1, 2, 3, 4})
+	downN := gen.DateNodePath("a", []int64{3, 4, 1, 2})
+	upE := gen.DateEdgePath("a", []int64{1, 2, 3, 4})
+	downE := gen.DateEdgePath("a", []int64{3, 4, 1, 2})
+
+	t := newTable("dl-RPQ", "increasing input", "3,4,1,2 input")
+	t.add("nodes: (_^z)(x:=date){[_](_^z)(date>x)(x:=date)}*",
+		check(upN, nodeInc, "v0", "v3"), check(downN, nodeInc, "v0", "v3"))
+	t.add("edges: ()[_^z][x:=date]{()[_^z][date>x][x:=date]}*()",
+		check(upE, edgeInc, "v0", "v4"), check(downE, edgeInc, "v0", "v4"))
+	t.write(w)
+	return nil
+}
+
+// timeNow/timeSince isolate clock use for the experiment tables.
+func timeNow() time.Time                   { return time.Now() }
+func timeSince(t0 time.Time) time.Duration { return time.Since(t0).Round(time.Microsecond) }

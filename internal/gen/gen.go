@@ -1,0 +1,348 @@
+// Package gen builds the deterministic graph families used by the paper's
+// examples and by the experiment harness: the bank graphs of Figures 2 and 3,
+// the exponential-paths graph of Figure 5, cliques (Section 6.1), label
+// paths and cycles, parallel-edge chains encoding subset sum (Section 5.2),
+// date-annotated paths (Examples 3 and 21), and seeded random and
+// social-network graphs for scaling experiments.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphquery/internal/graph"
+)
+
+// BankEdgeLabeled returns the edge-labeled graph of Figure 2: accounts
+// a1–a6 connected by Transfer edges t1–t10, plus owner and isBlocked edges
+// r1–r12 into person and yes/no nodes.
+//
+// The transfer topology is reconstructed from every constraint the paper
+// places on it:
+//
+//	t1: a1→a3   t2: a3→a2   t3: a2→a4   t4: a5→a1   t5: a3→a2
+//	t6: a3→a4   t7: a3→a5   t8: a6→a3   t9: a4→a6   t10: a6→a5
+//
+// This satisfies Example 5 (t2, t5 parallel a3→a2), Example 12 (a1–a6
+// strongly connected by transfers), Example 13 (q1 = {(a3,a2,a4),
+// (a6,a3,a5)}; a path of length 2 from a4 to a5), Example 16 (paths ending
+// in isBlocked via r9, r10), Example 17 (shortest Jay→Rebecca = t10,
+// Mike→Megan = t7·t4), and the Section 6.4 PMR example (the only unblocked
+// Mike→Mike transfer cycle loops through t7, t4, t1).
+func BankEdgeLabeled() *graph.Graph {
+	b := graph.NewBuilder()
+	for _, id := range []graph.NodeID{"a1", "a2", "a3", "a4", "a5", "a6"} {
+		b.AddNode(id, "Account", nil)
+	}
+	for _, id := range []graph.NodeID{"Megan", "Mike", "Rebecca", "Dave", "Jay"} {
+		b.AddNode(id, "Person", nil)
+	}
+	b.AddNode("yes", "", nil)
+	b.AddNode("no", "", nil)
+
+	type e struct {
+		id       graph.EdgeID
+		src, tgt graph.NodeID
+	}
+	for _, t := range []e{
+		{"t1", "a1", "a3"}, {"t2", "a3", "a2"}, {"t3", "a2", "a4"},
+		{"t4", "a5", "a1"}, {"t5", "a3", "a2"}, {"t6", "a3", "a4"},
+		{"t7", "a3", "a5"}, {"t8", "a6", "a3"}, {"t9", "a4", "a6"},
+		{"t10", "a6", "a5"},
+	} {
+		b.AddEdge(t.id, "Transfer", t.src, t.tgt, nil)
+	}
+	for _, r := range []e{
+		{"r1", "a1", "Megan"}, {"r2", "a2", "Megan"}, {"r3", "a3", "Mike"},
+		{"r4", "a4", "Dave"}, {"r5", "a5", "Rebecca"}, {"r6", "a6", "Jay"},
+	} {
+		b.AddEdge(r.id, "owner", r.src, r.tgt, nil)
+	}
+	for _, r := range []e{
+		{"r7", "a1", "no"}, {"r8", "a2", "yes"}, {"r9", "a3", "no"},
+		{"r10", "a4", "yes"}, {"r11", "a5", "no"}, {"r12", "a6", "no"},
+	} {
+		b.AddEdge(r.id, "isBlocked", r.src, r.tgt, nil)
+	}
+	return b.MustBuild()
+}
+
+// BankProperty returns the property graph of Figure 3: the same accounts
+// and transfers as Figure 2, but with owner and isBlocked as node properties
+// and amount/date as edge properties.
+//
+// Amounts are chosen to satisfy the Section 6.3 "Data Filters" example:
+// the direct Mike→Rebecca transfer t7 is ≥ 4.5M, the shortest Mike→Rebecca
+// transfer path containing a transfer under 4.5M is path(a3,t6,a4,t9,a6,
+// t10,a5), and requiring two transfers under 4.5M forces the cyclic path
+// path(a3,t7,a5,t4,a1,t1,a3,t7,a5).
+func BankProperty() *graph.Graph {
+	b := graph.NewBuilder()
+	type n struct {
+		id      graph.NodeID
+		owner   string
+		blocked string
+	}
+	for _, nd := range []n{
+		{"a1", "Megan", "no"}, {"a2", "Megan", "yes"}, {"a3", "Mike", "no"},
+		{"a4", "Dave", "yes"}, {"a5", "Rebecca", "no"}, {"a6", "Jay", "no"},
+	} {
+		b.AddNode(nd.id, "Account", graph.Props{
+			"owner":     graph.Str(nd.owner),
+			"isBlocked": graph.Str(nd.blocked),
+		})
+	}
+	type e struct {
+		id       graph.EdgeID
+		src, tgt graph.NodeID
+		amount   float64 // millions
+		date     string
+	}
+	for _, t := range []e{
+		{"t1", "a1", "a3", 1.0e6, "2025-01-03"},
+		{"t2", "a3", "a2", 0.5e6, "2025-01-05"},
+		{"t3", "a2", "a4", 5.0e6, "2025-01-07"},
+		{"t4", "a5", "a1", 3.0e6, "2025-01-02"},
+		{"t5", "a3", "a2", 2.0e6, "2025-01-09"},
+		{"t6", "a3", "a4", 1.0e6, "2025-01-11"},
+		{"t7", "a3", "a5", 8.0e6, "2025-01-01"},
+		{"t8", "a6", "a3", 7.0e6, "2025-01-13"},
+		{"t9", "a4", "a6", 5.0e6, "2025-01-15"},
+		{"t10", "a6", "a5", 6.0e6, "2025-01-17"},
+	} {
+		b.AddEdge(t.id, "Transfer", t.src, t.tgt, graph.Props{
+			"amount": graph.Float(t.amount),
+			"date":   graph.Str(t.date),
+		})
+	}
+	return b.MustBuild()
+}
+
+// Figure5 returns the graph of Figure 5 with parameter n: a chain of n
+// stages, each consisting of two parallel a-labeled edges, so that there are
+// exactly 2ⁿ paths from s to t, all of length n (hence all shortest).
+// Nodes are s = u0, u1, …, un = t; node un also has external ID "t" alias
+// omitted — use Source/Target helpers below.
+func Figure5(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i <= n; i++ {
+		b.AddNode(figure5Node(i, n), "", nil)
+	}
+	for i := 1; i <= n; i++ {
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d_0", i)), "a", figure5Node(i-1, n), figure5Node(i, n), nil)
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d_1", i)), "a", figure5Node(i-1, n), figure5Node(i, n), nil)
+	}
+	return b.MustBuild()
+}
+
+func figure5Node(i, n int) graph.NodeID {
+	switch i {
+	case 0:
+		return "s"
+	case n:
+		return "t"
+	default:
+		return graph.NodeID(fmt.Sprintf("u%d", i))
+	}
+}
+
+// APath returns a simple path v0 → v1 → … → vn of n edges labeled label.
+// Edges are e1, …, en.
+func APath(n int, label string) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i <= n; i++ {
+		b.AddNode(graph.NodeID(fmt.Sprintf("v%d", i)), "", nil)
+	}
+	for i := 1; i <= n; i++ {
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d", i)), label,
+			graph.NodeID(fmt.Sprintf("v%d", i-1)), graph.NodeID(fmt.Sprintf("v%d", i)), nil)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns a directed cycle v0 → v1 → … → v(n-1) → v0 of n edges
+// labeled label.
+func Cycle(n int, label string) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.NodeID(fmt.Sprintf("v%d", i)), "", nil)
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d", i)), label,
+			graph.NodeID(fmt.Sprintf("v%d", i)), graph.NodeID(fmt.Sprintf("v%d", (i+1)%n)), nil)
+	}
+	return b.MustBuild()
+}
+
+// Clique returns the complete directed graph on k nodes (all ordered pairs
+// of distinct nodes) with every edge labeled label — the k-clique family of
+// Section 6.1 on which (((a*)*)*)* explodes under bag semantics.
+func Clique(k int, label string) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < k; i++ {
+		b.AddNode(graph.NodeID(fmt.Sprintf("v%d", i)), "", nil)
+	}
+	e := 0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d", e)), label,
+				graph.NodeID(fmt.Sprintf("v%d", i)), graph.NodeID(fmt.Sprintf("v%d", j)), nil)
+			e++
+		}
+	}
+	return b.MustBuild()
+}
+
+// SubsetSumChain encodes a subset-sum instance as in Section 5.2 ("Turning
+// to Lists for Help"): a chain of nodes with two parallel edges between each
+// consecutive pair — one carrying property k = weights[i], the other k = 0.
+// A path from v0 to vn selecting edge values that sum to target witnesses a
+// subset of weights summing to target.
+func SubsetSumChain(weights []int64) *graph.Graph {
+	b := graph.NewBuilder()
+	n := len(weights)
+	for i := 0; i <= n; i++ {
+		b.AddNode(graph.NodeID(fmt.Sprintf("v%d", i)), "", nil)
+	}
+	for i := 1; i <= n; i++ {
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("w%d", i)), "a",
+			graph.NodeID(fmt.Sprintf("v%d", i-1)), graph.NodeID(fmt.Sprintf("v%d", i)),
+			graph.Props{"k": graph.Int(weights[i-1])})
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("z%d", i)), "a",
+			graph.NodeID(fmt.Sprintf("v%d", i-1)), graph.NodeID(fmt.Sprintf("v%d", i)),
+			graph.Props{"k": graph.Int(0)})
+	}
+	return b.MustBuild()
+}
+
+// DateEdgePath returns a path of n = len(dates) edges labeled label, where
+// edge i carries property "date" (and "k") equal to dates[i]. Nodes carry no
+// dates. This is the graph family for Example 3 and Proposition 23: e.g.
+// values 3,4,1,2 defeat the naive stride-2 GQL pattern.
+func DateEdgePath(label string, dates []int64) *graph.Graph {
+	b := graph.NewBuilder()
+	n := len(dates)
+	for i := 0; i <= n; i++ {
+		b.AddNode(graph.NodeID(fmt.Sprintf("v%d", i)), "", nil)
+	}
+	for i := 1; i <= n; i++ {
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d", i)), label,
+			graph.NodeID(fmt.Sprintf("v%d", i-1)), graph.NodeID(fmt.Sprintf("v%d", i)),
+			graph.Props{"date": graph.Int(dates[i-1]), "k": graph.Int(dates[i-1])})
+	}
+	return b.MustBuild()
+}
+
+// DateNodePath returns a path of len(dates)-1 edges labeled label whose
+// nodes carry property "date" (and "k") equal to dates[i] — the node-side
+// twin of DateEdgePath, for the πinc pattern of Section 5.1.
+func DateNodePath(label string, dates []int64) *graph.Graph {
+	b := graph.NewBuilder()
+	for i, d := range dates {
+		b.AddNode(graph.NodeID(fmt.Sprintf("v%d", i)), "",
+			graph.Props{"date": graph.Int(d), "k": graph.Int(d)})
+	}
+	for i := 1; i < len(dates); i++ {
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d", i)), label,
+			graph.NodeID(fmt.Sprintf("v%d", i-1)), graph.NodeID(fmt.Sprintf("v%d", i)), nil)
+	}
+	return b.MustBuild()
+}
+
+// Random returns a seeded Erdős–Rényi-style multigraph with n nodes and m
+// edges whose labels are drawn uniformly from labels, and an integer "k"
+// property on every node and edge.
+func Random(n, m int, labels []string, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.NodeID(fmt.Sprintf("v%d", i)), "",
+			graph.Props{"k": graph.Int(int64(rng.Intn(100)))})
+	}
+	for e := 0; e < m; e++ {
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d", e)), labels[rng.Intn(len(labels))],
+			graph.NodeID(fmt.Sprintf("v%d", rng.Intn(n))),
+			graph.NodeID(fmt.Sprintf("v%d", rng.Intn(n))),
+			graph.Props{"k": graph.Int(int64(rng.Intn(100)))})
+	}
+	return b.MustBuild()
+}
+
+// Grid returns a w×h grid in which each undirected grid adjacency is
+// represented by a pair of directed edges labeled label. Dense bidirectional
+// grids are the adversarial family for simple-path/trail search (E19).
+func Grid(w, h int, label string) *graph.Graph {
+	b := graph.NewBuilder()
+	id := func(x, y int) graph.NodeID { return graph.NodeID(fmt.Sprintf("g%d_%d", x, y)) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.AddNode(id(x, y), "", nil)
+		}
+	}
+	e := 0
+	add := func(a, c graph.NodeID) {
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d", e)), label, a, c, nil)
+		e++
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("e%d", e)), label, c, a, nil)
+		e++
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				add(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				add(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Social returns a seeded preferential-attachment social network: Person
+// nodes with an age property, "knows" edges attached preferentially, and a
+// sprinkling of "follows" edges. Used by the socialnetwork example and the
+// practice-like side of the E19 path-mode benchmark.
+func Social(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	id := func(i int) graph.NodeID { return graph.NodeID(fmt.Sprintf("p%d", i)) }
+	for i := 0; i < n; i++ {
+		b.AddNode(id(i), "Person", graph.Props{
+			"age":  graph.Int(int64(18 + rng.Intn(60))),
+			"name": graph.Str(fmt.Sprintf("user%d", i)),
+		})
+	}
+	// Preferential attachment on "knows".
+	var targets []int // node multiset weighted by degree
+	e := 0
+	for i := 1; i < n; i++ {
+		var t int
+		if len(targets) == 0 || rng.Intn(4) == 0 {
+			t = rng.Intn(i)
+		} else {
+			t = targets[rng.Intn(len(targets))]
+		}
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("k%d", e)), "knows", id(i), id(t), nil)
+		e++
+		targets = append(targets, i, t)
+	}
+	// Random "follows" edges (~n/2), about a quarter reciprocated.
+	f := 0
+	for i := 0; i < n/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(graph.EdgeID(fmt.Sprintf("f%d", f)), "follows", id(u), id(v), nil)
+		f++
+		if rng.Intn(4) == 0 {
+			b.AddEdge(graph.EdgeID(fmt.Sprintf("f%d", f)), "follows", id(v), id(u), nil)
+			f++
+		}
+	}
+	return b.MustBuild()
+}

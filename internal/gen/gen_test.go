@@ -1,0 +1,250 @@
+package gen
+
+import (
+	"testing"
+
+	"graphquery/internal/graph"
+)
+
+func TestBankEdgeLabeledShape(t *testing.T) {
+	g := BankEdgeLabeled()
+	if g.NumEdges() != 22 { // t1..t10, r1..r12
+		t.Errorf("edges = %d, want 22", g.NumEdges())
+	}
+	// Example 5 facts: t2 and t5 are parallel a3→a2 Transfer edges.
+	for _, id := range []graph.EdgeID{"t2", "t5"} {
+		e := g.Edge(g.MustEdge(id))
+		if g.Node(e.Src).ID != "a3" || g.Node(e.Tgt).ID != "a2" || e.Label != "Transfer" {
+			t.Errorf("%s should be a Transfer a3→a2", id)
+		}
+	}
+	// λ(t1) = Transfer, λ(r1) = owner.
+	if g.Edge(g.MustEdge("t1")).Label != "Transfer" || g.Edge(g.MustEdge("r1")).Label != "owner" {
+		t.Error("labels of t1/r1 wrong")
+	}
+	// r9: a3 → no, r10: a4 → yes (Example 16).
+	r9 := g.Edge(g.MustEdge("r9"))
+	r10 := g.Edge(g.MustEdge("r10"))
+	if g.Node(r9.Src).ID != "a3" || g.Node(r9.Tgt).ID != "no" || r9.Label != "isBlocked" {
+		t.Error("r9 should be isBlocked a3→no")
+	}
+	if g.Node(r10.Src).ID != "a4" || g.Node(r10.Tgt).ID != "yes" {
+		t.Error("r10 should be isBlocked a4→yes")
+	}
+}
+
+func TestBankEdgeLabeledStronglyConnected(t *testing.T) {
+	// Example 12 presupposes the six accounts are strongly connected by
+	// Transfer edges: check with two BFS passes (forward/backward).
+	g := BankEdgeLabeled()
+	accounts := map[int]bool{}
+	for _, id := range []graph.NodeID{"a1", "a2", "a3", "a4", "a5", "a6"} {
+		accounts[g.MustNode(id)] = true
+	}
+	bfs := func(start int, backward bool) map[int]bool {
+		seen := map[int]bool{start: true}
+		queue := []int{start}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			edges := g.Out(n)
+			if backward {
+				edges = g.In(n)
+			}
+			for _, ei := range edges {
+				e := g.Edge(ei)
+				if e.Label != "Transfer" {
+					continue
+				}
+				next := e.Tgt
+				if backward {
+					next = e.Src
+				}
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+		return seen
+	}
+	a1 := g.MustNode("a1")
+	fwd, bwd := bfs(a1, false), bfs(a1, true)
+	for n := range accounts {
+		if !fwd[n] || !bwd[n] {
+			t.Errorf("account %s breaks strong connectivity", g.Node(n).ID)
+		}
+	}
+}
+
+func TestBankPropertyProps(t *testing.T) {
+	g := BankProperty()
+	if g.NumNodes() != 6 || g.NumEdges() != 10 {
+		t.Fatalf("shape = %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	owner, ok := g.NodeProp(g.MustNode("a3"), "owner")
+	if !ok || !owner.Equal(graph.Str("Mike")) {
+		t.Error("a3 should be Mike's account")
+	}
+	blocked, _ := g.NodeProp(g.MustNode("a4"), "isBlocked")
+	if !blocked.Equal(graph.Str("yes")) {
+		t.Error("a4 should be blocked")
+	}
+	// The §6.3 constraints: t7 ≥ 4.5M; among t6,t9,t10 only t6 < 4.5M.
+	amount := func(id graph.EdgeID) float64 {
+		v, _ := g.EdgeProp(g.MustEdge(id), "amount")
+		f, _ := v.Numeric()
+		return f
+	}
+	if amount("t7") < 4.5e6 {
+		t.Error("t7 must be ≥ 4.5M (direct path must fail the filter)")
+	}
+	if amount("t6") >= 4.5e6 || amount("t9") < 4.5e6 || amount("t10") < 4.5e6 {
+		t.Error("exactly t6 among t6,t9,t10 must be < 4.5M")
+	}
+	// The two-cheap cycle uses t4 and t1, which must both be cheap.
+	if amount("t4") >= 4.5e6 || amount("t1") >= 4.5e6 {
+		t.Error("t4 and t1 must be < 4.5M")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	g := Figure5(5)
+	if g.NumNodes() != 6 || g.NumEdges() != 10 {
+		t.Errorf("figure5(5) shape = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if _, ok := g.NodeIndex("s"); !ok {
+		t.Error("missing s")
+	}
+	if _, ok := g.NodeIndex("t"); !ok {
+		t.Error("missing t")
+	}
+	// Every stage has exactly two parallel edges.
+	s := g.MustNode("s")
+	if g.OutDegree(s) != 2 {
+		t.Errorf("s out-degree = %d, want 2", g.OutDegree(s))
+	}
+}
+
+func TestAPathAndCycle(t *testing.T) {
+	p := APath(4, "x")
+	if p.NumNodes() != 5 || p.NumEdges() != 4 {
+		t.Error("APath shape wrong")
+	}
+	c := Cycle(4, "x")
+	if c.NumNodes() != 4 || c.NumEdges() != 4 {
+		t.Error("Cycle shape wrong")
+	}
+	for i := 0; i < c.NumNodes(); i++ {
+		if c.OutDegree(i) != 1 || c.InDegree(i) != 1 {
+			t.Error("cycle degrees wrong")
+		}
+	}
+}
+
+func TestClique(t *testing.T) {
+	g := Clique(5, "a")
+	if g.NumNodes() != 5 || g.NumEdges() != 20 {
+		t.Errorf("K5 shape = %d/%d, want 5/20", g.NumNodes(), g.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.OutDegree(i) != 4 {
+			t.Error("clique out-degree wrong")
+		}
+	}
+}
+
+func TestSubsetSumChain(t *testing.T) {
+	g := SubsetSumChain([]int64{3, 5})
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Fatal("shape wrong")
+	}
+	v, _ := g.EdgeProp(g.MustEdge("w1"), "k")
+	if !v.Equal(graph.Int(3)) {
+		t.Error("w1 weight wrong")
+	}
+	z, _ := g.EdgeProp(g.MustEdge("z2"), "k")
+	if !z.Equal(graph.Int(0)) {
+		t.Error("z2 should carry 0")
+	}
+}
+
+func TestDatePaths(t *testing.T) {
+	e := DateEdgePath("a", []int64{3, 4, 1, 2})
+	if e.NumEdges() != 4 {
+		t.Error("edge path shape wrong")
+	}
+	v, _ := e.EdgeProp(e.MustEdge("e1"), "date")
+	if !v.Equal(graph.Int(3)) {
+		t.Error("e1 date wrong")
+	}
+	n := DateNodePath("a", []int64{1, 2, 3})
+	if n.NumNodes() != 3 || n.NumEdges() != 2 {
+		t.Error("node path shape wrong")
+	}
+	k, _ := n.NodeProp(n.MustNode("v2"), "k")
+	if !k.Equal(graph.Int(3)) {
+		t.Error("v2 k wrong")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(20, 40, []string{"a", "b"}, 7)
+	b := Random(20, 40, []string{"a", "b"}, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		ea, eb := a.Edge(i), b.Edge(i)
+		if ea.Src != eb.Src || ea.Tgt != eb.Tgt || ea.Label != eb.Label {
+			t.Fatal("same seed must give same edges")
+		}
+	}
+	c := Random(20, 40, []string{"a", "b"}, 8)
+	diff := false
+	for i := 0; i < a.NumEdges() && i < c.NumEdges(); i++ {
+		if a.Edge(i).Src != c.Edge(i).Src || a.Edge(i).Tgt != c.Edge(i).Tgt {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should give different graphs")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 2, "a")
+	if g.NumNodes() != 6 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	// Undirected adjacencies: horizontal 2 per row × 2 rows = 4,
+	// vertical 3; each doubled = 14 directed edges.
+	if g.NumEdges() != 14 {
+		t.Errorf("edges = %d, want 14", g.NumEdges())
+	}
+}
+
+func TestSocial(t *testing.T) {
+	g := Social(50, 3)
+	if g.NumNodes() != 50 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	knows, follows := 0, 0
+	for i := 0; i < g.NumEdges(); i++ {
+		switch g.Edge(i).Label {
+		case "knows":
+			knows++
+		case "follows":
+			follows++
+		}
+	}
+	if knows != 49 {
+		t.Errorf("knows edges = %d, want 49 (one per new member)", knows)
+	}
+	if follows == 0 {
+		t.Error("expected follows edges")
+	}
+	if v, ok := g.NodeProp(0, "age"); !ok || v.IsNull() {
+		t.Error("people should have ages")
+	}
+}

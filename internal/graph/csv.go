@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV builds a graph from two CSV streams in the usual bulk-import
+// shape (one row per element, properties as extra columns):
+//
+//	nodes:  id,label[,prop1,prop2,…]
+//	edges:  id,label,src,tgt[,prop1,prop2,…]
+//
+// The first row of each stream is the header; its names beyond the fixed
+// prefix become property names. Property values are typed by shape:
+// integers, then floats, then true/false, then strings; empty cells mean
+// "property absent" (ρ is partial, Definition 6).
+func ReadCSV(nodes, edges io.Reader) (*Graph, error) {
+	b := NewBuilder()
+
+	nh, nrows, err := readAll(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("graph: nodes CSV: %w", err)
+	}
+	if err := checkHeader(nh, "id", "label"); err != nil {
+		return nil, fmt.Errorf("graph: nodes CSV: %w", err)
+	}
+	for i, row := range nrows {
+		if len(row) < 2 {
+			return nil, fmt.Errorf("graph: nodes CSV row %d: need at least id,label", i+2)
+		}
+		props, err := rowProps(nh, row, 2)
+		if err != nil {
+			return nil, fmt.Errorf("graph: nodes CSV row %d: %w", i+2, err)
+		}
+		b.AddNode(NodeID(row[0]), row[1], props)
+	}
+
+	eh, erows, err := readAll(edges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: edges CSV: %w", err)
+	}
+	if err := checkHeader(eh, "id", "label", "src", "tgt"); err != nil {
+		return nil, fmt.Errorf("graph: edges CSV: %w", err)
+	}
+	for i, row := range erows {
+		if len(row) < 4 {
+			return nil, fmt.Errorf("graph: edges CSV row %d: need at least id,label,src,tgt", i+2)
+		}
+		props, err := rowProps(eh, row, 4)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edges CSV row %d: %w", i+2, err)
+		}
+		b.AddEdge(EdgeID(row[0]), row[1], NodeID(row[2]), NodeID(row[3]), props)
+	}
+	return b.Build()
+}
+
+func readAll(r io.Reader) (header []string, rows [][]string, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil, fmt.Errorf("missing header row")
+	}
+	return all[0], all[1:], nil
+}
+
+func checkHeader(header []string, want ...string) error {
+	if len(header) < len(want) {
+		return fmt.Errorf("header %v must start with %v", header, want)
+	}
+	for i, w := range want {
+		if !strings.EqualFold(strings.TrimSpace(header[i]), w) {
+			return fmt.Errorf("header column %d is %q, want %q", i+1, header[i], w)
+		}
+	}
+	return nil
+}
+
+func rowProps(header, row []string, fixed int) (Props, error) {
+	var props Props
+	for c := fixed; c < len(row) && c < len(header); c++ {
+		cell := strings.TrimSpace(row[c])
+		if cell == "" {
+			continue
+		}
+		if props == nil {
+			props = Props{}
+		}
+		props[strings.TrimSpace(header[c])] = parseCSVValue(cell)
+	}
+	return props, nil
+}
+
+// parseCSVValue types a CSV cell: int, float, bool, then string.
+func parseCSVValue(s string) Value {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	switch s {
+	case "true":
+		return Bool(true)
+	case "false":
+		return Bool(false)
+	}
+	return Str(s)
+}

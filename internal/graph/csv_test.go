@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+const nodesCSV = `id,label,owner,balance,active
+a1,Account,Megan,1000,true
+a2,Account,Mike,250.5,false
+p1,Person,,,
+`
+
+const edgesCSV = `id,label,src,tgt,amount
+t1,Transfer,a1,a2,500
+r1,owner,a1,p1,
+`
+
+func TestReadCSV(t *testing.T) {
+	g, err := ReadCSV(strings.NewReader(nodesCSV), strings.NewReader(edgesCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("shape = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	a1 := g.MustNode("a1")
+	if owner, ok := g.NodeProp(a1, "owner"); !ok || !owner.Equal(Str("Megan")) {
+		t.Error("owner wrong")
+	}
+	if bal, ok := g.NodeProp(a1, "balance"); !ok || !bal.Equal(Int(1000)) {
+		t.Error("integer typing wrong")
+	}
+	if act, ok := g.NodeProp(a1, "active"); !ok || !act.Equal(Bool(true)) {
+		t.Error("bool typing wrong")
+	}
+	a2 := g.MustNode("a2")
+	if bal, ok := g.NodeProp(a2, "balance"); !ok || !bal.Equal(Float(250.5)) {
+		t.Error("float typing wrong")
+	}
+	// Empty cells leave ρ undefined.
+	p1 := g.MustNode("p1")
+	if _, ok := g.NodeProp(p1, "owner"); ok {
+		t.Error("empty cell should mean absent property")
+	}
+	t1 := g.MustEdge("t1")
+	if amt, ok := g.EdgeProp(t1, "amount"); !ok || !amt.Equal(Int(500)) {
+		t.Error("edge property wrong")
+	}
+	r1 := g.MustEdge("r1")
+	if _, ok := g.EdgeProp(r1, "amount"); ok {
+		t.Error("empty edge cell should mean absent property")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ nodes, edges, wantSub string }{
+		{"", "id,label,src,tgt\n", "missing header"},
+		{"id,label\n", "", "missing header"},
+		{"wrong,label\n", "id,label,src,tgt\n", "column 1"},
+		{"id,label\nn1\n", "id,label,src,tgt\n", "at least id,label"},
+		{"id,label\nn1,L\n", "id,label,src\n", "must start with"},
+		{"id,label\nn1,L\n", "id,label,src,tgt\ne1,a,n1\n", "at least id,label,src,tgt"},
+		{"id,label\nn1,L\n", "id,label,src,tgt\ne1,a,n1,missing\n", "unknown target"},
+		{"id,label\nn1,L\nn1,L\n", "id,label,src,tgt\n", "duplicate node"},
+	}
+	for _, tc := range cases {
+		_, err := ReadCSV(strings.NewReader(tc.nodes), strings.NewReader(tc.edges))
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ReadCSV(%q, %q) err = %v, want substring %q", tc.nodes, tc.edges, err, tc.wantSub)
+		}
+	}
+}
+
+func TestParseCSVValue(t *testing.T) {
+	cases := map[string]Value{
+		"42":    Int(42),
+		"-7":    Int(-7),
+		"2.5":   Float(2.5),
+		"true":  Bool(true),
+		"false": Bool(false),
+		"hello": Str("hello"),
+		"1e3":   Float(1000),
+	}
+	for in, want := range cases {
+		if got := parseCSVValue(in); !got.Equal(want) || got.Kind() != want.Kind() {
+			t.Errorf("parseCSVValue(%q) = %v (%v), want %v (%v)", in, got, got.Kind(), want, want.Kind())
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package graph implements the two graph data models of Section 2 of the
+// paper: edge-labeled graphs (Definition 4) and labeled property graphs
+// (Definition 6). A single Graph type covers both: an edge-labeled graph is a
+// property graph whose nodes carry no labels or properties, and the paper's
+// restriction operation λ|E is the identity on this representation.
+//
+// Nodes and edges have external string identifiers (as in the paper's a1–a6,
+// t1–t10) and are additionally addressable by dense integer indexes, which is
+// what the evaluation packages use.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID is an external node identifier (an element of the paper's set Nodes).
+type NodeID string
+
+// EdgeID is an external edge identifier (an element of the paper's set Edges).
+type EdgeID string
+
+// Props is a property map ρ restricted to one object: property name → value.
+type Props map[string]Value
+
+func (p Props) clone() Props {
+	if len(p) == 0 {
+		return nil
+	}
+	c := make(Props, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// Node is a node of a property graph.
+type Node struct {
+	ID    NodeID
+	Label string
+	Props Props
+}
+
+// Edge is a directed edge of a property graph: src --label--> tgt.
+// Src and Tgt are dense node indexes into the owning Graph.
+type Edge struct {
+	ID    EdgeID
+	Label string
+	Src   int
+	Tgt   int
+	Props Props
+}
+
+// Graph is a labeled property graph G = (N, E, src, tgt, λ, ρ)
+// (Definition 6). It also serves as an edge-labeled graph (Definition 4) by
+// simply ignoring node labels and all properties, mirroring the paper's
+// observation that (N, E, src, tgt, λ|E) is an edge-labeled graph.
+//
+// A Graph is immutable once built (use Builder); all read methods are safe
+// for concurrent use.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+
+	nodeByID map[NodeID]int
+	edgeByID map[EdgeID]int
+
+	out [][]int // node index -> indexes of outgoing edges
+	in  [][]int // node index -> indexes of incoming edges
+
+	labels []string // sorted distinct edge labels
+}
+
+// NumNodes returns |N|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with dense index i.
+func (g *Graph) Node(i int) Node { return g.nodes[i] }
+
+// Edge returns the edge with dense index i.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// NodeIndex resolves an external node ID to its dense index.
+func (g *Graph) NodeIndex(id NodeID) (int, bool) {
+	i, ok := g.nodeByID[id]
+	return i, ok
+}
+
+// EdgeIndex resolves an external edge ID to its dense index.
+func (g *Graph) EdgeIndex(id EdgeID) (int, bool) {
+	i, ok := g.edgeByID[id]
+	return i, ok
+}
+
+// MustNode resolves id or panics; intended for tests and examples where the
+// node is known to exist.
+func (g *Graph) MustNode(id NodeID) int {
+	i, ok := g.nodeByID[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: no node %q", id))
+	}
+	return i
+}
+
+// MustEdge resolves id or panics; intended for tests and examples.
+func (g *Graph) MustEdge(id EdgeID) int {
+	i, ok := g.edgeByID[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: no edge %q", id))
+	}
+	return i
+}
+
+// Out returns the indexes of edges leaving node n. The returned slice must
+// not be modified.
+func (g *Graph) Out(n int) []int { return g.out[n] }
+
+// In returns the indexes of edges entering node n. The returned slice must
+// not be modified.
+func (g *Graph) In(n int) []int { return g.in[n] }
+
+// OutDegree returns the number of edges leaving node n.
+func (g *Graph) OutDegree(n int) int { return len(g.out[n]) }
+
+// InDegree returns the number of edges entering node n.
+func (g *Graph) InDegree(n int) int { return len(g.in[n]) }
+
+// EdgeLabels returns the sorted set of distinct edge labels in the graph.
+func (g *Graph) EdgeLabels() []string { return g.labels }
+
+// NodeProp returns ρ(node i, name); the ok result is false when the partial
+// function ρ is undefined there.
+func (g *Graph) NodeProp(i int, name string) (Value, bool) {
+	v, ok := g.nodes[i].Props[name]
+	return v, ok
+}
+
+// EdgeProp returns ρ(edge i, name); the ok result is false when ρ is
+// undefined there.
+func (g *Graph) EdgeProp(i int, name string) (Value, bool) {
+	v, ok := g.edges[i].Props[name]
+	return v, ok
+}
+
+// Nodes returns all node indexes 0..NumNodes-1 whose label is lab; lab == ""
+// matches every node.
+func (g *Graph) NodesWithLabel(lab string) []int {
+	var out []int
+	for i := range g.nodes {
+		if lab == "" || g.nodes[i].Label == lab {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EdgesWithLabel returns all edge indexes whose label is lab; lab == ""
+// matches every edge.
+func (g *Graph) EdgesWithLabel(lab string) []int {
+	var out []int
+	for i := range g.edges {
+		if lab == "" || g.edges[i].Label == lab {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Object addresses a node or an edge of a graph uniformly ("objects" in the
+// paper's terminology, "elements" in GQL/SQL-PGQ). The zero Object is the
+// node with index 0; use MakeNodeObject/MakeEdgeObject.
+type Object struct {
+	isEdge bool
+	idx    int
+}
+
+// MakeNodeObject returns the Object addressing node index i.
+func MakeNodeObject(i int) Object { return Object{isEdge: false, idx: i} }
+
+// MakeEdgeObject returns the Object addressing edge index i.
+func MakeEdgeObject(i int) Object { return Object{isEdge: true, idx: i} }
+
+// IsEdge reports whether o addresses an edge.
+func (o Object) IsEdge() bool { return o.isEdge }
+
+// IsNode reports whether o addresses a node.
+func (o Object) IsNode() bool { return !o.isEdge }
+
+// Index returns the dense node or edge index addressed by o.
+func (o Object) Index() int { return o.idx }
+
+// Label returns λ(o) in g.
+func (g *Graph) Label(o Object) string {
+	if o.isEdge {
+		return g.edges[o.idx].Label
+	}
+	return g.nodes[o.idx].Label
+}
+
+// Prop returns ρ(o, name) in g.
+func (g *Graph) Prop(o Object, name string) (Value, bool) {
+	if o.isEdge {
+		return g.EdgeProp(o.idx, name)
+	}
+	return g.NodeProp(o.idx, name)
+}
+
+// ObjectID renders the external identifier of o.
+func (g *Graph) ObjectID(o Object) string {
+	if o.isEdge {
+		return string(g.edges[o.idx].ID)
+	}
+	return string(g.nodes[o.idx].ID)
+}
+
+// Builder assembles a Graph. Methods record the first error encountered and
+// become no-ops afterwards; check Err or the error from Build.
+type Builder struct {
+	g   Graph
+	err error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{g: Graph{
+		nodeByID: make(map[NodeID]int),
+		edgeByID: make(map[EdgeID]int),
+	}}
+}
+
+// Err returns the first error recorded by the builder, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// AddNode adds a node with the given external ID, label, and properties.
+// Props may be nil. Adding a duplicate ID is an error.
+func (b *Builder) AddNode(id NodeID, label string, props Props) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.g.nodeByID[id]; dup {
+		b.fail("graph: duplicate node ID %q", id)
+		return b
+	}
+	b.g.nodeByID[id] = len(b.g.nodes)
+	b.g.nodes = append(b.g.nodes, Node{ID: id, Label: label, Props: props.clone()})
+	return b
+}
+
+// AddEdge adds a directed edge src --label--> tgt with the given external ID.
+// Both endpoints must have been added already. Props may be nil.
+func (b *Builder) AddEdge(id EdgeID, label string, src, tgt NodeID, props Props) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.g.edgeByID[id]; dup {
+		b.fail("graph: duplicate edge ID %q", id)
+		return b
+	}
+	si, ok := b.g.nodeByID[src]
+	if !ok {
+		b.fail("graph: edge %q references unknown source node %q", id, src)
+		return b
+	}
+	ti, ok := b.g.nodeByID[tgt]
+	if !ok {
+		b.fail("graph: edge %q references unknown target node %q", id, tgt)
+		return b
+	}
+	b.g.edgeByID[id] = len(b.g.edges)
+	b.g.edges = append(b.g.edges, Edge{ID: id, Label: label, Src: si, Tgt: ti, Props: props.clone()})
+	return b
+}
+
+// Build finalizes the graph, computing adjacency indexes. The Builder must
+// not be used afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := b.g
+	g.out = make([][]int, len(g.nodes))
+	g.in = make([][]int, len(g.nodes))
+	labelSet := make(map[string]struct{})
+	for ei := range g.edges {
+		e := &g.edges[ei]
+		g.out[e.Src] = append(g.out[e.Src], ei)
+		g.in[e.Tgt] = append(g.in[e.Tgt], ei)
+		labelSet[e.Label] = struct{}{}
+	}
+	g.labels = make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		g.labels = append(g.labels, l)
+	}
+	sort.Strings(g.labels)
+	b.g = Graph{} // prevent reuse
+	return &g, nil
+}
+
+// MustBuild is Build that panics on error; for tests, examples, and
+// generators of known-valid graphs.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

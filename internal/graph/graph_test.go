@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder().
+		AddNode("a1", "Account", Props{"owner": Str("Megan")}).
+		AddNode("a2", "Account", Props{"owner": Str("Megan"), "isBlocked": Str("yes")}).
+		AddNode("a3", "Account", Props{"owner": Str("Mike")}).
+		AddEdge("t1", "Transfer", "a1", "a3", Props{"amount": Float(5e6)}).
+		AddEdge("t2", "Transfer", "a3", "a2", Props{"amount": Float(1e6)}).
+		AddEdge("t5", "Transfer", "a3", "a2", Props{"amount": Float(2e6)}).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := buildSample(t)
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges, want 3/3", g.NumNodes(), g.NumEdges())
+	}
+	a3 := g.MustNode("a3")
+	if d := g.OutDegree(a3); d != 2 {
+		t.Errorf("OutDegree(a3) = %d, want 2 (parallel edges t2, t5)", d)
+	}
+	if d := g.InDegree(a3); d != 1 {
+		t.Errorf("InDegree(a3) = %d, want 1", d)
+	}
+	// Parallel edges t2 and t5 both go a3 -> a2 with the same label:
+	// the edge-identity model of Definition 4 must keep them distinct.
+	t2, t5 := g.MustEdge("t2"), g.MustEdge("t5")
+	if t2 == t5 {
+		t.Fatal("parallel edges collapsed")
+	}
+	for _, ei := range []int{t2, t5} {
+		e := g.Edge(ei)
+		if e.Src != a3 || g.Node(e.Tgt).ID != "a2" || e.Label != "Transfer" {
+			t.Errorf("edge %v misplaced: %+v", e.ID, e)
+		}
+	}
+	if got := g.EdgeLabels(); !reflect.DeepEqual(got, []string{"Transfer"}) {
+		t.Errorf("EdgeLabels = %v", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func(b *Builder)
+		wantSub string
+	}{
+		{"duplicate node", func(b *Builder) {
+			b.AddNode("n", "", nil).AddNode("n", "", nil)
+		}, "duplicate node"},
+		{"duplicate edge", func(b *Builder) {
+			b.AddNode("u", "", nil).AddNode("v", "", nil).
+				AddEdge("e", "a", "u", "v", nil).AddEdge("e", "a", "u", "v", nil)
+		}, "duplicate edge"},
+		{"missing src", func(b *Builder) {
+			b.AddNode("v", "", nil).AddEdge("e", "a", "u", "v", nil)
+		}, "unknown source"},
+		{"missing tgt", func(b *Builder) {
+			b.AddNode("u", "", nil).AddEdge("e", "a", "u", "v", nil)
+		}, "unknown target"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			tc.build(b)
+			if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Build error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("n", "", nil).AddNode("n", "", nil) // error here
+	b.AddNode("m", "", nil)                       // must be a no-op
+	if b.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build should return the sticky error")
+	}
+}
+
+func TestPropsIsolation(t *testing.T) {
+	p := Props{"k": Int(1)}
+	b := NewBuilder().AddNode("n", "", p)
+	p["k"] = Int(99) // mutating the caller's map must not affect the graph
+	g := b.MustBuild()
+	v, ok := g.NodeProp(0, "k")
+	if !ok || !v.Equal(Int(1)) {
+		t.Fatalf("NodeProp = %v,%v; want 1 (builder must copy props)", v, ok)
+	}
+}
+
+func TestObjectAccessors(t *testing.T) {
+	g := buildSample(t)
+	n := MakeNodeObject(g.MustNode("a2"))
+	e := MakeEdgeObject(g.MustEdge("t1"))
+	if n.IsEdge() || !n.IsNode() || !e.IsEdge() || e.IsNode() {
+		t.Fatal("Object kind predicates wrong")
+	}
+	if g.Label(n) != "Account" || g.Label(e) != "Transfer" {
+		t.Errorf("labels: %q %q", g.Label(n), g.Label(e))
+	}
+	if v, ok := g.Prop(n, "isBlocked"); !ok || !v.Equal(Str("yes")) {
+		t.Errorf("Prop(a2, isBlocked) = %v,%v", v, ok)
+	}
+	if _, ok := g.Prop(n, "nope"); ok {
+		t.Error("Prop should be partial (Definition 6)")
+	}
+	if g.ObjectID(n) != "a2" || g.ObjectID(e) != "t1" {
+		t.Errorf("ObjectID: %q %q", g.ObjectID(n), g.ObjectID(e))
+	}
+}
+
+func TestLabelQueries(t *testing.T) {
+	g := buildSample(t)
+	if got := len(g.NodesWithLabel("Account")); got != 3 {
+		t.Errorf("NodesWithLabel(Account) = %d, want 3", got)
+	}
+	if got := len(g.NodesWithLabel("")); got != 3 {
+		t.Errorf("NodesWithLabel(\"\") = %d, want 3", got)
+	}
+	if got := len(g.EdgesWithLabel("Transfer")); got != 3 {
+		t.Errorf("EdgesWithLabel(Transfer) = %d, want 3", got)
+	}
+	if got := len(g.EdgesWithLabel("nope")); got != 0 {
+		t.Errorf("EdgesWithLabel(nope) = %d, want 0", got)
+	}
+}
+
+func TestValueCompareTotalOrderWithinKind(t *testing.T) {
+	vals := []Value{Null(), Bool(false), Bool(true), Int(-3), Int(0), Float(0.5), Int(1), Str("a"), Str("b")}
+	for i, v := range vals {
+		for j, w := range vals {
+			c := v.Compare(w)
+			switch {
+			case i == j && c != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", v, w, c)
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", v, w, c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", v, w, c)
+			}
+		}
+	}
+}
+
+func TestValueNumericCrossKind(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("Int(2) should equal Float(2.0)")
+	}
+	if !Int(2).Less(Float(2.5)) {
+		t.Error("Int(2) < Float(2.5) should hold")
+	}
+	if !Float(1.5).Less(Int(2)) {
+		t.Error("Float(1.5) < Int(2) should hold")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if _, ok := Str("x").AsInt(); ok {
+		t.Error("AsInt on string should fail")
+	}
+	if f, ok := Float(math.Pi).AsFloat(); !ok || f != math.Pi {
+		t.Errorf("AsFloat = %v,%v", f, ok)
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Errorf("AsBool = %v,%v", b, ok)
+	}
+	if s, ok := Str("hey").AsString(); !ok || s != "hey" {
+		t.Errorf("AsString = %v,%v", s, ok)
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+}
+
+func TestCompareOps(t *testing.T) {
+	tests := []struct {
+		op   CompareOp
+		v, w Value
+		want bool
+	}{
+		{OpEq, Int(1), Int(1), true},
+		{OpEq, Int(1), Int(2), false},
+		{OpNe, Str("a"), Str("b"), true},
+		{OpLt, Int(1), Int(2), true},
+		{OpGt, Int(1), Int(2), false},
+		{OpLe, Int(2), Int(2), true},
+		{OpGe, Int(1), Int(2), false},
+		{OpEq, Null(), Null(), true},
+		{OpEq, Null(), Int(0), false},
+		{OpNe, Null(), Int(0), true},
+		{OpLt, Null(), Int(0), false}, // null never orders
+	}
+	for _, tc := range tests {
+		if got := tc.op.Apply(tc.v, tc.w); got != tc.want {
+			t.Errorf("%v %v %v = %v, want %v", tc.v, tc.op, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestCompareOpNegate(t *testing.T) {
+	// For non-null values, op and op.Negate() must partition outcomes.
+	f := func(a, b int8) bool {
+		v, w := Int(int64(a)), Int(int64(b))
+		for _, op := range []CompareOp{OpEq, OpNe, OpLt, OpGt, OpLe, OpGe} {
+			if op.Apply(v, w) == op.Negate().Apply(v, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for s, want := range map[string]CompareOp{
+		"=": OpEq, "==": OpEq, "!=": OpNe, "<>": OpNe,
+		"<": OpLt, ">": OpGt, "<=": OpLe, ">=": OpGe,
+	} {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v,%v want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseOp("~"); err == nil {
+		t.Error("ParseOp(~) should fail")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := map[string]Value{
+		"null": Null(), "true": Bool(true), "false": Bool(false),
+		"42": Int(42), "-1": Int(-1), "2.5": Float(2.5), "hi": Str("hi"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", v.Kind(), got, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildSample(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		n1, n2 := g.Node(i), g2.Node(i)
+		if n1.ID != n2.ID || n1.Label != n2.Label || !reflect.DeepEqual(n1.Props, n2.Props) {
+			t.Errorf("node %d differs: %+v vs %+v", i, n1, n2)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e1, e2 := g.Edge(i), g2.Edge(i)
+		if e1.ID != e2.ID || e1.Label != e2.Label || e1.Src != e2.Src || e1.Tgt != e2.Tgt ||
+			!reflect.DeepEqual(e1.Props, e2.Props) {
+			t.Errorf("edge %d differs: %+v vs %+v", i, e1, e2)
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":[{"id":"n","props":{"p":{"kind":"frob"}}}]}`)); err == nil {
+		t.Error("unknown value kind should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":[],"edges":[{"id":"e","src":"u","tgt":"v"}]}`)); err == nil {
+		t.Error("edge with missing endpoints should fail")
+	}
+}
+
+func TestJSONRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		b := NewBuilder()
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			b.AddNode(NodeID(string(rune('a'+i))), "L", Props{"x": Int(int64(rng.Intn(10)))})
+		}
+		m := rng.Intn(12)
+		for i := 0; i < m; i++ {
+			b.AddEdge(EdgeID(string(rune('A'+i))), "e",
+				NodeID(string(rune('a'+rng.Intn(n)))), NodeID(string(rune('a'+rng.Intn(n)))),
+				Props{"w": Float(rng.Float64())})
+		}
+		g := b.MustBuild()
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: size mismatch", trial)
+		}
+	}
+}

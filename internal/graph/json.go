@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonValue is the wire form of a Value.
+type jsonValue struct {
+	Kind string `json:"kind"`
+	// Exactly one of the following is meaningful, per Kind.
+	Bool   bool    `json:"bool,omitempty"`
+	Int    int64   `json:"int,omitempty"`
+	Float  float64 `json:"float,omitempty"`
+	String string  `json:"string,omitempty"`
+}
+
+func toJSONValue(v Value) jsonValue {
+	switch v.Kind() {
+	case KindBool:
+		b, _ := v.AsBool()
+		return jsonValue{Kind: "bool", Bool: b}
+	case KindInt:
+		i, _ := v.AsInt()
+		return jsonValue{Kind: "int", Int: i}
+	case KindFloat:
+		f, _ := v.AsFloat()
+		return jsonValue{Kind: "float", Float: f}
+	case KindString:
+		s, _ := v.AsString()
+		return jsonValue{Kind: "string", String: s}
+	default:
+		return jsonValue{Kind: "null"}
+	}
+}
+
+func fromJSONValue(jv jsonValue) (Value, error) {
+	switch jv.Kind {
+	case "null", "":
+		return Null(), nil
+	case "bool":
+		return Bool(jv.Bool), nil
+	case "int":
+		return Int(jv.Int), nil
+	case "float":
+		return Float(jv.Float), nil
+	case "string":
+		return Str(jv.String), nil
+	default:
+		return Null(), fmt.Errorf("graph: unknown value kind %q", jv.Kind)
+	}
+}
+
+type jsonNode struct {
+	ID    string               `json:"id"`
+	Label string               `json:"label,omitempty"`
+	Props map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonEdge struct {
+	ID    string               `json:"id"`
+	Label string               `json:"label,omitempty"`
+	Src   string               `json:"src"`
+	Tgt   string               `json:"tgt"`
+	Props map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+// WriteJSON serializes g as JSON.
+func WriteJSON(w io.Writer, g *Graph) error {
+	jg := jsonGraph{}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(i)
+		jn := jsonNode{ID: string(n.ID), Label: n.Label}
+		if len(n.Props) > 0 {
+			jn.Props = make(map[string]jsonValue, len(n.Props))
+			for k, v := range n.Props {
+				jn.Props[k] = toJSONValue(v)
+			}
+		}
+		jg.Nodes = append(jg.Nodes, jn)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		je := jsonEdge{
+			ID:    string(e.ID),
+			Label: e.Label,
+			Src:   string(g.Node(e.Src).ID),
+			Tgt:   string(g.Node(e.Tgt).ID),
+		}
+		if len(e.Props) > 0 {
+			je.Props = make(map[string]jsonValue, len(e.Props))
+			for k, v := range e.Props {
+				je.Props[k] = toJSONValue(v)
+			}
+		}
+		jg.Edges = append(jg.Edges, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// ReadJSON parses a graph from its JSON serialization.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph: decoding JSON: %w", err)
+	}
+	b := NewBuilder()
+	for _, jn := range jg.Nodes {
+		var props Props
+		if len(jn.Props) > 0 {
+			props = make(Props, len(jn.Props))
+			for k, jv := range jn.Props {
+				v, err := fromJSONValue(jv)
+				if err != nil {
+					return nil, fmt.Errorf("graph: node %q property %q: %w", jn.ID, k, err)
+				}
+				props[k] = v
+			}
+		}
+		b.AddNode(NodeID(jn.ID), jn.Label, props)
+	}
+	for _, je := range jg.Edges {
+		var props Props
+		if len(je.Props) > 0 {
+			props = make(Props, len(je.Props))
+			for k, jv := range je.Props {
+				v, err := fromJSONValue(jv)
+				if err != nil {
+					return nil, fmt.Errorf("graph: edge %q property %q: %w", je.ID, k, err)
+				}
+				props[k] = v
+			}
+		}
+		b.AddEdge(EdgeID(je.ID), je.Label, NodeID(je.Src), NodeID(je.Tgt), props)
+	}
+	return b.Build()
+}

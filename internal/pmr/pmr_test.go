@@ -1,0 +1,299 @@
+package pmr
+
+import (
+	"testing"
+
+	"graphquery/internal/eval"
+	"graphquery/internal/gen"
+	"graphquery/internal/gpath"
+	"graphquery/internal/graph"
+	"graphquery/internal/rpq"
+)
+
+func TestNewValidatesHomomorphism(t *testing.T) {
+	g := gen.APath(2, "a") // v0 -e1-> v1 -e2-> v2
+	e1 := g.MustEdge("e1")
+	// Valid: PMR node 0 ↦ v0, node 1 ↦ v1, edge ↦ e1.
+	if _, err := New(g, []int{g.MustNode("v0"), g.MustNode("v1")},
+		[]Edge{{Src: 0, Tgt: 1, GEdge: e1}}, []int{0}, []int{1}); err != nil {
+		t.Fatalf("valid PMR rejected: %v", err)
+	}
+	// Invalid: edge image endpoints do not match γ of the PMR endpoints.
+	if _, err := New(g, []int{g.MustNode("v1"), g.MustNode("v2")},
+		[]Edge{{Src: 0, Tgt: 1, GEdge: e1}}, []int{0}, []int{1}); err == nil {
+		t.Error("homomorphism violation not detected")
+	}
+	// Out-of-range source.
+	if _, err := New(g, []int{0}, nil, []int{4}, nil); err == nil {
+		t.Error("out-of-range source not detected")
+	}
+	// Out-of-range edge endpoint.
+	if _, err := New(g, []int{0}, []Edge{{Src: 0, Tgt: 9, GEdge: e1}}, nil, nil); err == nil {
+		t.Error("out-of-range edge endpoint not detected")
+	}
+}
+
+// TestMikeCyclesPMR reproduces the Section 6.4 example: a finite PMR (three
+// nodes, three edges) representing the infinitely many transfer cycles from
+// Mike (a3) back to Mike that avoid blocked accounts — looping through
+// t7, t4, t1.
+func TestMikeCyclesPMR(t *testing.T) {
+	g := gen.BankProperty()
+	a3, a5, a1 := g.MustNode("a3"), g.MustNode("a5"), g.MustNode("a1")
+	r, err := New(g,
+		[]int{a3, a5, a1},
+		[]Edge{
+			{Src: 0, Tgt: 1, GEdge: g.MustEdge("t7")},
+			{Src: 1, Tgt: 2, GEdge: g.MustEdge("t4")},
+			{Src: 2, Tgt: 0, GEdge: g.MustEdge("t1")},
+		},
+		[]int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 6 {
+		t.Errorf("Size = %d, want 6 (3 nodes + 3 edges)", r.Size())
+	}
+	// The represented set is infinite.
+	if _, infinite := r.Cardinality(); !infinite {
+		t.Error("cycle language must be infinite")
+	}
+	// Enumerate the first three: lengths 0, 3, 6.
+	paths := r.Enumerate(3)
+	if len(paths) != 3 {
+		t.Fatalf("enumerated %d, want 3", len(paths))
+	}
+	for i, want := range []int{0, 3, 6} {
+		if paths[i].Len() != want {
+			t.Errorf("path %d length = %d, want %d", i, paths[i].Len(), want)
+		}
+	}
+	if got := paths[1].Format(g); got != "path(a3, t7, a5, t4, a1, t1, a3)" {
+		t.Errorf("cycle = %s", got)
+	}
+	// Membership: the length-3 cycle is in, a wrong path is out.
+	if !r.Contains(paths[2]) {
+		t.Error("enumerated path not contained")
+	}
+	direct, _ := gpath.New(g,
+		graph.MakeNodeObject(a3),
+		graph.MakeEdgeObject(g.MustEdge("t6")),
+		graph.MakeNodeObject(g.MustNode("a4")))
+	if r.Contains(direct) {
+		t.Error("t6 path must not be contained")
+	}
+}
+
+func TestFromProductFigure5(t *testing.T) {
+	// E17: on Figure 5 with n stages, the PMR for a* s→t has Θ(n) size but
+	// represents 2ⁿ paths.
+	for n := 1; n <= 12; n++ {
+		g := gen.Figure5(n)
+		r := FromProduct(g, rpq.MustParse("a*"), g.MustNode("s"), g.MustNode("t"))
+		count, infinite := r.Cardinality()
+		if infinite {
+			t.Fatalf("n=%d: finite path set misreported as infinite", n)
+		}
+		if want := int64(1) << n; count.Int64() != want {
+			t.Errorf("n=%d: cardinality = %v, want %d", n, count, want)
+		}
+		if r.Size() > 8*(n+1) {
+			t.Errorf("n=%d: PMR size %d not linear in n", n, r.Size())
+		}
+	}
+}
+
+func TestFromProductInfinite(t *testing.T) {
+	g := gen.Cycle(3, "a")
+	r := FromProduct(g, rpq.MustParse("a*"), 0, 0)
+	if _, infinite := r.Cardinality(); !infinite {
+		t.Error("a* on a cycle from v0 to v0 is infinite")
+	}
+	paths := r.Enumerate(4)
+	if len(paths) != 4 {
+		t.Fatalf("enumerate: %d", len(paths))
+	}
+	for i, want := range []int{0, 3, 6, 9} {
+		if paths[i].Len() != want {
+			t.Errorf("path %d length = %d, want %d", i, paths[i].Len(), want)
+		}
+	}
+}
+
+func TestFromProductEmptyLanguage(t *testing.T) {
+	g := gen.APath(2, "a")
+	r := FromProduct(g, rpq.MustParse("b"), g.MustNode("v0"), g.MustNode("v2"))
+	count, infinite := r.Cardinality()
+	if infinite || count.Sign() != 0 {
+		t.Errorf("no b-paths: count = %v, infinite = %v", count, infinite)
+	}
+	if got := r.Enumerate(5); len(got) != 0 {
+		t.Errorf("enumerated %d from empty set", len(got))
+	}
+}
+
+func TestShortestFromProduct(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		g := gen.Figure5(n)
+		r := ShortestFromProduct(g, rpq.MustParse("a*"), g.MustNode("s"), g.MustNode("t"))
+		count, infinite := r.Cardinality()
+		if infinite {
+			t.Fatalf("shortest PMR must be a DAG")
+		}
+		if want := int64(1) << n; count.Int64() != want {
+			t.Errorf("n=%d: shortest cardinality = %v, want %d", n, count, want)
+		}
+	}
+	// On a cycle, there is exactly one shortest v0→v0 path: the empty one.
+	g := gen.Cycle(3, "a")
+	r := ShortestFromProduct(g, rpq.MustParse("a*"), 0, 0)
+	count, infinite := r.Cardinality()
+	if infinite || count.Int64() != 1 {
+		t.Errorf("shortest on cycle: count = %v, infinite = %v; want 1, false", count, infinite)
+	}
+	// With a+ the shortest v0→v0 path is the full 3-cycle.
+	r = ShortestFromProduct(g, rpq.MustParse("a+"), 0, 0)
+	paths := r.Enumerate(10)
+	if len(paths) != 1 || paths[0].Len() != 3 {
+		t.Errorf("shortest a+ cycle: %d paths", len(paths))
+	}
+}
+
+func TestShortestEmptyWhenUnreachable(t *testing.T) {
+	g := gen.APath(2, "a")
+	r := ShortestFromProduct(g, rpq.MustParse("a"), g.MustNode("v2"), g.MustNode("v0"))
+	count, infinite := r.Cardinality()
+	if infinite || count.Sign() != 0 {
+		t.Errorf("unreachable: count = %v, infinite = %v", count, infinite)
+	}
+}
+
+// TestSPathsAgreesWithEval cross-checks PMR enumeration against direct
+// evaluation on random graphs.
+func TestSPathsAgreesWithEval(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		g := gen.Random(4, 6, []string{"a", "b"}, int64(trial)*101+9)
+		e := rpq.MustParse("(a|b) a*")
+		for src := 0; src < g.NumNodes(); src++ {
+			for dst := 0; dst < g.NumNodes(); dst++ {
+				r := FromProduct(g, e, src, dst)
+				want, err := eval.Paths(g, e, src, dst, eval.All, eval.Options{MaxLen: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Every evaluated path must be contained in the PMR.
+				for _, p := range want {
+					if !r.Contains(p) {
+						t.Fatalf("trial %d: path %s missing from PMR", trial, p.Format(g))
+					}
+				}
+				// Every enumerated PMR path of length ≤ 4 must be in want.
+				wantKeys := map[string]bool{}
+				for _, p := range want {
+					wantKeys[p.Key()] = true
+				}
+				for _, p := range r.Enumerate(200) {
+					if p.Len() > 4 {
+						continue
+					}
+					if !wantKeys[p.Key()] {
+						t.Fatalf("trial %d: PMR enumerated spurious path %s", trial, p.Format(g))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestContainsRejectsEmptyAndForeign(t *testing.T) {
+	g := gen.APath(1, "a")
+	r := FromProduct(g, rpq.MustParse("a"), g.MustNode("v0"), g.MustNode("v1"))
+	if r.Contains(gpath.Path{}) {
+		t.Error("empty path is not in L(a)")
+	}
+	if !r.Contains(gpath.Triple(g, g.MustEdge("e1"))) {
+		t.Error("the single a-edge path must be contained")
+	}
+	if r.Contains(gpath.OfNode(g.MustNode("v0"))) {
+		t.Error("zero-length path not in L(a)")
+	}
+}
+
+func TestIterator(t *testing.T) {
+	g := gen.Cycle(3, "a")
+	r := FromProduct(g, rpq.MustParse("a*"), 0, 0)
+	it := r.Iterate()
+	var lengths []int
+	for i := 0; i < 4; i++ {
+		p, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator ended early at %d", i)
+		}
+		lengths = append(lengths, p.Len())
+	}
+	for i, want := range []int{0, 3, 6, 9} {
+		if lengths[i] != want {
+			t.Errorf("lengths[%d] = %d, want %d", i, lengths[i], want)
+		}
+	}
+	// Finite language: iterator terminates.
+	f := gen.Figure5(3)
+	rf := FromProduct(f, rpq.MustParse("a*"), f.MustNode("s"), f.MustNode("t"))
+	itf := rf.Iterate()
+	count := 0
+	for {
+		if _, ok := itf.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 8 {
+		t.Errorf("finite iteration produced %d paths, want 8", count)
+	}
+	// Iterator agrees with Enumerate.
+	want := rf.Enumerate(8)
+	itf2 := rf.Iterate()
+	for i := 0; i < len(want); i++ {
+		p, ok := itf2.Next()
+		if !ok || p.Key() != want[i].Key() {
+			t.Fatalf("iterator diverges from Enumerate at %d", i)
+		}
+	}
+}
+
+func TestIteratorEmpty(t *testing.T) {
+	g := gen.APath(2, "a")
+	r := FromProduct(g, rpq.MustParse("b"), 0, 1)
+	if _, ok := r.Iterate().Next(); ok {
+		t.Error("empty language should yield nothing")
+	}
+}
+
+func TestUnionPMR(t *testing.T) {
+	g := gen.BankEdgeLabeled()
+	a3, a5, a4 := g.MustNode("a3"), g.MustNode("a5"), g.MustNode("a4")
+	r1 := FromProduct(g, rpq.MustParse("Transfer"), a3, a5)
+	r2 := FromProduct(g, rpq.MustParse("Transfer"), a3, a4)
+	u, err := Union(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, infinite := u.Cardinality()
+	if infinite {
+		t.Fatal("finite union misreported")
+	}
+	// a3→a5 has 1 direct transfer (t7); a3→a4 has 1 (t6): union = 2.
+	if count.Int64() != 2 {
+		t.Errorf("union cardinality = %v, want 2", count)
+	}
+	paths := u.Enumerate(10)
+	if len(paths) != 2 {
+		t.Errorf("union enumerated %d", len(paths))
+	}
+	// Union over different graphs is rejected.
+	other := gen.APath(1, "a")
+	r3 := FromProduct(other, rpq.MustParse("a"), 0, 1)
+	if _, err := Union(r1, r3); err == nil {
+		t.Error("cross-graph union should fail")
+	}
+}

@@ -1,0 +1,130 @@
+package rpq
+
+import (
+	"fmt"
+
+	"graphquery/internal/automata"
+)
+
+// Compile translates an RPQ expression into an equivalent ε-free NFA using
+// the Glushkov (position automaton) construction — the "routine methods" the
+// paper appeals to in Section 6.2 ("an equivalent NFA without ε-transitions
+// can be constructed efficiently"). The automaton has one state per label
+// occurrence plus an initial state.
+func Compile(e Expr) *automata.NFA {
+	core := Desugar(e)
+	g := &glushkov{}
+	info := g.analyze(core)
+
+	nfa := automata.NewNFA(len(g.positions)+1, 0)
+	if info.nullable {
+		nfa.SetAccept(0)
+	}
+	for _, p := range info.first {
+		nfa.AddTransition(0, g.positions[p], p+1)
+	}
+	for p, follows := range g.follow {
+		for _, q := range follows {
+			nfa.AddTransition(p+1, g.positions[q], q+1)
+		}
+	}
+	for _, p := range info.last {
+		nfa.SetAccept(p + 1)
+	}
+	return nfa
+}
+
+// glushkov accumulates linearized positions and their follow sets.
+type glushkov struct {
+	positions []automata.Guard // position -> guard of the occurrence
+	follow    [][]int          // position -> positions that may follow
+}
+
+type ginfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func (g *glushkov) newPos(guard automata.Guard) int {
+	g.positions = append(g.positions, guard)
+	g.follow = append(g.follow, nil)
+	return len(g.positions) - 1
+}
+
+func (g *glushkov) addFollow(from int, to []int) {
+	g.follow[from] = append(g.follow[from], to...)
+}
+
+func (g *glushkov) analyze(e Expr) ginfo {
+	switch n := e.(type) {
+	case Epsilon:
+		return ginfo{nullable: true}
+	case Label:
+		p := g.newPos(automata.GuardLabel(n.Name))
+		return ginfo{first: []int{p}, last: []int{p}}
+	case NotIn:
+		p := g.newPos(automata.GuardNotIn(n.Set...))
+		return ginfo{first: []int{p}, last: []int{p}}
+	case Concat:
+		if len(n.Parts) == 0 {
+			return ginfo{nullable: true}
+		}
+		acc := g.analyze(n.Parts[0])
+		for _, part := range n.Parts[1:] {
+			next := g.analyze(part)
+			for _, l := range acc.last {
+				g.addFollow(l, next.first)
+			}
+			merged := ginfo{nullable: acc.nullable && next.nullable}
+			merged.first = append(merged.first, acc.first...)
+			if acc.nullable {
+				merged.first = append(merged.first, next.first...)
+			}
+			merged.last = append(merged.last, next.last...)
+			if next.nullable {
+				merged.last = append(merged.last, acc.last...)
+			}
+			acc = merged
+		}
+		return acc
+	case Union:
+		var out ginfo
+		for _, alt := range n.Alts {
+			ai := g.analyze(alt)
+			out.nullable = out.nullable || ai.nullable
+			out.first = append(out.first, ai.first...)
+			out.last = append(out.last, ai.last...)
+		}
+		return out
+	case Star:
+		si := g.analyze(n.Sub)
+		for _, l := range si.last {
+			g.addFollow(l, si.first)
+		}
+		return ginfo{nullable: true, first: si.first, last: si.last}
+	case Repeat:
+		panic("rpq: Compile requires desugared input (internal error)")
+	default:
+		panic(fmt.Sprintf("rpq: unknown expression type %T", e))
+	}
+}
+
+// Matches reports whether the label word is in L(e); a convenience that
+// compiles and runs the Glushkov automaton.
+func Matches(e Expr, word []string) bool {
+	return Compile(e).Accepts(word)
+}
+
+// Equivalent reports whether two RPQs denote the same language.
+func Equivalent(a, b Expr) bool {
+	return automata.Equivalent(Compile(a), Compile(b))
+}
+
+// Contained reports whether L(a) ⊆ L(b): RPQ containment, the fundamental
+// static-analysis problem of Section 7.1 (for single RPQs it reduces to
+// regular-language inclusion; for CRPQs it is EXPSPACE-complete and out of
+// scope here).
+func Contained(a, b Expr) bool {
+	return automata.Contained(Compile(a), Compile(b))
+}

@@ -1,0 +1,164 @@
+package wcoj
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func pairsOf(es ...[2]int) [][2]int { return es }
+
+func TestTriangleQuery(t *testing.T) {
+	// Edges of a directed triangle 0→1→2→0 plus a distractor 0→3.
+	r := NewRel(pairsOf([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0}, [2]int{0, 3}))
+	q := &Query{Atoms: []Atom{
+		{Rel: r, X: "x", Y: "y"},
+		{Rel: r, X: "y", Y: "z"},
+		{Rel: r, X: "z", Y: "x"},
+	}}
+	rows, err := q.Enumerate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The directed triangle appears once per rotation: 3 results.
+	if len(rows) != 3 {
+		t.Fatalf("triangles = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		x, y, z := row["x"], row["y"], row["z"]
+		if (x+1)%3 != y%3 || (y+1)%3 != z%3 || (z+1)%3 != x%3 {
+			t.Errorf("not a rotation of the triangle: %v", row)
+		}
+	}
+	count, err := q.Count(nil)
+	if err != nil || count != 3 {
+		t.Errorf("Count = %d, %v", count, err)
+	}
+}
+
+func TestSelfLoopAtom(t *testing.T) {
+	r := NewRel(pairsOf([2]int{0, 0}, [2]int{1, 2}, [2]int{3, 3}))
+	q := &Query{Atoms: []Atom{{Rel: r, X: "x", Y: "x"}}}
+	rows, err := q.Enumerate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("self-loops = %d, want 2", len(rows))
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	r := NewRel(pairsOf([2]int{0, 1}))
+	q := &Query{Atoms: []Atom{{Rel: r, X: "x", Y: "y"}}}
+	if _, err := q.Enumerate([]string{"x"}); err == nil {
+		t.Error("short order should fail")
+	}
+	if _, err := q.Enumerate([]string{"x", "x"}); err == nil {
+		t.Error("duplicate order should fail")
+	}
+	if _, err := q.Enumerate([]string{"x", "q"}); err == nil {
+		t.Error("wrong variable should fail")
+	}
+	// Any valid permutation gives the same result set.
+	a, _ := q.Enumerate([]string{"x", "y"})
+	b, _ := q.Enumerate([]string{"y", "x"})
+	if len(a) != 1 || len(b) != 1 || a[0]["x"] != b[0]["x"] {
+		t.Error("order must not change results")
+	}
+}
+
+func TestEmptyIntersection(t *testing.T) {
+	r1 := NewRel(pairsOf([2]int{0, 1}))
+	r2 := NewRel(pairsOf([2]int{2, 3}))
+	q := &Query{Atoms: []Atom{
+		{Rel: r1, X: "x", Y: "y"},
+		{Rel: r2, X: "y", Y: "z"},
+	}}
+	rows, err := q.Enumerate(nil)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("rows = %d, err %v; want empty", len(rows), err)
+	}
+}
+
+// TestAgainstBruteForce cross-checks on random relations and a cyclic query.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 6
+		mk := func() ([][2]int, *Rel) {
+			var ps [][2]int
+			for i := 0; i < 10; i++ {
+				ps = append(ps, [2]int{rng.Intn(n), rng.Intn(n)})
+			}
+			return ps, NewRel(ps)
+		}
+		p1, r1 := mk()
+		p2, r2 := mk()
+		p3, r3 := mk()
+		q := &Query{Atoms: []Atom{
+			{Rel: r1, X: "x", Y: "y"},
+			{Rel: r2, X: "y", Y: "z"},
+			{Rel: r3, X: "z", Y: "x"},
+		}}
+		got, err := q.Enumerate(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := map[[3]int]bool{}
+		for _, row := range got {
+			gotSet[[3]int{row["x"], row["y"], row["z"]}] = true
+		}
+		has := func(ps [][2]int, a, b int) bool {
+			for _, p := range ps {
+				if p[0] == a && p[1] == b {
+					return true
+				}
+			}
+			return false
+		}
+		want := 0
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < n; z++ {
+					if has(p1, x, y) && has(p2, y, z) && has(p3, z, x) {
+						want++
+						if !gotSet[[3]int{x, y, z}] {
+							t.Fatalf("trial %d: missing (%d,%d,%d)", trial, x, y, z)
+						}
+					}
+				}
+			}
+		}
+		if len(gotSet) != want {
+			t.Fatalf("trial %d: %d results, brute force %d", trial, len(gotSet), want)
+		}
+	}
+}
+
+func TestRelLen(t *testing.T) {
+	r := NewRel(pairsOf([2]int{0, 1}, [2]int{0, 1}, [2]int{1, 2}))
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (dedup)", r.Len())
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct{ a, b, want []int }{
+		{[]int{1, 3, 5}, []int{2, 3, 4, 5}, []int{3, 5}},
+		{[]int{}, []int{1}, nil},
+		{[]int{1, 2}, []int{3}, nil},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, []int{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		got := intersectSorted(tc.a, tc.b)
+		if len(got) != len(tc.want) {
+			t.Errorf("intersect(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("intersect(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		}
+	}
+}
