@@ -1,0 +1,28 @@
+# Tier-1 verification plus the race detector and a benchmark smoke pass.
+# The race run is mandatory: eval.Pairs and crpq atom materialization fan
+# out over worker pools.
+
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the harness without
+# waiting for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+ci: vet build test race bench-smoke

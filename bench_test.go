@@ -467,3 +467,71 @@ func BenchmarkE30_WCOJ(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE13_ParallelPairs measures the parallel per-source fan-out of
+// eval.Pairs against the sequential path on a 10k-node random graph: the
+// same product BFS per source, partitioned over a GOMAXPROCS-sized worker
+// pool with deterministic chunk-ordered merging. On a multi-core runner the
+// parallel path should approach linear speedup; on one core the two paths
+// coincide.
+func BenchmarkE13_ParallelPairs(b *testing.B) {
+	g := gen.Random(10000, 40000, []string{"a", "b", "c"}, 13)
+	expr, err := rpq.Parse("a b*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nfa := rpq.Compile(expr)
+	var want int
+	for _, cfg := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"seq", 1},
+		{"par", 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prs := eval.PairsCompiled(g, nfa, eval.Options{Parallelism: cfg.parallelism})
+				if want == 0 {
+					want = len(prs)
+				} else if len(prs) != want {
+					b.Fatalf("got %d pairs, want %d", len(prs), want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE14_PlanCache measures query dispatch with a cold plan cache
+// (every iteration parses and Glushkov-compiles the query on a fresh
+// engine) versus a warm one (the engine reuses the cached plan). The query
+// carries a bounded repetition — desugared to dozens of positions, each a
+// quadratic Glushkov follow-set — so compilation dominates evaluation on
+// the small path graph and the warm/cold gap isolates dispatch cost.
+func BenchmarkE14_PlanCache(b *testing.B) {
+	g := gen.APath(4, "a")
+	const query = "(a | a a){2,20}"
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(g)
+			if _, err := e.Pairs(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e := NewEngine(g)
+		if _, err := e.Pairs(query); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Pairs(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if s := e.CacheStats(); s.Hits < int64(b.N) {
+			b.Fatalf("cache not hit: %+v", s)
+		}
+	})
+}

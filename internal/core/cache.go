@@ -1,0 +1,140 @@
+package core
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// defaultPlanCacheCap is the number of compiled plans an Engine retains by
+// default. Plans are small (an AST plus an NFA), so a few hundred entries
+// cover realistic multi-query workloads without measurable memory cost.
+const defaultPlanCacheCap = 256
+
+// CacheStats is a snapshot of the compiled-plan cache counters — the
+// engine's first observability hook.
+type CacheStats struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that had to parse + compile
+	Evictions int64 // entries dropped by the LRU bound
+	Size      int   // entries currently cached
+	Capacity  int   // maximum entries retained
+}
+
+// planCache is a size-bounded LRU of compiled query plans, keyed by
+// normalized query text namespaced by query kind. It is safe for concurrent
+// use; a hit refreshes recency, so lookups take the write lock and only
+// stats() uses the read lock.
+type planCache struct {
+	mu        sync.RWMutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	byKey     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is one LRU element: the key (needed to unmap on eviction) and
+// the cached plan, an immutable parsed AST and/or compiled automaton.
+type cacheEntry struct {
+	key  string
+	plan any
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// planKey normalizes a query string (collapsing all whitespace runs) and
+// namespaces it by kind, so "a . b*" and "a.b *" share one plan while an RPQ
+// and a 2RPQ with identical text do not.
+func planKey(kind, query string) string {
+	return kind + "\x00" + strings.Join(strings.Fields(query), " ")
+}
+
+// get returns the cached plan for key and refreshes its recency.
+func (c *planCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).plan, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts or refreshes a plan, evicting the least recently used entry
+// when over capacity.
+func (c *planCache) put(key string, plan any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, plan: plan})
+	c.evictOver()
+}
+
+// resize changes the capacity, evicting immediately if shrinking; capacity
+// ≤ 0 disables caching and drops every entry.
+func (c *planCache) resize(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	c.evictOver()
+}
+
+// evictOver drops LRU entries until within capacity. Callers hold mu.
+func (c *planCache) evictOver() {
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// cached returns the plan for query in the given kind namespace, building
+// and caching it on a miss. Cached plans are immutable after construction
+// (parsed ASTs and compiled NFAs are never mutated by evaluation), so one
+// plan may serve concurrent queries.
+func cached[T any](e *Engine, kind, query string, build func(string) (T, error)) (T, error) {
+	if e.plans == nil { // zero-value Engine: cache disabled
+		return build(query)
+	}
+	key := planKey(kind, query)
+	if v, ok := e.plans.get(key); ok {
+		return v.(T), nil
+	}
+	built, err := build(query)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	e.plans.put(key, built)
+	return built, nil
+}

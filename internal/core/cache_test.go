@@ -1,0 +1,111 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"graphquery/internal/gen"
+)
+
+func TestPlanCacheHitsAndNormalization(t *testing.T) {
+	e := New(gen.BankEdgeLabeled())
+	if s := e.CacheStats(); s.Hits != 0 || s.Misses != 0 || s.Size != 0 {
+		t.Fatalf("fresh engine stats = %+v", s)
+	}
+	first, err := e.Pairs("Transfer Transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Misses != 1 || s.Hits != 0 || s.Size != 1 {
+		t.Fatalf("after cold query: %+v", s)
+	}
+	// Same query modulo whitespace must hit the same plan.
+	again, err := e.Pairs("  Transfer\tTransfer ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Hits != 1 || s.Misses != 1 || s.Size != 1 {
+		t.Fatalf("after warm query: %+v", s)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("cached plan changed the answer: %v vs %v", again, first)
+	}
+	// A different kind with identical text gets its own namespace.
+	if _, err := e.TwoWayPairs("Transfer Transfer"); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Size != 2 || s.Misses != 2 {
+		t.Fatalf("kind namespacing broken: %+v", s)
+	}
+	// Parse errors are not cached.
+	if _, err := e.Pairs("((("); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if s := e.CacheStats(); s.Size != 2 {
+		t.Fatalf("parse error was cached: %+v", s)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	e := New(gen.BankEdgeLabeled())
+	e.SetPlanCacheCapacity(2)
+	for _, q := range []string{"Transfer", "owner", "isBlocked"} {
+		if _, err := e.Pairs(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.CacheStats()
+	if s.Size != 2 || s.Evictions != 1 || s.Capacity != 2 {
+		t.Fatalf("LRU bound not enforced: %+v", s)
+	}
+	// "Transfer" was least recently used and must have been evicted.
+	if _, err := e.Pairs("Transfer"); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Misses != 4 || s.Evictions != 2 {
+		t.Fatalf("expected LRU eviction of oldest entry: %+v", s)
+	}
+	// Capacity 0 disables caching entirely.
+	e.SetPlanCacheCapacity(0)
+	if s := e.CacheStats(); s.Size != 0 {
+		t.Fatalf("resize(0) kept entries: %+v", s)
+	}
+	if _, err := e.Pairs("owner"); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Size != 0 {
+		t.Fatalf("disabled cache stored a plan: %+v", s)
+	}
+}
+
+func TestEngineParallelismDeterminism(t *testing.T) {
+	g := gen.Random(40, 300, []string{"a", "b", "c"}, 21)
+	seq := New(g)
+	seq.Parallelism = 1
+	par := New(g)
+	par.Parallelism = 4
+	for _, q := range []string{"a*", "(a | b) c*", "_ _", "nolabel"} {
+		want, err := seq.Pairs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Pairs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%q: parallel engine diverged", q)
+		}
+	}
+	wantRows, err := seq.Rows("q(x, y) :- a(x, y), b*(y, x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRows, err := par.Rows("q(x, y) :- a(x, y), b*(y, x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRows, wantRows) {
+		t.Fatalf("Rows diverged between parallel and sequential engines")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"graphquery/internal/automata"
 	"graphquery/internal/cardest"
 	"graphquery/internal/crpq"
 	"graphquery/internal/dlrpq"
@@ -33,15 +34,42 @@ type Engine struct {
 	MaxLen int
 	// Limit bounds the number of returned paths/rows (0: unlimited).
 	Limit int
+	// Parallelism caps the worker goroutines used by per-source fan-out
+	// (Pairs, CRPQ atom materialization); 0 means one per available CPU,
+	// 1 forces sequential evaluation.
+	Parallelism int
+
+	// plans caches parsed ASTs and compiled NFAs keyed by normalized query
+	// text × query kind, so repeated queries skip parse + Glushkov.
+	plans *planCache
 }
 
-// New returns an engine over g with a default enumeration bound.
+// New returns an engine over g with a default enumeration bound and plan
+// cache.
 func New(g *graph.Graph) *Engine {
-	return &Engine{g: g, MaxLen: 16}
+	return &Engine{g: g, MaxLen: 16, plans: newPlanCache(defaultPlanCacheCap)}
 }
 
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// CacheStats returns a snapshot of the compiled-plan cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	if e.plans == nil {
+		return CacheStats{}
+	}
+	return e.plans.stats()
+}
+
+// SetPlanCacheCapacity bounds the plan cache to n entries, evicting the
+// least recently used immediately if shrinking; n ≤ 0 disables caching.
+func (e *Engine) SetPlanCacheCapacity(n int) {
+	if e.plans == nil {
+		e.plans = newPlanCache(n)
+		return
+	}
+	e.plans.resize(n)
+}
 
 // QueryKind classifies a query string.
 type QueryKind int
@@ -86,14 +114,33 @@ func (r PathResult) Format(g *graph.Graph) string {
 	return r.Path.Format(g) + "  " + r.Binding.Format(g)
 }
 
+// rpqPlan is the cached compilation product of a plain RPQ: its parsed
+// expression, Glushkov NFA, and the product with the engine's graph (the
+// guards resolved against the label index). All three are immutable, so a
+// cached plan serves concurrent queries.
+type rpqPlan struct {
+	expr    rpq.Expr
+	nfa     *automata.NFA
+	product *eval.Product
+}
+
+func (e *Engine) compileRPQ(q string) (rpqPlan, error) {
+	expr, err := rpq.Parse(q)
+	if err != nil {
+		return rpqPlan{}, err
+	}
+	nfa := rpq.Compile(expr)
+	return rpqPlan{expr: expr, nfa: nfa, product: eval.NewProduct(e.g, nfa)}, nil
+}
+
 // Pairs evaluates a plain RPQ to its endpoint-pair semantics ⟦R⟧_G.
 func (e *Engine) Pairs(query string) ([][2]graph.NodeID, error) {
-	expr, err := rpq.Parse(query)
+	plan, err := cached(e, "rpq", query, e.compileRPQ)
 	if err != nil {
 		return nil, err
 	}
 	var out [][2]graph.NodeID
-	for _, pr := range eval.Pairs(e.g, expr) {
+	for _, pr := range eval.PairsProduct(plan.product, eval.Options{Parallelism: e.Parallelism}) {
 		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
 	}
 	return out, nil
@@ -113,7 +160,7 @@ func (e *Engine) Paths(query string, src, dst graph.NodeID, mode eval.Mode) ([]P
 	case KindCRPQ:
 		return nil, errors.New("core: CRPQ queries return rows; use Rows")
 	case KindDLRPQ:
-		expr, err := dlrpq.Parse(query)
+		expr, err := cached(e, "dlrpq", query, dlrpq.Parse)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +170,7 @@ func (e *Engine) Paths(query string, src, dst graph.NodeID, mode eval.Mode) ([]P
 		}
 		return toResults(pbs), nil
 	default:
-		expr, err := lrpq.Parse(query)
+		expr, err := cached(e, "lrpq", query, lrpq.Parse)
 		if err != nil {
 			return nil, err
 		}
@@ -145,21 +192,22 @@ func toResults(pbs []gpath.PathBinding) []PathResult {
 
 // Rows evaluates a (dl-)CRPQ and renders its output tuples.
 func (e *Engine) Rows(query string) (*crpq.Result, error) {
-	q, err := crpq.Parse(query)
+	q, err := cached(e, "crpq", query, crpq.Parse)
 	if err != nil {
 		return nil, err
 	}
-	return crpq.Eval(e.g, q, crpq.Options{AtomMaxLen: e.MaxLen})
+	return crpq.Eval(e.g, q, crpq.Options{AtomMaxLen: e.MaxLen, Parallelism: e.Parallelism})
 }
 
 // Representation builds a PMR for the matching paths of a plain RPQ
 // between two nodes — the compact intermediate representation of Section
 // 6.4 — without enumerating them.
 func (e *Engine) Representation(query string, src, dst graph.NodeID, shortestOnly bool) (*pmr.PMR, error) {
-	expr, err := rpq.Parse(query)
+	plan, err := cached(e, "rpq", query, e.compileRPQ)
 	if err != nil {
 		return nil, err
 	}
+	expr := plan.expr
 	u, ok := e.g.NodeIndex(src)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown node %q", src)
@@ -177,10 +225,11 @@ func (e *Engine) Representation(query string, src, dst graph.NodeID, shortestOnl
 // Explain reports the compiled automaton's size and ambiguity for an RPQ —
 // the statistics of the E22 experiment.
 func (e *Engine) Explain(query string) (string, error) {
-	expr, err := rpq.Parse(query)
+	plan, err := cached(e, "rpq", query, e.compileRPQ)
 	if err != nil {
 		return "", err
 	}
+	expr := plan.expr
 	simplified := rpq.Simplify(expr)
 	nfa := rpq.Compile(simplified)
 	det := nfa.Determinize().Minimize()
@@ -199,17 +248,17 @@ func (e *Engine) Explain(query string) (string, error) {
 // but the last defines a virtual edge label; the last line is the final
 // query (Section 3.1.3, Example 15).
 func (e *Engine) ProgramRows(program string) (*crpq.Result, error) {
-	p, err := regular.Parse(program)
+	p, err := cached(e, "prog", program, regular.Parse)
 	if err != nil {
 		return nil, err
 	}
-	return regular.Eval(e.g, p, crpq.Options{AtomMaxLen: e.MaxLen})
+	return regular.Eval(e.g, p, crpq.Options{AtomMaxLen: e.MaxLen, Parallelism: e.Parallelism})
 }
 
 // TwoWayPairs evaluates a two-way RPQ (inverse atoms written ~a, Remark 9)
 // to its endpoint-pair semantics.
 func (e *Engine) TwoWayPairs(query string) ([][2]graph.NodeID, error) {
-	expr, err := twoway.Parse(query)
+	expr, err := cached(e, "2rpq", query, twoway.Parse)
 	if err != nil {
 		return nil, err
 	}
@@ -223,19 +272,20 @@ func (e *Engine) TwoWayPairs(query string) ([][2]graph.NodeID, error) {
 // Estimate returns the predicted and actual answer counts of an RPQ (the
 // Section 7.1 cardinality-estimation direction, package cardest).
 func (e *Engine) Estimate(query string) (estimate float64, actual int, err error) {
-	expr, err := rpq.Parse(query)
+	plan, err := cached(e, "rpq", query, e.compileRPQ)
 	if err != nil {
 		return 0, 0, err
 	}
 	stats := cardest.Collect(e.g)
-	return stats.Estimate(expr, 0), len(eval.Pairs(e.g, expr)), nil
+	actual = len(eval.PairsProduct(plan.product, eval.Options{Parallelism: e.Parallelism}))
+	return stats.Estimate(plan.expr, 0), actual, nil
 }
 
 // GQLMatch evaluates a GQL ASCII-art pattern (package gql: group variables,
 // partial bindings — the practice-side semantics of Examples 1 and 2) and
 // renders its matches.
 func (e *Engine) GQLMatch(pattern string) ([]string, error) {
-	p, err := gql.ParsePattern(pattern)
+	p, err := cached(e, "gql", pattern, gql.ParsePattern)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"graphquery/internal/dlrpq"
 	"graphquery/internal/eval"
@@ -255,6 +257,10 @@ type Options struct {
 	// before endpoint selection instead of per endpoint pair — the ablation
 	// for the design decision behind Example 17. Off by default.
 	GlobalModes bool
+	// Parallelism caps the worker goroutines used for per-source atom
+	// materialization; 0 means one per available CPU, 1 forces the
+	// sequential path. Output is identical either way.
+	Parallelism int
 }
 
 // Eval computes q(G) (set semantics). It validates the query first.
@@ -413,27 +419,33 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 		rpqExpr = lrpq.Erase(a.L)
 	}
 
-	var tuples [][]OutValue
-	addTuple := func(u, v int, mu gpath.Binding) {
-		row := make([]OutValue, 0, len(attrs))
-		if !a.Src.IsConst {
-			row = append(row, OutValue{Node: u})
-		}
-		if !a.Dst.IsConst && (a.Src.IsConst || a.Dst.Var != a.Src.Var) {
-			row = append(row, OutValue{Node: v})
-		}
-		for _, z := range listVars {
-			row = append(row, OutValue{IsList: true, List: mu.Get(z)})
-		}
-		tuples = append(tuples, row)
-	}
-
 	sameVar := !a.Src.IsConst && !a.Dst.IsConst && a.Src.Var == a.Dst.Var
 
-	for _, u := range srcCandidates {
-		if existenceOnly && rpqExpr != nil {
+	// The product is shared by every source BFS of the existence fast path;
+	// it is compiled once per atom, not once per source.
+	var product *eval.Product
+	if existenceOnly && rpqExpr != nil {
+		product = eval.CompileProduct(g, rpqExpr)
+	}
+
+	perSource := func(u int, sc *eval.Scratch) ([][]OutValue, error) {
+		var rows [][]OutValue
+		addTuple := func(u, v int, mu gpath.Binding) {
+			row := make([]OutValue, 0, len(attrs))
+			if !a.Src.IsConst {
+				row = append(row, OutValue{Node: u})
+			}
+			if !a.Dst.IsConst && (a.Src.IsConst || a.Dst.Var != a.Src.Var) {
+				row = append(row, OutValue{Node: v})
+			}
+			for _, z := range listVars {
+				row = append(row, OutValue{IsList: true, List: mu.Get(z)})
+			}
+			rows = append(rows, row)
+		}
+		if product != nil {
 			// One product BFS per source covers all destinations.
-			reach := eval.ReachableFrom(g, rpqExpr, u)
+			reach := eval.ReachableFromCompiled(product, u, sc)
 			ok := map[int]bool{}
 			for _, v := range reach {
 				ok[v] = true
@@ -446,7 +458,7 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 					addTuple(u, v, nil)
 				}
 			}
-			continue
+			return rows, nil
 		}
 		for _, v := range dstCandidates {
 			if sameVar && u != v {
@@ -460,7 +472,7 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 			}
 			pbs, err := evalAtomBetweenMode(g, a, u, v, mode, opts)
 			if err != nil {
-				return atomRelT{}, err
+				return nil, err
 			}
 			if existenceOnly {
 				if len(pbs) > 0 {
@@ -478,11 +490,99 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 				addTuple(u, v, pb.Binding)
 			}
 		}
+		return rows, nil
+	}
+
+	tuples, err := overSources(srcCandidates, opts.Parallelism, product, perSource)
+	if err != nil {
+		return atomRelT{}, err
 	}
 	if opts.GlobalModes && !existenceOnly && a.Mode == eval.Shortest {
 		tuples = globalShortestFilter(g, a, tuples, attrs, opts)
 	}
 	return atomRelT{attrs: attrs, tuples: tuples}, nil
+}
+
+// overSources runs fn once per source node through a worker pool of
+// eval.Parallelism(parallelism) goroutines (capped by the number of
+// sources). Sources are partitioned into contiguous chunks claimed off an
+// atomic cursor; per-chunk results are concatenated in chunk order, so the
+// relation is identical to the sequential loop's. p, when non-nil, supplies
+// one reusable reachability Scratch per worker.
+func overSources(sources []int, parallelism int, p *eval.Product, fn func(u int, sc *eval.Scratch) ([][]OutValue, error)) ([][]OutValue, error) {
+	newScratch := func() *eval.Scratch {
+		if p == nil {
+			return nil
+		}
+		return p.NewScratch()
+	}
+	n := len(sources)
+	workers := eval.Parallelism(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := newScratch()
+		var out [][]OutValue
+		for _, u := range sources {
+			rows, err := fn(u, sc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
+		}
+		return out, nil
+	}
+	chunks := workers * 4
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	results := make([][][]OutValue, chunks)
+	errs := make([]error, chunks)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newScratch()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo, hi := c*size, (c+1)*size
+				if lo > n {
+					lo = n
+				}
+				if hi > n {
+					hi = n
+				}
+				var part [][]OutValue
+				for _, u := range sources[lo:hi] {
+					rows, err := fn(u, sc)
+					if err != nil {
+						errs[c] = err
+						break
+					}
+					part = append(part, rows...)
+				}
+				results[c] = part
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out [][]OutValue
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out, nil
 }
 
 // evalAtomBetween dispatches to the right evaluator with the atom's mode.

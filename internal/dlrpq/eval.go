@@ -176,16 +176,33 @@ func successors(g *graph.Graph, a *ANFA, cfg config, anchor int) []move {
 				out = append(out, m)
 			}
 		} else {
-			// Edge atom.
+			// Edge atom. A plain named label intersects the candidate set
+			// with the graph's label index (matchAtom would reject every
+			// other edge anyway); wildcard and test atoms use dense lists.
+			// Shared index slices are read-only here.
+			byLabel := atom.Test == nil && !atom.Wild
+			labelID, labelKnown := -1, false
+			if byLabel {
+				labelID, labelKnown = g.LabelID(atom.Name)
+			}
 			var candidates []int
 			var appended bool
 			var cost int
 			switch {
 			case !cfg.hasObj:
 				appended, cost = true, 1
-				if anchor >= 0 {
-					candidates = append(candidates, g.Out(anchor)...)
-				} else {
+				switch {
+				case anchor >= 0 && byLabel:
+					if labelKnown {
+						candidates = g.OutWithLabel(anchor, labelID)
+					}
+				case anchor >= 0:
+					candidates = g.Out(anchor)
+				case byLabel:
+					if labelKnown {
+						candidates = g.EdgesWithLabelID(labelID)
+					}
+				default:
 					for e := 0; e < g.NumEdges(); e++ {
 						candidates = append(candidates, e)
 					}
@@ -195,7 +212,13 @@ func successors(g *graph.Graph, a *ANFA, cfg config, anchor int) []move {
 				candidates = []int{cfg.obj.Index()}
 			default: // last object is a node: outgoing edges
 				appended, cost = true, 1
-				candidates = append(candidates, g.Out(cfg.obj.Index())...)
+				if byLabel {
+					if labelKnown {
+						candidates = g.OutWithLabel(cfg.obj.Index(), labelID)
+					}
+				} else {
+					candidates = g.Out(cfg.obj.Index())
+				}
 			}
 			for _, e := range candidates {
 				o := graph.MakeEdgeObject(e)

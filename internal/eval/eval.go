@@ -4,8 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"graphquery/internal/automata"
 	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
 	"graphquery/internal/rpq"
@@ -15,23 +19,104 @@ import (
 // infinite and no MaxLen/Limit bound was supplied.
 var ErrUnbounded = errors.New("eval: unbounded enumeration under mode all requires MaxLen or Limit")
 
+// Parallelism resolves an Options.Parallelism value to a worker count:
+// values ≤ 0 mean "one worker per available CPU".
+func Parallelism(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Pairs computes ⟦R⟧_G = {(u,v) | some path from u to v matches R}
 // (Section 3.1.1), via one product-graph BFS per source node. Results are
 // sorted lexicographically.
 func Pairs(g *graph.Graph, e rpq.Expr) [][2]int {
-	p := CompileProduct(g, e)
-	var out [][2]int
-	for u := 0; u < g.NumNodes(); u++ {
-		for _, v := range reachableFrom(p, u) {
-			out = append(out, [2]int{u, v})
-		}
+	return PairsCompiled(g, rpq.Compile(e), Options{})
+}
+
+// PairsOpt is Pairs with explicit options (parallel per-source fan-out).
+func PairsOpt(g *graph.Graph, e rpq.Expr, opts Options) [][2]int {
+	return PairsCompiled(g, rpq.Compile(e), opts)
+}
+
+// PairsCompiled evaluates an already compiled automaton — the entry point
+// for plan caches that skip parsing and Glushkov compilation. Source nodes
+// are partitioned into chunks evaluated by a worker pool of
+// Parallelism(opts.Parallelism) goroutines; per-chunk results are merged in
+// chunk order, so the output is byte-identical to the sequential path:
+// sorted lexicographically, because each per-source result is ascending and
+// sources are processed in ascending blocks (no final sort is needed).
+func PairsCompiled(g *graph.Graph, a *automata.NFA, opts Options) [][2]int {
+	return PairsProduct(NewProduct(g, a), opts)
+}
+
+// PairsProduct evaluates over an already graph-resolved product — the entry
+// point for engines that cache the product alongside the compiled NFA (a
+// Product is immutable, so one instance serves concurrent queries).
+func PairsProduct(p *Product, opts Options) [][2]int {
+	n := p.G.NumNodes()
+	workers := Parallelism(opts.Parallelism)
+	if workers > n {
+		workers = n
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	if workers <= 1 {
+		sc := p.NewScratch()
+		var out [][2]int
+		for u := 0; u < n; u++ {
+			for _, v := range p.reachableInto(u, sc) {
+				out = append(out, [2]int{u, v})
+			}
 		}
-		return out[i][1] < out[j][1]
-	})
+		return out
+	}
+	// Over-partition (4 chunks per worker) so stragglers balance, then
+	// concatenate chunk results in index order for determinism.
+	chunks := workers * 4
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	results := make([][][2]int, chunks)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := p.NewScratch()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				var part [][2]int
+				for u := lo; u < hi; u++ {
+					for _, v := range p.reachableInto(u, sc) {
+						part = append(part, [2]int{u, v})
+					}
+				}
+				results[c] = part
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, part := range results {
+		total += len(part)
+	}
+	if total == 0 {
+		return nil // match the sequential path's nil for empty results
+	}
+	out := make([][2]int, 0, total)
+	for _, part := range results {
+		out = append(out, part...)
+	}
 	return out
 }
 
@@ -40,18 +125,18 @@ func ReachableFrom(g *graph.Graph, e rpq.Expr, src int) []int {
 	return reachableFrom(CompileProduct(g, e), src)
 }
 
-func reachableFrom(p *Product, src int) []int {
-	dist, _, _ := p.bfs(src)
-	var out []int
-	for v := 0; v < p.G.NumNodes(); v++ {
-		for q := 0; q < p.A.NumStates; q++ {
-			if p.A.Accept[q] && dist[p.id(State{v, q})] >= 0 {
-				out = append(out, v)
-				break
-			}
-		}
+// ReachableFromCompiled is ReachableFrom over a prebuilt product; sc may be
+// nil for one-shot use, or a scratch reused across calls (the result is then
+// only valid until the next call).
+func ReachableFromCompiled(p *Product, src int, sc *Scratch) []int {
+	if sc == nil {
+		sc = p.NewScratch()
 	}
-	return out
+	return p.reachableInto(src, sc)
+}
+
+func reachableFrom(p *Product, src int) []int {
+	return p.reachableInto(src, p.NewScratch())
 }
 
 // Check reports whether (src, dst) ∈ ⟦R⟧_G.
@@ -103,12 +188,15 @@ func pathFromEdges(g *graph.Graph, src int, edges []int) gpath.Path {
 	return p
 }
 
-// Options bound path enumeration.
+// Options bound path enumeration and evaluation resources.
 type Options struct {
 	// MaxLen bounds path length (number of edges); 0 means unbounded.
 	MaxLen int
 	// Limit bounds the number of returned paths; 0 means unlimited.
 	Limit int
+	// Parallelism caps the number of worker goroutines used by per-source
+	// fan-out; 0 means runtime.GOMAXPROCS(0), 1 forces the sequential path.
+	Parallelism int
 }
 
 // Paths enumerates the set of node-to-node paths from src to dst matching R

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"sort"
+
 	"graphquery/internal/automata"
 	"graphquery/internal/graph"
 	"graphquery/internal/rpq"
@@ -13,15 +15,53 @@ import (
 //
 // The product is materialized lazily per state: Succ computes the outgoing
 // product edges of a state on demand, which is what makes single-pair
-// queries cheap on large graphs.
+// queries cheap on large graphs. At construction time every transition
+// guard is resolved against the graph's interned label numbering, so Succ
+// intersects guards with the per-label CSR adjacency instead of scanning
+// all out-edges; only co-finite wildcard guards fall back to the dense
+// list. A Product is immutable after construction and safe for concurrent
+// use.
 type Product struct {
 	G *graph.Graph
 	A *automata.NFA
+
+	// succ holds, per automaton state, its transitions with positive guards
+	// pre-resolved to graph label IDs. Transitions whose positive guard
+	// mentions no label present in G can never fire and are dropped.
+	succ [][]ptrans
 }
 
-// NewProduct pairs a graph with a compiled automaton.
+// ptrans is one automaton transition resolved against a concrete graph.
+type ptrans struct {
+	to       int
+	labelIDs []int          // label IDs matched by a positive guard
+	negated  bool           // co-finite guard: scan the dense list with guard
+	guard    automata.Guard // kept for the negated fallback
+}
+
+// NewProduct pairs a graph with a compiled automaton, resolving every
+// transition guard against the graph's label index.
 func NewProduct(g *graph.Graph, a *automata.NFA) *Product {
-	return &Product{G: g, A: a}
+	p := &Product{G: g, A: a, succ: make([][]ptrans, a.NumStates)}
+	for q, ts := range a.Trans {
+		resolved := make([]ptrans, 0, len(ts))
+		for _, t := range ts {
+			pt := ptrans{to: t.To, negated: t.Guard.Negated, guard: t.Guard}
+			if !t.Guard.Negated {
+				for _, lab := range t.Guard.Labels {
+					if id, ok := g.LabelID(lab); ok {
+						pt.labelIDs = append(pt.labelIDs, id)
+					}
+				}
+				if len(pt.labelIDs) == 0 {
+					continue // guard matches no edge of this graph
+				}
+			}
+			resolved = append(resolved, pt)
+		}
+		p.succ[q] = resolved
+	}
+	return p
 }
 
 // CompileProduct pairs a graph with the Glushkov automaton of an RPQ.
@@ -59,18 +99,121 @@ type Step struct {
 	To   State
 }
 
-// Succ returns the outgoing product edges of s.
+// Succ returns the outgoing product edges of s, in ascending (graph edge,
+// transition) order — the same deterministic order the dense scan produced,
+// but touching only label-matching edges via the CSR index.
 func (p *Product) Succ(s State) []Step {
-	var out []Step
-	for _, ei := range p.G.Out(s.Node) {
-		lab := p.G.Edge(ei).Label
-		for _, t := range p.A.Trans[s.State] {
-			if t.Guard.Matches(lab) {
-				out = append(out, Step{Edge: ei, To: State{Node: p.G.Edge(ei).Tgt, State: t.To}})
+	type cand struct{ edge, ord, to int }
+	var cands []cand
+	for ti, t := range p.succ[s.State] {
+		if t.negated {
+			for _, ei := range p.G.Out(s.Node) {
+				if t.guard.Matches(p.G.Edge(ei).Label) {
+					cands = append(cands, cand{ei, ti, t.to})
+				}
+			}
+		} else {
+			for _, lid := range t.labelIDs {
+				for _, ei := range p.G.OutWithLabel(s.Node, lid) {
+					cands = append(cands, cand{ei, ti, t.to})
+				}
 			}
 		}
 	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].edge != cands[j].edge {
+			return cands[i].edge < cands[j].edge
+		}
+		return cands[i].ord < cands[j].ord
+	})
+	out := make([]Step, len(cands))
+	for i, c := range cands {
+		out[i] = Step{Edge: c.edge, To: State{Node: p.G.Edge(c.edge).Tgt, State: c.to}}
+	}
 	return out
+}
+
+// Scratch holds the reusable buffers of repeated single-source
+// reachability runs over one product: a visited bitmap over product states,
+// the BFS queue (which doubles as the touched list for O(visited) resets),
+// and a per-graph-node emitted bitmap. One scratch serves one goroutine.
+type Scratch struct {
+	visited []bool
+	emitted []bool
+	queue   []int
+	nodes   []int
+}
+
+// NewScratch allocates buffers sized for p.
+func (p *Product) NewScratch() *Scratch {
+	return &Scratch{
+		visited: make([]bool, p.NumStates()),
+		emitted: make([]bool, p.G.NumNodes()),
+	}
+}
+
+// reachableInto computes all graph nodes v such that some accepting product
+// state (v, q) is reachable from (src, q₀), sorted ascending. The returned
+// slice aliases sc.nodes and is valid until the next call with the same
+// scratch. Unlike bfs it records no parents and imposes no visit order, so
+// it runs allocation-free after warm-up — the hot path of Pairs.
+func (p *Product) reachableInto(src int, sc *Scratch) []int {
+	nq := p.A.NumStates
+	g := p.G
+	sc.queue = sc.queue[:0]
+	sc.nodes = sc.nodes[:0]
+	start := src*nq + p.A.Start
+	sc.visited[start] = true
+	sc.queue = append(sc.queue, start)
+	if p.A.Accept[p.A.Start] {
+		sc.emitted[src] = true
+		sc.nodes = append(sc.nodes, src)
+	}
+	for head := 0; head < len(sc.queue); head++ {
+		cur := sc.queue[head]
+		node, state := cur/nq, cur%nq
+		for ti := range p.succ[state] {
+			t := &p.succ[state][ti]
+			if t.negated {
+				for _, ei := range g.Out(node) {
+					if !t.guard.Matches(g.Edge(ei).Label) {
+						continue
+					}
+					p.visit(g.Edge(ei).Tgt, t.to, sc)
+				}
+			} else {
+				for _, lid := range t.labelIDs {
+					for _, ei := range g.OutWithLabel(node, lid) {
+						p.visit(g.Edge(ei).Tgt, t.to, sc)
+					}
+				}
+			}
+		}
+	}
+	// Reset the bitmaps by replaying the touched lists.
+	for _, id := range sc.queue {
+		sc.visited[id] = false
+	}
+	for _, v := range sc.nodes {
+		sc.emitted[v] = false
+	}
+	sort.Ints(sc.nodes)
+	return sc.nodes
+}
+
+// visit pushes product state (node, to) if unseen, emitting node when the
+// automaton state accepts.
+func (p *Product) visit(node, to int, sc *Scratch) {
+	id := node*p.A.NumStates + to
+	if sc.visited[id] {
+		return
+	}
+	sc.visited[id] = true
+	sc.queue = append(sc.queue, id)
+	if p.A.Accept[to] && !sc.emitted[node] {
+		sc.emitted[node] = true
+		sc.nodes = append(sc.nodes, node)
+	}
 }
 
 // bfs runs breadth-first search over the product from (src, q₀) and returns

@@ -68,7 +68,40 @@ type Graph struct {
 	out [][]int // node index -> indexes of outgoing edges
 	in  [][]int // node index -> indexes of incoming edges
 
-	labels []string // sorted distinct edge labels
+	labels  []string       // sorted distinct edge labels; the slice index is the label ID
+	labelID map[string]int // interned edge label -> dense label ID
+
+	edgeLabel []int // edge index -> label ID
+
+	// Label-indexed CSR adjacency (Section 6.2 evaluation support): flat
+	// per-node edge lists grouped by label ID, so that automaton transition
+	// guards can be intersected against exactly the matching edges instead
+	// of scanning the full out/in lists.
+	outCSR csr
+	inCSR  csr
+
+	// Global per-label edge index: labelEdges holds all edge indexes grouped
+	// by label ID (ascending within each group); labelStart[l]..labelStart[l+1]
+	// delimits label l's group.
+	labelEdges []int
+	labelStart []int
+}
+
+// csr is a flat compressed-sparse-row adjacency index: edges holds edge
+// indexes grouped by node and, within a node, sorted by (label ID, edge
+// index); start[n]..start[n+1] delimits node n's region.
+type csr struct {
+	edges []int
+	start []int
+}
+
+// withLabel returns the sub-slice of node n's region whose edges carry the
+// given label ID, located by binary search on the label-sorted region.
+func (c *csr) withLabel(edgeLabel []int, n, labelID int) []int {
+	region := c.edges[c.start[n]:c.start[n+1]]
+	lo := sort.Search(len(region), func(i int) bool { return edgeLabel[region[i]] >= labelID })
+	hi := lo + sort.Search(len(region)-lo, func(i int) bool { return edgeLabel[region[lo+i]] > labelID })
+	return region[lo:hi]
 }
 
 // NumNodes returns |N|.
@@ -129,7 +162,46 @@ func (g *Graph) OutDegree(n int) int { return len(g.out[n]) }
 func (g *Graph) InDegree(n int) int { return len(g.in[n]) }
 
 // EdgeLabels returns the sorted set of distinct edge labels in the graph.
+// The slice index of a label is its dense label ID (see LabelID).
 func (g *Graph) EdgeLabels() []string { return g.labels }
+
+// NumLabels returns the number of distinct edge labels.
+func (g *Graph) NumLabels() int { return len(g.labels) }
+
+// LabelID resolves an edge label to its dense ID; ok is false when no edge
+// of the graph carries the label. IDs are assigned in sorted label order, so
+// they are stable across serialization round-trips of the same graph.
+func (g *Graph) LabelID(lab string) (int, bool) {
+	id, ok := g.labelID[lab]
+	return id, ok
+}
+
+// LabelName returns the label with dense ID id.
+func (g *Graph) LabelName(id int) string { return g.labels[id] }
+
+// EdgeLabelID returns the dense label ID of edge ei.
+func (g *Graph) EdgeLabelID(ei int) int { return g.edgeLabel[ei] }
+
+// OutWithLabel returns the indexes of edges leaving node n whose label has
+// the given ID, in ascending edge-index order. The returned slice aliases
+// the graph's CSR index and must not be modified.
+func (g *Graph) OutWithLabel(n, labelID int) []int {
+	return g.outCSR.withLabel(g.edgeLabel, n, labelID)
+}
+
+// InWithLabel returns the indexes of edges entering node n whose label has
+// the given ID, in ascending edge-index order. The returned slice aliases
+// the graph's CSR index and must not be modified.
+func (g *Graph) InWithLabel(n, labelID int) []int {
+	return g.inCSR.withLabel(g.edgeLabel, n, labelID)
+}
+
+// EdgesWithLabelID returns all edge indexes carrying the label with the
+// given ID, ascending. The returned slice aliases the graph's index and must
+// not be modified.
+func (g *Graph) EdgesWithLabelID(labelID int) []int {
+	return g.labelEdges[g.labelStart[labelID]:g.labelStart[labelID+1]]
+}
 
 // NodeProp returns ρ(node i, name); the ok result is false when the partial
 // function ρ is undefined there.
@@ -158,15 +230,21 @@ func (g *Graph) NodesWithLabel(lab string) []int {
 }
 
 // EdgesWithLabel returns all edge indexes whose label is lab; lab == ""
-// matches every edge.
+// matches every edge. Known labels are answered from the per-label index in
+// O(1); the returned slice must not be modified.
 func (g *Graph) EdgesWithLabel(lab string) []int {
-	var out []int
-	for i := range g.edges {
-		if lab == "" || g.edges[i].Label == lab {
-			out = append(out, i)
+	if lab == "" {
+		out := make([]int, len(g.edges))
+		for i := range out {
+			out[i] = i
 		}
+		return out
 	}
-	return out
+	id, ok := g.labelID[lab]
+	if !ok {
+		return nil
+	}
+	return g.EdgesWithLabelID(id)
 }
 
 // Object addresses a node or an edge of a graph uniformly ("objects" in the
@@ -280,8 +358,9 @@ func (b *Builder) AddEdge(id EdgeID, label string, src, tgt NodeID, props Props)
 	return b
 }
 
-// Build finalizes the graph, computing adjacency indexes. The Builder must
-// not be used afterwards.
+// Build finalizes the graph, computing adjacency indexes: the dense out/in
+// lists, the interned label numbering, and the label-indexed CSR adjacency.
+// The Builder must not be used afterwards.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -301,8 +380,67 @@ func (b *Builder) Build() (*Graph, error) {
 		g.labels = append(g.labels, l)
 	}
 	sort.Strings(g.labels)
+	// Intern: one labels slice + ID map shared by every index. Label IDs
+	// follow sorted order, so they are stable across serialization round
+	// trips of the same label set. Edge labels are rewritten to the canonical
+	// interned string so duplicates share one backing array.
+	g.labelID = make(map[string]int, len(g.labels))
+	for id, l := range g.labels {
+		g.labelID[l] = id
+	}
+	g.edgeLabel = make([]int, len(g.edges))
+	for ei := range g.edges {
+		e := &g.edges[ei]
+		id := g.labelID[e.Label]
+		e.Label = g.labels[id]
+		g.edgeLabel[ei] = id
+	}
+	g.outCSR = buildCSR(g.out, g.edgeLabel)
+	g.inCSR = buildCSR(g.in, g.edgeLabel)
+	g.labelEdges, g.labelStart = buildLabelEdges(g.edgeLabel, len(g.labels))
 	b.g = Graph{} // prevent reuse
 	return &g, nil
+}
+
+// buildCSR flattens per-node edge lists into CSR form, sorting each node's
+// region by (label ID, edge index). The incoming lists are already in
+// ascending edge order, so a stable sort by label preserves that tiebreak.
+func buildCSR(adj [][]int, edgeLabel []int) csr {
+	total := 0
+	for _, l := range adj {
+		total += len(l)
+	}
+	c := csr{edges: make([]int, 0, total), start: make([]int, len(adj)+1)}
+	for n, l := range adj {
+		c.start[n] = len(c.edges)
+		region := append(c.edges, l...)
+		seg := region[len(c.edges):]
+		sort.SliceStable(seg, func(i, j int) bool {
+			return edgeLabel[seg[i]] < edgeLabel[seg[j]]
+		})
+		c.edges = region
+	}
+	c.start[len(adj)] = len(c.edges)
+	return c
+}
+
+// buildLabelEdges groups all edge indexes by label ID (counting sort, so
+// each group is ascending).
+func buildLabelEdges(edgeLabel []int, numLabels int) (edges, start []int) {
+	start = make([]int, numLabels+1)
+	for _, id := range edgeLabel {
+		start[id+1]++
+	}
+	for l := 0; l < numLabels; l++ {
+		start[l+1] += start[l]
+	}
+	edges = make([]int, len(edgeLabel))
+	fill := append([]int(nil), start[:numLabels]...)
+	for ei, id := range edgeLabel {
+		edges[fill[id]] = ei
+		fill[id]++
+	}
+	return edges, start
 }
 
 // MustBuild is Build that panics on error; for tests, examples, and

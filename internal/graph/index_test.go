@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomGraph builds a seeded multigraph (self-loops allowed) directly with
+// the builder, to exercise the label index without importing gen (which
+// would create an import cycle).
+func randomGraph(t *testing.T, n, m int, labels []string, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(NodeID(fmt.Sprintf("v%d", i)), "", nil)
+	}
+	for e := 0; e < m; e++ {
+		b.AddEdge(EdgeID(fmt.Sprintf("e%d", e)), labels[rng.Intn(len(labels))],
+			NodeID(fmt.Sprintf("v%d", rng.Intn(n))),
+			NodeID(fmt.Sprintf("v%d", rng.Intn(n))), nil)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLabelIndexMatchesDenseLists(t *testing.T) {
+	labels := []string{"a", "b", "c", "knows"}
+	g := randomGraph(t, 40, 300, labels, 7)
+	if g.NumLabels() == 0 {
+		t.Fatal("expected labels")
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		for id := 0; id < g.NumLabels(); id++ {
+			lab := g.LabelName(id)
+			var wantOut, wantIn []int
+			for _, ei := range g.Out(n) {
+				if g.Edge(ei).Label == lab {
+					wantOut = append(wantOut, ei)
+				}
+			}
+			for _, ei := range g.In(n) {
+				if g.Edge(ei).Label == lab {
+					wantIn = append(wantIn, ei)
+				}
+			}
+			if got := g.OutWithLabel(n, id); !equalInts(got, wantOut) {
+				t.Fatalf("OutWithLabel(%d, %q) = %v, want %v", n, lab, got, wantOut)
+			}
+			if got := g.InWithLabel(n, id); !equalInts(got, wantIn) {
+				t.Fatalf("InWithLabel(%d, %q) = %v, want %v", n, lab, got, wantIn)
+			}
+		}
+	}
+}
+
+func TestEdgesWithLabelSharesNumbering(t *testing.T) {
+	g := randomGraph(t, 20, 120, []string{"x", "y", "z"}, 3)
+	for id, lab := range g.EdgeLabels() {
+		gotID, ok := g.LabelID(lab)
+		if !ok || gotID != id {
+			t.Fatalf("LabelID(%q) = %d, %v; want %d", lab, gotID, ok, id)
+		}
+		byName := g.EdgesWithLabel(lab)
+		byID := g.EdgesWithLabelID(id)
+		if !equalInts(byName, byID) {
+			t.Fatalf("EdgesWithLabel(%q) = %v, EdgesWithLabelID(%d) = %v", lab, byName, id, byID)
+		}
+		for _, ei := range byID {
+			if g.EdgeLabelID(ei) != id || g.Edge(ei).Label != lab {
+				t.Fatalf("edge %d not labeled %q", ei, lab)
+			}
+		}
+	}
+	// Unknown and empty labels.
+	if got := g.EdgesWithLabel("nope"); got != nil {
+		t.Fatalf("EdgesWithLabel(unknown) = %v, want nil", got)
+	}
+	if got := g.EdgesWithLabel(""); len(got) != g.NumEdges() {
+		t.Fatalf("EdgesWithLabel(\"\") = %d edges, want %d", len(got), g.NumEdges())
+	}
+}
+
+// TestLabelIDsStableAcrossRoundTrips checks that the interned label
+// numbering survives JSON and CSV round-trips: the same graph re-read from
+// either codec assigns the same ID to every label.
+func TestLabelIDsStableAcrossRoundTrips(t *testing.T) {
+	g := randomGraph(t, 12, 60, []string{"Transfer", "owner", "isBlocked"}, 11)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var nodes, edges strings.Builder
+	nodes.WriteString("id,label\n")
+	for i := 0; i < g.NumNodes(); i++ {
+		fmt.Fprintf(&nodes, "%s,%s\n", g.Node(i).ID, g.Node(i).Label)
+	}
+	edges.WriteString("id,label,src,tgt\n")
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		fmt.Fprintf(&edges, "%s,%s,%s,%s\n", e.ID, e.Label, g.Node(e.Src).ID, g.Node(e.Tgt).ID)
+	}
+	fromCSV, err := ReadCSV(strings.NewReader(nodes.String()), strings.NewReader(edges.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rt := range []*Graph{fromJSON, fromCSV} {
+		if rt.NumLabels() != g.NumLabels() {
+			t.Fatalf("round-trip label count = %d, want %d", rt.NumLabels(), g.NumLabels())
+		}
+		for id, lab := range g.EdgeLabels() {
+			gotID, ok := rt.LabelID(lab)
+			if !ok || gotID != id {
+				t.Fatalf("round-trip LabelID(%q) = %d, %v; want %d", lab, gotID, ok, id)
+			}
+		}
+		for ei := 0; ei < g.NumEdges(); ei++ {
+			idx, ok := rt.EdgeIndex(g.Edge(ei).ID)
+			if !ok {
+				t.Fatalf("round-trip lost edge %q", g.Edge(ei).ID)
+			}
+			if rt.EdgeLabelID(idx) != g.EdgeLabelID(ei) {
+				t.Fatalf("edge %q label ID changed across round-trip", g.Edge(ei).ID)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -9,7 +9,6 @@ package twoway
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"unicode"
 
@@ -330,28 +329,23 @@ func (g *tglushkov) analyze(e Expr) tinfo {
 
 // Pairs computes ⟦R⟧_G for the 2RPQ: pairs (u, v) connected by a two-way
 // path matching R, via product BFS that follows out-edges on forward
-// transitions and in-edges on inverse transitions. Sorted output.
+// transitions and in-edges on inverse transitions. The output needs no
+// final sort: sources are scanned ascending and each per-source result is
+// ascending, so it is lexicographically sorted by construction.
 func Pairs(g *graph.Graph, e Expr) [][2]int {
-	a := Compile(e)
+	p := newTProduct(g, Compile(e))
 	var out [][2]int
 	for u := 0; u < g.NumNodes(); u++ {
-		for _, v := range reachableFrom(g, a, u) {
+		for _, v := range p.reachableFrom(u) {
 			out = append(out, [2]int{u, v})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
 	return out
 }
 
 // Check reports whether (src, dst) ∈ ⟦R⟧_G.
 func Check(g *graph.Graph, e Expr, src, dst int) bool {
-	a := Compile(e)
-	for _, v := range reachableFrom(g, a, src) {
+	for _, v := range newTProduct(g, Compile(e)).reachableFrom(src) {
 		if v == dst {
 			return true
 		}
@@ -361,42 +355,100 @@ func Check(g *graph.Graph, e Expr, src, dst int) bool {
 
 // ReachableFrom returns all v with (src, v) ∈ ⟦R⟧_G, sorted.
 func ReachableFrom(g *graph.Graph, e Expr, src int) []int {
-	return reachableFrom(g, Compile(e), src)
+	return newTProduct(g, Compile(e)).reachableFrom(src)
 }
 
-func reachableFrom(g *graph.Graph, a *TNFA, src int) []int {
-	id := func(node, state int) int { return node*a.NumStates + state }
-	dist := make([]int, g.NumNodes()*a.NumStates)
-	for i := range dist {
-		dist[i] = -1
-	}
-	start := id(src, a.Start)
-	dist[start] = 0
-	queue := []int{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		node, state := cur/a.NumStates, cur%a.NumStates
-		for _, tr := range a.Trans[state] {
-			var edges []int
-			if tr.Back {
-				edges = g.In(node)
-			} else {
-				edges = g.Out(node)
-			}
-			for _, ei := range edges {
-				ed := g.Edge(ei)
-				if !tr.Guard.Matches(ed.Label) {
-					continue
+// tProduct is a TNFA with its guards resolved against a concrete graph's
+// label index, so product BFS intersects each positive guard with the
+// per-label CSR adjacency instead of scanning all incident edges. Resolved
+// once per (graph, automaton) and shared across all per-source runs.
+type tProduct struct {
+	g    *graph.Graph
+	a    *TNFA
+	succ [][]ttrans
+}
+
+// ttrans is one direction-annotated transition resolved to label IDs.
+type ttrans struct {
+	to       int
+	back     bool
+	labelIDs []int          // label IDs matched by a positive guard
+	negated  bool           // co-finite guard: scan the dense list
+	guard    automata.Guard // kept for the negated fallback
+}
+
+func newTProduct(g *graph.Graph, a *TNFA) *tProduct {
+	p := &tProduct{g: g, a: a, succ: make([][]ttrans, a.NumStates)}
+	for q, ts := range a.Trans {
+		resolved := make([]ttrans, 0, len(ts))
+		for _, t := range ts {
+			tt := ttrans{to: t.To, back: t.Back, negated: t.Guard.Negated, guard: t.Guard}
+			if !t.Guard.Negated {
+				for _, lab := range t.Guard.Labels {
+					if id, ok := g.LabelID(lab); ok {
+						tt.labelIDs = append(tt.labelIDs, id)
+					}
 				}
+				if len(tt.labelIDs) == 0 {
+					continue // guard matches no edge of this graph
+				}
+			}
+			resolved = append(resolved, tt)
+		}
+		p.succ[q] = resolved
+	}
+	return p
+}
+
+func (p *tProduct) reachableFrom(src int) []int {
+	g, a := p.g, p.a
+	id := func(node, state int) int { return node*a.NumStates + state }
+	visited := make([]bool, g.NumNodes()*a.NumStates)
+	start := id(src, a.Start)
+	visited[start] = true
+	queue := []int{start}
+	step := func(ni int) {
+		if !visited[ni] {
+			visited[ni] = true
+			queue = append(queue, ni)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		node, state := cur/a.NumStates, cur%a.NumStates
+		for ti := range p.succ[state] {
+			tr := &p.succ[state][ti]
+			follow := func(ei int) {
+				ed := g.Edge(ei)
 				next := ed.Tgt
-				if tr.Back {
+				if tr.back {
 					next = ed.Src
 				}
-				ni := id(next, tr.To)
-				if dist[ni] == -1 {
-					dist[ni] = dist[cur] + 1
-					queue = append(queue, ni)
+				step(id(next, tr.to))
+			}
+			if tr.negated {
+				var edges []int
+				if tr.back {
+					edges = g.In(node)
+				} else {
+					edges = g.Out(node)
+				}
+				for _, ei := range edges {
+					if tr.guard.Matches(g.Edge(ei).Label) {
+						follow(ei)
+					}
+				}
+			} else {
+				for _, lid := range tr.labelIDs {
+					var edges []int
+					if tr.back {
+						edges = g.InWithLabel(node, lid)
+					} else {
+						edges = g.OutWithLabel(node, lid)
+					}
+					for _, ei := range edges {
+						follow(ei)
+					}
 				}
 			}
 		}
@@ -404,7 +456,7 @@ func reachableFrom(g *graph.Graph, a *TNFA, src int) []int {
 	var out []int
 	for v := 0; v < g.NumNodes(); v++ {
 		for q := 0; q < a.NumStates; q++ {
-			if a.Accept[q] && dist[id(v, q)] >= 0 {
+			if a.Accept[q] && visited[id(v, q)] {
 				out = append(out, v)
 				break
 			}
