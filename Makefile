@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke ci
+.PHONY: all vet build test race bench-smoke serve-smoke ci
 
 all: ci
 
@@ -25,4 +25,10 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: vet build test race bench-smoke
+# End-to-end check of the query daemon: build gqserverd under -race, start
+# it on a random port, curl every endpoint and error class, then verify
+# graceful shutdown drains an in-flight query.
+serve-smoke:
+	GO="$(GO)" bash scripts/serve_smoke.sh
+
+ci: vet build test race bench-smoke serve-smoke

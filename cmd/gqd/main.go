@@ -17,10 +17,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
 
 	"graphquery/internal/core"
@@ -64,7 +66,12 @@ func main() {
 		return
 	}
 	if *query != "" {
-		if err := runOnce(eng, *query, *from, *to, *modeStr); err != nil {
+		// Ctrl-C cancels the running query via context rather than killing
+		// the process mid-write.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		err := runOnce(ctx, eng, *query, *from, *to, *modeStr)
+		stop()
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -101,73 +108,58 @@ func loadGraph(path, nodesCSV, edgesCSV, builtin string) (*graph.Graph, error) {
 		}
 		defer f.Close()
 		return graph.ReadJSON(f)
-	case builtin == "" || builtin == "bank":
+	case builtin == "":
 		return gen.BankEdgeLabeled(), nil
-	case builtin == "bank-property":
-		return gen.BankProperty(), nil
-	case strings.HasPrefix(builtin, "figure5-"):
-		n, err := strconv.Atoi(strings.TrimPrefix(builtin, "figure5-"))
-		if err != nil {
-			return nil, fmt.Errorf("bad figure5 size: %v", err)
-		}
-		return gen.Figure5(n), nil
-	case strings.HasPrefix(builtin, "clique-"):
-		n, err := strconv.Atoi(strings.TrimPrefix(builtin, "clique-"))
-		if err != nil {
-			return nil, fmt.Errorf("bad clique size: %v", err)
-		}
-		return gen.Clique(n, "a"), nil
-	case strings.HasPrefix(builtin, "social-"):
-		n, err := strconv.Atoi(strings.TrimPrefix(builtin, "social-"))
-		if err != nil {
-			return nil, fmt.Errorf("bad social size: %v", err)
-		}
-		return gen.Social(n, 1), nil
 	default:
-		return nil, fmt.Errorf("unknown builtin graph %q", builtin)
+		return gen.Named(builtin)
 	}
 }
 
-func runOnce(eng *core.Engine, query, from, to, modeStr string) error {
+func runOnce(ctx context.Context, eng *core.Engine, query, from, to, modeStr string) error {
 	g := eng.Graph()
-	switch core.Detect(query) {
-	case core.KindCRPQ:
-		res, err := eng.Rows(query)
-		if err != nil {
+	mode := eval.All
+	if modeStr != "" {
+		var err error
+		if mode, err = eval.ParseMode(modeStr); err != nil {
 			return err
 		}
-		fmt.Printf("%s\n%d row(s)\n", res.Format(g), len(res.Rows))
-		return nil
-	default:
-		if from == "" || to == "" {
-			// Endpoint-pair semantics for plain RPQs.
-			if core.Detect(query) == core.KindRPQ {
-				pairs, err := eng.Pairs(query)
-				if err != nil {
-					return err
-				}
-				for _, pr := range pairs {
-					fmt.Printf("(%s, %s)\n", pr[0], pr[1])
-				}
-				fmt.Printf("%d pair(s)\n", len(pairs))
-				return nil
-			}
-			return fmt.Errorf("dl-RPQ queries need -from and -to")
+	}
+	resp, err := eng.QueryCtx(ctx, core.Request{
+		Query: query,
+		From:  graph.NodeID(from),
+		To:    graph.NodeID(to),
+		Mode:  mode,
+	})
+	if err != nil {
+		if errors.Is(err, eval.ErrCanceled) {
+			return errors.New("canceled (interrupt received before the query finished)")
 		}
-		mode, err := eval.ParseMode(modeStr)
-		if err != nil {
-			return err
+		return err
+	}
+	switch resp.Kind {
+	case "rows":
+		fmt.Printf("%s\n%d row(s)\n", resp.Rows.Format(g), len(resp.Rows.Rows))
+	case "pairs":
+		for _, pr := range resp.Pairs {
+			fmt.Printf("(%s, %s)\n", pr[0], pr[1])
 		}
-		res, err := eng.Paths(query, graph.NodeID(from), graph.NodeID(to), mode)
-		if err != nil {
-			return err
-		}
-		for _, r := range res {
+		fmt.Printf("%d pair(s)\n", len(resp.Pairs))
+	case "paths":
+		for _, r := range resp.Paths {
 			fmt.Println(r.Format(g))
 		}
-		fmt.Printf("%d result(s)\n", len(res))
-		return nil
+		fmt.Printf("%d result(s)\n", len(resp.Paths))
 	}
+	return nil
+}
+
+// interruptible runs one query under a context canceled by Ctrl-C, then
+// restores the default signal disposition so Ctrl-C at the prompt still
+// kills the shell.
+func interruptible(eng *core.Engine, query, from, to, modeStr string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return runOnce(ctx, eng, query, from, to, modeStr)
 }
 
 const replHelp = `commands:
@@ -275,11 +267,11 @@ func repl(eng *core.Engine) {
 				continue
 			}
 			q := strings.Join(fields[4:], " ")
-			if err := runOnce(eng, q, fields[2], fields[3], fields[1]); err != nil {
+			if err := interruptible(eng, q, fields[2], fields[3], fields[1]); err != nil {
 				fmt.Println("error:", err)
 			}
 		default:
-			if err := runOnce(eng, line, "", "", "all"); err != nil {
+			if err := interruptible(eng, line, "", "", "all"); err != nil {
 				fmt.Println("error:", err)
 			}
 		}

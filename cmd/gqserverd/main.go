@@ -1,0 +1,134 @@
+// Command gqserverd serves graph queries over HTTP: named graphs from the
+// built-in catalog (or JSON files), evaluated by the core engine with
+// per-query deadlines, resource budgets, and admission control.
+//
+// Usage:
+//
+//	gqserverd -graphs bank,figure5-8                  # serve two catalog graphs
+//	gqserverd -addr :0 -graphs bank                   # pick a free port (printed)
+//	gqserverd -graphs bank -default-timeout 2s -max-states 50000000
+//
+//	curl -s localhost:8080/v1/graphs
+//	curl -s localhost:8080/v1/query -d '{"graph":"bank","query":"Transfer*"}'
+//	curl -s localhost:8080/v1/statz
+//
+// Graphs named like file paths (containing a slash or ending in .json) are
+// loaded as graph JSON; everything else resolves through the catalog:
+// bank, bank-property, figure5-N, clique-N, social-N, cycle-N, path-N,
+// grid-WxH. SIGINT/SIGTERM trigger a graceful shutdown that drains
+// in-flight queries up to -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphquery/internal/eval"
+	"graphquery/internal/graph"
+	"graphquery/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	graphs := flag.String("graphs", "bank", "comma-separated graphs to serve: catalog names or graph JSON paths")
+	maxConcurrent := flag.Int("max-concurrent", 16, "queries evaluating at once")
+	maxQueue := flag.Int("max-queue", 64, "admissions waiting for a slot before 429s")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "per-query deadline when the request has none (0: none)")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts (0: uncapped)")
+	maxStates := flag.Int64("max-states", 0, "default per-query product-state budget (0: unlimited)")
+	maxRows := flag.Int64("max-rows", 0, "default per-query result-row budget (0: unlimited)")
+	maxLen := flag.Int("maxlen", 16, "bound on path length for mode all")
+	limit := flag.Int("limit", 0, "bound on returned paths/rows (0: unlimited)")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines per query (0: one per CPU)")
+	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		DefaultBudget:  eval.Budget{MaxStates: *maxStates, MaxRows: *maxRows},
+		MaxLen:         *maxLen,
+		Limit:          *limit,
+		Parallelism:    *parallelism,
+	})
+	for _, name := range strings.Split(*graphs, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := load(srv, name); err != nil {
+			fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// Printed on stdout so scripts (and the smoke test) can scrape the
+	// bound port when -addr :0 picked a random one.
+	fmt.Printf("gqserverd: listening on http://%s (graphs: %s)\n",
+		ln.Addr(), strings.Join(srv.GraphNames(), ", "))
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("gqserverd: shutting down, draining in-flight queries")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "gqserverd: drain incomplete:", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Println("gqserverd: bye")
+}
+
+// load registers one graph: a path (slash or .json suffix) reads graph
+// JSON and registers under the file's base name; anything else resolves
+// through the built-in catalog.
+func load(srv *server.Server, name string) error {
+	if strings.ContainsRune(name, os.PathSeparator) || strings.HasSuffix(name, ".json") {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err := graph.ReadJSON(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		srv.Register(strings.TrimSuffix(filepath.Base(name), ".json"), g)
+		return nil
+	}
+	return srv.LoadNamed(name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gqserverd:", err)
+	os.Exit(1)
+}

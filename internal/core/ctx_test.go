@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"graphquery/internal/eval"
+	"graphquery/internal/gen"
+)
+
+// TestQueryCtxRowBudget is the §6.3 acceptance check: Figure 5's graph has
+// 2^n distinct s→t paths, so an unbudgeted mode-all enumeration is
+// exponential in the output — and a rows budget must stop it with
+// ErrBudgetExceeded instead of materializing it.
+func TestQueryCtxRowBudget(t *testing.T) {
+	e := New(gen.Figure5(20))
+	e.MaxLen = 20
+	_, err := e.QueryCtx(context.Background(), Request{
+		Query:  "a*",
+		From:   "s",
+		To:     "t",
+		Budget: eval.Budget{MaxRows: 100},
+	})
+	if !errors.Is(err, eval.ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	var be *eval.BudgetError
+	if !errors.As(err, &be) || be.Resource != "rows" || be.Limit != 100 {
+		t.Fatalf("got %v, want *BudgetError{rows, 100}", err)
+	}
+}
+
+// TestQueryCtxDeadline runs an expensive clique query under a 50ms deadline
+// and requires a prompt ErrCanceled that still unwraps to
+// context.DeadlineExceeded.
+func TestQueryCtxDeadline(t *testing.T) {
+	// clique-300 under a* a* a* takes ~600ms sequential on a fast machine —
+	// an order of magnitude past the 50ms deadline, so this cannot finish
+	// before the deadline fires.
+	e := New(gen.Clique(300, "a"))
+	e.Parallelism = 1
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.QueryCtx(ctx, Request{Query: "a* a* a*"})
+	elapsed := time.Since(start)
+	if !errors.Is(err, eval.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline cause not preserved: %v", err)
+	}
+	if elapsed > 2*50*time.Millisecond {
+		t.Errorf("returned %v after the 50ms deadline; want within 2x", elapsed)
+	}
+}
+
+// TestQueryCtxDispatch checks the unified entry point routes every language
+// to the right result kind.
+func TestQueryCtxDispatch(t *testing.T) {
+	e := New(gen.BankEdgeLabeled())
+	ctx := context.Background()
+
+	resp, err := e.QueryCtx(ctx, Request{Query: "Transfer*", Budget: eval.Budget{MaxStates: 1 << 30}})
+	if err != nil || resp.Kind != "pairs" || len(resp.Pairs) == 0 {
+		t.Fatalf("RPQ: resp=%+v err=%v, want pairs", resp, err)
+	}
+	// A budgeted request carries a live meter, so the work is accounted.
+	if resp.StatesVisited == 0 {
+		t.Errorf("RPQ: StatesVisited not accounted")
+	}
+
+	resp, err = e.QueryCtx(ctx, Request{Query: "Transfer+", From: "a3", To: "a1", Mode: eval.Shortest})
+	if err != nil || resp.Kind != "paths" {
+		t.Fatalf("anchored RPQ: resp=%+v err=%v, want paths", resp, err)
+	}
+
+	resp, err = e.QueryCtx(ctx, Request{Query: "q(x,y) :- Transfer(x,y), Transfer(y,x)"})
+	if err != nil || resp.Kind != "rows" || resp.Rows == nil {
+		t.Fatalf("CRPQ: resp=%+v err=%v, want rows", resp, err)
+	}
+
+	resp, err = e.QueryCtx(ctx, Request{Query: "~Transfer Transfer", Lang: "2rpq"})
+	if err != nil || resp.Kind != "pairs" {
+		t.Fatalf("2RPQ: resp=%+v err=%v, want pairs", resp, err)
+	}
+}
+
+func TestQueryCtxErrorTaxonomy(t *testing.T) {
+	e := New(gen.BankEdgeLabeled())
+	ctx := context.Background()
+
+	if _, err := e.QueryCtx(ctx, Request{Query: "((("}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("parse error: got %v, want ErrBadQuery", err)
+	}
+	if _, err := e.QueryCtx(ctx, Request{Query: "Transfer", From: "nope", To: "a1"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node: got %v, want ErrUnknownNode", err)
+	}
+	if _, err := e.QueryCtx(ctx, Request{Query: "() [Transfer] ()"}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("unanchored dl-RPQ: got %v, want ErrBadQuery", err)
+	}
+	if _, err := e.QueryCtx(ctx, Request{Query: "Transfer", From: "a1"}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("half-anchored: got %v, want ErrBadQuery", err)
+	}
+}
+
+// TestQueryCtxOverridesDoNotMutateEngine checks per-request bounds are
+// computed locally: concurrent requests must not observe each other's
+// overrides.
+func TestQueryCtxOverridesDoNotMutateEngine(t *testing.T) {
+	e := New(gen.Figure5(4))
+	e.MaxLen = 7
+	e.Limit = 3
+	if _, err := e.QueryCtx(context.Background(), Request{
+		Query: "a*", From: "s", To: "t", MaxLen: 4, Limit: 1,
+		Budget: eval.Budget{MaxStates: 1 << 30},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxLen != 7 || e.Limit != 3 || e.Budget != (eval.Budget{}) {
+		t.Fatalf("engine mutated by request overrides: MaxLen=%d Limit=%d Budget=%+v", e.MaxLen, e.Limit, e.Budget)
+	}
+}
+
+// TestCtxVariantsMatchClassic checks the ctx entry points return the same
+// results as the seed's non-ctx methods.
+func TestCtxVariantsMatchClassic(t *testing.T) {
+	e := New(gen.BankEdgeLabeled())
+	ctx := context.Background()
+
+	want, err := e.Pairs("Transfer*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.PairsCtx(ctx, "Transfer*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PairsCtx: %d pairs, Pairs: %d", len(got), len(want))
+	}
+
+	wr, err := e.Rows("q(x,y) :- Transfer(x,y), Transfer(y,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := e.RowsCtx(ctx, "q(x,y) :- Transfer(x,y), Transfer(y,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Rows) != len(wr.Rows) {
+		t.Fatalf("RowsCtx: %d rows, Rows: %d", len(gr.Rows), len(wr.Rows))
+	}
+
+	wp, err := e.Paths("Transfer+", "a3", "a1", eval.Shortest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := e.PathsCtx(ctx, "Transfer+", "a3", "a1", eval.Shortest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gp) != len(wp) {
+		t.Fatalf("PathsCtx: %d paths, Paths: %d", len(gp), len(wp))
+	}
+
+	ww, err := e.TwoWayPairs("~Transfer Transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := e.TwoWayPairsCtx(ctx, "~Transfer Transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gw) != len(ww) {
+		t.Fatalf("TwoWayPairsCtx: %d pairs, TwoWayPairs: %d", len(gw), len(ww))
+	}
+}

@@ -38,6 +38,10 @@ type Engine struct {
 	// (Pairs, CRPQ atom materialization); 0 means one per available CPU,
 	// 1 forces sequential evaluation.
 	Parallelism int
+	// Budget is the default per-query resource budget applied by the ctx
+	// entry points (QueryCtx, PairsCtx, ...). Zero fields are unlimited;
+	// the classic non-ctx methods ignore it entirely.
+	Budget eval.Budget
 
 	// plans caches parsed ASTs and compiled NFAs keyed by normalized query
 	// text × query kind, so repeated queries skip parse + Glushkov.

@@ -1,0 +1,284 @@
+// Context-aware query entry points: the serving surface of the engine.
+// Every method here threads one eval.Meter through all evaluation stages of
+// a query, so cooperative cancellation (client disconnect, deadline) and
+// per-query resource budgets (product states visited, result rows) are
+// enforced query-globally — the requirement the paper's Propositions 22–24
+// impose on any service boundary: evaluation cost can blow up
+// combinatorially, so the serving layer must be able to stop it.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"graphquery/internal/crpq"
+	"graphquery/internal/dlrpq"
+	"graphquery/internal/eval"
+	"graphquery/internal/graph"
+	"graphquery/internal/lrpq"
+	"graphquery/internal/twoway"
+)
+
+// The engine-level error taxonomy. Serving layers map these to client
+// errors (bad request, unknown node), while eval.ErrCanceled and
+// eval.ErrBudgetExceeded pass through untouched and map to timeout/
+// overload responses.
+var (
+	// ErrBadQuery wraps parse and validation failures: the query text
+	// itself is at fault.
+	ErrBadQuery = errors.New("core: bad query")
+	// ErrUnknownNode wraps references to node IDs absent from the graph.
+	ErrUnknownNode = errors.New("core: unknown node")
+)
+
+func badQuery(err error) error {
+	return fmt.Errorf("%w: %w", ErrBadQuery, err)
+}
+
+// classify folds evaluation errors into the taxonomy: cancellation and
+// budget errors pass through; anything else an evaluator rejects
+// (validation, unknown constant nodes, unbounded enumeration) is the
+// client's query at fault.
+func classify(err error) error {
+	if err == nil ||
+		errors.Is(err, eval.ErrCanceled) ||
+		errors.Is(err, eval.ErrBudgetExceeded) ||
+		errors.Is(err, ErrBadQuery) ||
+		errors.Is(err, ErrUnknownNode) {
+		return err
+	}
+	return badQuery(err)
+}
+
+// Request describes one query for QueryCtx. Zero-valued optional fields
+// fall back to the engine's defaults.
+type Request struct {
+	// Query is the query text; its language is auto-detected (Detect)
+	// unless Lang overrides it.
+	Query string
+	// Lang selects the language explicitly: "" or "auto" auto-detects,
+	// "2rpq" evaluates a two-way RPQ to endpoint pairs.
+	Lang string
+	// From/To anchor path queries; both empty means endpoint-pair (RPQ) or
+	// row (CRPQ) semantics.
+	From, To graph.NodeID
+	// Mode is the path mode for anchored queries (default All).
+	Mode eval.Mode
+	// MaxLen / Limit override the engine's enumeration bounds when > 0.
+	MaxLen, Limit int
+	// Budget overrides the engine's per-query budget field-by-field when
+	// its fields are > 0.
+	Budget eval.Budget
+}
+
+// Response is the union result of QueryCtx, discriminated by Kind.
+type Response struct {
+	Kind  string // "pairs", "paths", or "rows"
+	Pairs [][2]graph.NodeID
+	Paths []PathResult
+	Rows  *crpq.Result
+
+	// StatesVisited / RowsProduced are the meter readings of this query —
+	// the work it performed, for accounting and /v1/statz aggregation.
+	StatesVisited int64
+	RowsProduced  int64
+}
+
+// Count returns the number of results regardless of kind.
+func (r *Response) Count() int {
+	switch r.Kind {
+	case "pairs":
+		return len(r.Pairs)
+	case "paths":
+		return len(r.Paths)
+	case "rows":
+		if r.Rows != nil {
+			return len(r.Rows.Rows)
+		}
+	}
+	return 0
+}
+
+// QueryCtx evaluates one request under ctx: the single entry point of the
+// query service. Cancellation and budget violations surface as
+// eval.ErrCanceled / eval.ErrBudgetExceeded; malformed queries as
+// ErrBadQuery; unknown endpoints as ErrUnknownNode.
+func (e *Engine) QueryCtx(ctx context.Context, req Request) (*Response, error) {
+	maxLen := req.MaxLen
+	if maxLen <= 0 {
+		maxLen = e.MaxLen
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = e.Limit
+	}
+	b := req.Budget
+	if b.MaxStates <= 0 {
+		b.MaxStates = e.Budget.MaxStates
+	}
+	if b.MaxRows <= 0 {
+		b.MaxRows = e.Budget.MaxRows
+	}
+	m := eval.NewMeter(ctx, b)
+
+	resp, err := e.dispatch(req, m, maxLen, limit)
+	if err != nil {
+		return nil, classify(err)
+	}
+	resp.StatesVisited = m.States()
+	resp.RowsProduced = m.Rows()
+	return resp, nil
+}
+
+// Query is QueryCtx without a context, for callers that want the unified
+// request surface but no cancellation.
+func (e *Engine) Query(req Request) (*Response, error) {
+	return e.QueryCtx(context.Background(), req)
+}
+
+func (e *Engine) dispatch(req Request, m *eval.Meter, maxLen, limit int) (*Response, error) {
+	if req.Lang == "2rpq" {
+		pairs, err := e.twoWayPairsMeter(req.Query, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Kind: "pairs", Pairs: pairs}, nil
+	}
+	anchored := req.From != "" || req.To != ""
+	switch Detect(req.Query) {
+	case KindCRPQ:
+		if anchored {
+			return nil, badQuery(errors.New("core: CRPQ queries return rows; do not anchor them with from/to"))
+		}
+		rows, err := e.rowsMeter(req.Query, m, maxLen)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Kind: "rows", Rows: rows}, nil
+	case KindDLRPQ:
+		if !anchored {
+			return nil, badQuery(errors.New("core: dl-RPQ queries need from and to endpoints"))
+		}
+		fallthrough
+	default:
+		if anchored {
+			if req.From == "" || req.To == "" {
+				return nil, badQuery(errors.New("core: path queries need both from and to"))
+			}
+			paths, err := e.pathsMeter(req.Query, req.From, req.To, req.Mode, m, maxLen, limit)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "paths", Paths: paths}, nil
+		}
+		pairs, err := e.pairsMeter(req.Query, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Kind: "pairs", Pairs: pairs}, nil
+	}
+}
+
+// PairsCtx is Pairs under ctx and the engine's budget.
+func (e *Engine) PairsCtx(ctx context.Context, query string) ([][2]graph.NodeID, error) {
+	pairs, err := e.pairsMeter(query, eval.NewMeter(ctx, e.Budget))
+	return pairs, classify(err)
+}
+
+func (e *Engine) pairsMeter(query string, m *eval.Meter) ([][2]graph.NodeID, error) {
+	plan, err := cached(e, "rpq", query, e.compileRPQ)
+	if err != nil {
+		return nil, badQuery(err)
+	}
+	prs, err := eval.PairsProductCtx(context.Background(), plan.product,
+		eval.Options{Parallelism: e.Parallelism, Meter: m})
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]graph.NodeID
+	for _, pr := range prs {
+		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
+	}
+	return out, nil
+}
+
+// RowsCtx is Rows under ctx and the engine's budget.
+func (e *Engine) RowsCtx(ctx context.Context, query string) (*crpq.Result, error) {
+	rows, err := e.rowsMeter(query, eval.NewMeter(ctx, e.Budget), e.MaxLen)
+	return rows, classify(err)
+}
+
+func (e *Engine) rowsMeter(query string, m *eval.Meter, maxLen int) (*crpq.Result, error) {
+	q, err := cached(e, "crpq", query, crpq.Parse)
+	if err != nil {
+		return nil, badQuery(err)
+	}
+	return crpq.EvalCtx(context.Background(), e.g, q,
+		crpq.Options{AtomMaxLen: maxLen, Parallelism: e.Parallelism, Meter: m})
+}
+
+// PathsCtx is Paths under ctx and the engine's budget.
+func (e *Engine) PathsCtx(ctx context.Context, query string, src, dst graph.NodeID, mode eval.Mode) ([]PathResult, error) {
+	res, err := e.pathsMeter(query, src, dst, mode, eval.NewMeter(ctx, e.Budget), e.MaxLen, e.Limit)
+	return res, classify(err)
+}
+
+func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode, m *eval.Meter, maxLen, limit int) ([]PathResult, error) {
+	u, ok := e.g.NodeIndex(src)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, src)
+	}
+	v, ok := e.g.NodeIndex(dst)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, dst)
+	}
+	switch Detect(query) {
+	case KindCRPQ:
+		return nil, badQuery(errors.New("core: CRPQ queries return rows; use Rows"))
+	case KindDLRPQ:
+		expr, err := cached(e, "dlrpq", query, dlrpq.Parse)
+		if err != nil {
+			return nil, badQuery(err)
+		}
+		pbs, err := dlrpq.EvalBetween(e.g, expr, u, v, mode,
+			dlrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m})
+		if err != nil {
+			return nil, err
+		}
+		return toResults(pbs), nil
+	default:
+		expr, err := cached(e, "lrpq", query, lrpq.Parse)
+		if err != nil {
+			return nil, badQuery(err)
+		}
+		pbs, err := lrpq.EvalBetween(e.g, expr, u, v, mode,
+			lrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m})
+		if err != nil {
+			return nil, err
+		}
+		return toResults(pbs), nil
+	}
+}
+
+// TwoWayPairsCtx is TwoWayPairs under ctx and the engine's budget.
+func (e *Engine) TwoWayPairsCtx(ctx context.Context, query string) ([][2]graph.NodeID, error) {
+	pairs, err := e.twoWayPairsMeter(query, eval.NewMeter(ctx, e.Budget))
+	return pairs, classify(err)
+}
+
+func (e *Engine) twoWayPairsMeter(query string, m *eval.Meter) ([][2]graph.NodeID, error) {
+	expr, err := cached(e, "2rpq", query, twoway.Parse)
+	if err != nil {
+		return nil, badQuery(err)
+	}
+	prs, err := twoway.PairsMeter(e.g, expr, m)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]graph.NodeID
+	for _, pr := range prs {
+		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
+	}
+	return out, nil
+}

@@ -17,6 +17,7 @@
 package crpq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -261,10 +262,28 @@ type Options struct {
 	// materialization; 0 means one per available CPU, 1 forces the
 	// sequential path. Output is identical either way.
 	Parallelism int
+	// Budget caps per-query resources for EvalCtx; zero means unlimited.
+	// MaxRows counts materialized tuples (atom relations and output rows),
+	// since atom materialization is where combinatorial blowup happens.
+	Budget eval.Budget
+	// Meter, when non-nil, overrides ctx+Budget: the shared instrument a
+	// serving layer threads through every atom of one query.
+	Meter *eval.Meter
 }
 
 // Eval computes q(G) (set semantics). It validates the query first.
 func Eval(g *graph.Graph, q *Query, opts Options) (*Result, error) {
+	return EvalCtx(context.Background(), g, q, opts)
+}
+
+// EvalCtx is Eval under a context and the budget carried by opts: atom
+// materialization (including its parallel per-source fan-out) checks the
+// shared meter cooperatively, so a canceled context or an exhausted budget
+// stops every worker and surfaces eval.ErrCanceled / eval.ErrBudgetExceeded.
+func EvalCtx(ctx context.Context, g *graph.Graph, q *Query, opts Options) (*Result, error) {
+	if opts.Meter == nil {
+		opts.Meter = eval.NewMeter(ctx, opts.Budget)
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -316,6 +335,9 @@ func Eval(g *graph.Graph, q *Query, opts Options) (*Result, error) {
 			continue
 		}
 		seen[kb.String()] = struct{}{}
+		if err := opts.Meter.AddRows(1); err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, row)
 	}
 	sort.Slice(out.Rows, func(i, j int) bool {
@@ -445,7 +467,10 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 		}
 		if product != nil {
 			// One product BFS per source covers all destinations.
-			reach := eval.ReachableFromCompiled(product, u, sc)
+			reach, err := eval.ReachableFromMeter(product, u, sc, opts.Meter)
+			if err != nil {
+				return nil, err
+			}
 			ok := map[int]bool{}
 			for _, v := range reach {
 				ok[v] = true
@@ -457,6 +482,9 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 				if ok[v] {
 					addTuple(u, v, nil)
 				}
+			}
+			if err := opts.Meter.AddRows(int64(len(rows))); err != nil {
+				return nil, err
 			}
 			return rows, nil
 		}
@@ -493,7 +521,7 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 		return rows, nil
 	}
 
-	tuples, err := overSources(srcCandidates, opts.Parallelism, product, perSource)
+	tuples, err := overSources(srcCandidates, opts.Parallelism, product, opts.Meter, perSource)
 	if err != nil {
 		return atomRelT{}, err
 	}
@@ -508,8 +536,10 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 // sources). Sources are partitioned into contiguous chunks claimed off an
 // atomic cursor; per-chunk results are concatenated in chunk order, so the
 // relation is identical to the sequential loop's. p, when non-nil, supplies
-// one reusable reachability Scratch per worker.
-func overSources(sources []int, parallelism int, p *eval.Product, fn func(u int, sc *eval.Scratch) ([][]OutValue, error)) ([][]OutValue, error) {
+// one reusable reachability Scratch per worker. The meter m, when non-nil,
+// is polled between sources and a first error stops every worker from
+// claiming further chunks; the pool is always joined before returning.
+func overSources(sources []int, parallelism int, p *eval.Product, m *eval.Meter, fn func(u int, sc *eval.Scratch) ([][]OutValue, error)) ([][]OutValue, error) {
 	newScratch := func() *eval.Scratch {
 		if p == nil {
 			return nil
@@ -525,6 +555,9 @@ func overSources(sources []int, parallelism int, p *eval.Product, fn func(u int,
 		sc := newScratch()
 		var out [][]OutValue
 		for _, u := range sources {
+			if err := m.Check(); err != nil {
+				return nil, err
+			}
 			rows, err := fn(u, sc)
 			if err != nil {
 				return nil, err
@@ -540,6 +573,7 @@ func overSources(sources []int, parallelism int, p *eval.Product, fn func(u int,
 	size := (n + chunks - 1) / chunks
 	results := make([][][]OutValue, chunks)
 	errs := make([]error, chunks)
+	var failed atomic.Bool
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -549,7 +583,7 @@ func overSources(sources []int, parallelism int, p *eval.Product, fn func(u int,
 			sc := newScratch()
 			for {
 				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= chunks {
+				if c >= chunks || failed.Load() {
 					return
 				}
 				lo, hi := c*size, (c+1)*size
@@ -561,9 +595,14 @@ func overSources(sources []int, parallelism int, p *eval.Product, fn func(u int,
 				}
 				var part [][]OutValue
 				for _, u := range sources[lo:hi] {
-					rows, err := fn(u, sc)
+					err := m.Check()
+					var rows [][]OutValue
+					if err == nil {
+						rows, err = fn(u, sc)
+					}
 					if err != nil {
 						errs[c] = err
+						failed.Store(true)
 						break
 					}
 					part = append(part, rows...)
@@ -591,7 +630,7 @@ func evalAtomBetween(g *graph.Graph, a Atom, u, v int, opts Options) ([]gpath.Pa
 }
 
 func evalAtomBetweenMode(g *graph.Graph, a Atom, u, v int, mode eval.Mode, opts Options) ([]gpath.PathBinding, error) {
-	evalOpts := lrpq.Options{MaxLen: opts.AtomMaxLen}
+	evalOpts := lrpq.Options{MaxLen: opts.AtomMaxLen, Meter: opts.Meter}
 	switch {
 	case a.RPQ != nil:
 		le := lrpq.FromRPQ(a.RPQ)
@@ -599,7 +638,7 @@ func evalAtomBetweenMode(g *graph.Graph, a Atom, u, v int, mode eval.Mode, opts 
 	case a.L != nil:
 		return lrpq.EvalBetween(g, a.L, u, v, mode, evalOpts)
 	case a.DL != nil:
-		return dlrpq.EvalBetween(g, a.DL, u, v, mode, dlrpq.Options{MaxLen: opts.AtomMaxLen})
+		return dlrpq.EvalBetween(g, a.DL, u, v, mode, dlrpq.Options{MaxLen: opts.AtomMaxLen, Meter: opts.Meter})
 	default:
 		return nil, fmt.Errorf("crpq: empty atom")
 	}

@@ -1,6 +1,7 @@
 package dlrpq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,6 +19,10 @@ var ErrUnbounded = errors.New("dlrpq: unbounded enumeration under mode all requi
 type Options struct {
 	MaxLen int
 	Limit  int
+	// Meter, when non-nil, enforces cooperative cancellation and per-query
+	// resource budgets across the configuration search; with a nil meter
+	// evaluation never returns eval.ErrCanceled/eval.ErrBudgetExceeded.
+	Meter *eval.Meter
 }
 
 // assignment is a value assignment ν: DataVar → Values (partial).
@@ -272,22 +277,35 @@ func EvalBetween(g *graph.Graph, e Expr, src, dst int, mode eval.Mode, opts Opti
 		if opts.MaxLen <= 0 {
 			// Limit-only: iteratively deepen until enough results or the
 			// search space is exhausted at the configuration level.
-			return deepen(g, a, src, dst, opts.Limit), nil
+			return deepen(g, a, src, dst, opts.Limit, opts.Meter)
 		}
-		return search(g, a, src, dst, opts, 0), nil
+		return search(g, a, src, dst, opts, 0)
 	case eval.Shortest:
-		best, reachable := shortestDistance(g, a, src, dst)
+		best, reachable, err := shortestDistance(g, a, src, dst, opts.Meter)
+		if err != nil {
+			return nil, err
+		}
 		if !reachable {
 			return nil, nil
 		}
-		return search(g, a, src, dst, Options{MaxLen: best, Limit: opts.Limit}, flagExact), nil
+		return search(g, a, src, dst, Options{MaxLen: best, Limit: opts.Limit, Meter: opts.Meter}, flagExact)
 	case eval.Simple:
-		return search(g, a, src, dst, opts, modeSimple), nil
+		return search(g, a, src, dst, opts, modeSimple)
 	case eval.Trail:
-		return search(g, a, src, dst, opts, modeTrail), nil
+		return search(g, a, src, dst, opts, modeTrail)
 	default:
 		return nil, fmt.Errorf("dlrpq: unknown mode %v", mode)
 	}
+}
+
+// EvalBetweenCtx is EvalBetween under a context: when opts.Meter is unset,
+// one is minted from ctx (with no budget) so cancellation reaches the
+// configuration search.
+func EvalBetweenCtx(ctx context.Context, g *graph.Graph, e Expr, src, dst int, mode eval.Mode, opts Options) ([]gpath.PathBinding, error) {
+	if opts.Meter == nil {
+		opts.Meter = eval.NewMeter(ctx, eval.Budget{})
+	}
+	return EvalBetween(g, e, src, dst, mode, opts)
 }
 
 // Eval enumerates ⟦R⟧_G unanchored (all endpoints), requiring MaxLen.
@@ -296,7 +314,10 @@ func Eval(g *graph.Graph, e Expr, opts Options) ([]gpath.PathBinding, error) {
 		return nil, ErrUnbounded
 	}
 	a := Compile(e)
-	out, _ := searchAnchor(g, a, -1, -1, opts, 0)
+	out, _, err := searchAnchor(g, a, -1, -1, opts, 0)
+	if err != nil {
+		return nil, err
+	}
 	return sortPBs(out, opts.Limit), nil
 }
 
@@ -308,15 +329,21 @@ const (
 	flagExact
 )
 
-func search(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags searchFlags) []gpath.PathBinding {
-	out, _ := searchAnchor(g, a, src, dst, opts, flags)
-	return sortPBs(out, opts.Limit)
+func search(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags searchFlags) ([]gpath.PathBinding, error) {
+	out, _, err := searchAnchor(g, a, src, dst, opts, flags)
+	if err != nil {
+		return nil, err
+	}
+	return sortPBs(out, opts.Limit), nil
 }
 
 // searchAnchor is the core DFS over configurations. src = -1 means any
 // start; dst = -1 means any end. truncated reports whether some branch was
-// cut by the MaxLen bound (i.e. deeper results may exist).
-func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags searchFlags) ([]gpath.PathBinding, bool) {
+// cut by the MaxLen bound (i.e. deeper results may exist). The meter in
+// opts, when set, is polled every eval.MeterCheckInterval configuration
+// expansions and charged one row per emitted result.
+func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags searchFlags) ([]gpath.PathBinding, bool, error) {
+	m := opts.Meter
 	seen := map[string]struct{}{}
 	var out []gpath.PathBinding
 
@@ -329,6 +356,8 @@ func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags sea
 	usedEdges := map[int]struct{}{}
 	limitHit := false
 	truncated := false
+	var stopErr error
+	steps := 0
 
 	emit := func() {
 		p, err := gpath.New(g, objs...)
@@ -347,6 +376,10 @@ func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags sea
 		if _, dup := seen[k]; !dup {
 			seen[k] = struct{}{}
 			out = append(out, pb)
+			if err := m.AddRows(1); err != nil {
+				stopErr = err
+				return
+			}
 			if opts.Limit > 0 && len(out) >= opts.Limit && flags&(modeSimple|modeTrail) != 0 {
 				limitHit = true
 			}
@@ -355,8 +388,15 @@ func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags sea
 
 	var dfs func(cfg config, edgesUsed int, sinceEdge map[string]struct{})
 	dfs = func(cfg config, edgesUsed int, sinceEdge map[string]struct{}) {
-		if limitHit {
+		if limitHit || stopErr != nil {
 			return
+		}
+		steps++
+		if steps%eval.MeterCheckInterval == 0 {
+			if err := m.Tick(eval.MeterCheckInterval); err != nil {
+				stopErr = err
+				return
+			}
 		}
 		if a.Accept[cfg.state] && cfg.hasObj {
 			if dst == -1 || endpointOK(g, cfg, dst) {
@@ -429,7 +469,13 @@ func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags sea
 
 	start := config{state: a.Start}
 	dfs(start, 0, map[string]struct{}{start.key(): {}})
-	return out, truncated
+	if stopErr == nil {
+		stopErr = m.Tick(int64(steps % eval.MeterCheckInterval))
+	}
+	if stopErr != nil {
+		return nil, false, stopErr
+	}
+	return out, truncated, nil
 }
 
 func cloneSet(s map[string]struct{}) map[string]struct{} {
@@ -444,7 +490,7 @@ func cloneSet(s map[string]struct{}) map[string]struct{} {
 // len(p) of any result from src to dst. reachable is false when there is
 // none. This is the register-automaton product search of Section 6.4: the
 // configuration space is finite because ν ranges over the active domain.
-func shortestDistance(g *graph.Graph, a *ANFA, src, dst int) (int, bool) {
+func shortestDistance(g *graph.Graph, a *ANFA, src, dst int, m *eval.Meter) (int, bool, error) {
 	type qitem struct {
 		cfg  config
 		dist int
@@ -454,7 +500,14 @@ func shortestDistance(g *graph.Graph, a *ANFA, src, dst int) (int, bool) {
 	dist[start.key()] = 0
 	deque := []qitem{{start, 0}}
 	best := -1
+	steps := 0
 	for len(deque) > 0 {
+		steps++
+		if steps%eval.MeterCheckInterval == 0 {
+			if err := m.Tick(eval.MeterCheckInterval); err != nil {
+				return 0, false, err
+			}
+		}
 		it := deque[0]
 		deque = deque[1:]
 		k := it.cfg.key()
@@ -482,24 +535,31 @@ func shortestDistance(g *graph.Graph, a *ANFA, src, dst int) (int, bool) {
 			}
 		}
 	}
-	if best == -1 {
-		return 0, false
+	if err := m.Tick(int64(steps % eval.MeterCheckInterval)); err != nil {
+		return 0, false, err
 	}
-	return best, true
+	if best == -1 {
+		return 0, false, nil
+	}
+	return best, true, nil
 }
 
 // deepen implements Limit-only mode-all enumeration by iterative deepening
 // on path length, stopping when the limit is reached or the search space is
-// exhausted (no branch hit the depth bound).
-func deepen(g *graph.Graph, a *ANFA, src, dst, limit int) []gpath.PathBinding {
+// exhausted (no branch hit the depth bound). Re-searched configurations are
+// re-charged to the meter: the repeated work is real work.
+func deepen(g *graph.Graph, a *ANFA, src, dst, limit int, m *eval.Meter) ([]gpath.PathBinding, error) {
 	for maxLen := 1; ; maxLen *= 2 {
-		res, truncated := searchAnchor(g, a, src, dst, Options{MaxLen: maxLen}, 0)
+		res, truncated, err := searchAnchor(g, a, src, dst, Options{MaxLen: maxLen, Meter: m}, 0)
+		if err != nil {
+			return nil, err
+		}
 		res = sortPBs(res, 0)
 		if len(res) >= limit {
-			return res[:limit]
+			return res[:limit], nil
 		}
 		if !truncated {
-			return res
+			return res, nil
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -55,6 +56,35 @@ func PairsCompiled(g *graph.Graph, a *automata.NFA, opts Options) [][2]int {
 // point for engines that cache the product alongside the compiled NFA (a
 // Product is immutable, so one instance serves concurrent queries).
 func PairsProduct(p *Product, opts Options) [][2]int {
+	out, _ := pairsProductMeter(p, opts, nil) // nil meter: cannot fail
+	return out
+}
+
+// PairsCtx is PairsOpt under a context and the budget carried by opts: the
+// cooperative-cancellation entry point for serving layers. It returns
+// ErrCanceled (wrapping the context cause) when ctx is canceled mid-search
+// and ErrBudgetExceeded when opts.Budget is exhausted.
+func PairsCtx(ctx context.Context, g *graph.Graph, e rpq.Expr, opts Options) ([][2]int, error) {
+	return PairsProductCtx(ctx, NewProduct(g, rpq.Compile(e)), opts)
+}
+
+// PairsProductCtx is PairsProduct under a context and budget. The meter is
+// opts.Meter when set (a serving layer sharing one meter across stages),
+// otherwise minted from ctx and opts.Budget.
+func PairsProductCtx(ctx context.Context, p *Product, opts Options) ([][2]int, error) {
+	m := opts.Meter
+	if m == nil {
+		m = NewMeter(ctx, opts.Budget)
+	}
+	return pairsProductMeter(p, opts, m)
+}
+
+// pairsProductMeter is the shared implementation: one product BFS per
+// source, fanned out over a worker pool, every BFS metered. Workers share
+// the meter, so a canceled context or an exhausted budget stops all of them
+// within one check interval; the pool is always joined before returning
+// (no goroutine outlives the call, even on error).
+func pairsProductMeter(p *Product, opts Options, m *Meter) ([][2]int, error) {
 	n := p.G.NumNodes()
 	workers := Parallelism(opts.Parallelism)
 	if workers > n {
@@ -64,11 +94,18 @@ func PairsProduct(p *Product, opts Options) [][2]int {
 		sc := p.NewScratch()
 		var out [][2]int
 		for u := 0; u < n; u++ {
-			for _, v := range p.reachableInto(u, sc) {
+			vs, err := p.reachableIntoMeter(u, sc, m)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.AddRows(int64(len(vs))); err != nil {
+				return nil, err
+			}
+			for _, v := range vs {
 				out = append(out, [2]int{u, v})
 			}
 		}
-		return out
+		return out, nil
 	}
 	// Over-partition (4 chunks per worker) so stragglers balance, then
 	// concatenate chunk results in index order for determinism.
@@ -78,6 +115,8 @@ func PairsProduct(p *Product, opts Options) [][2]int {
 	}
 	size := (n + chunks - 1) / chunks
 	results := make([][][2]int, chunks)
+	errs := make([]error, chunks)
+	var failed atomic.Bool
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -87,7 +126,7 @@ func PairsProduct(p *Product, opts Options) [][2]int {
 			sc := p.NewScratch()
 			for {
 				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= chunks {
+				if c >= chunks || failed.Load() {
 					return
 				}
 				lo := c * size
@@ -97,7 +136,16 @@ func PairsProduct(p *Product, opts Options) [][2]int {
 				}
 				var part [][2]int
 				for u := lo; u < hi; u++ {
-					for _, v := range p.reachableInto(u, sc) {
+					vs, err := p.reachableIntoMeter(u, sc, m)
+					if err == nil {
+						err = m.AddRows(int64(len(vs)))
+					}
+					if err != nil {
+						errs[c] = err
+						failed.Store(true)
+						return
+					}
+					for _, v := range vs {
 						part = append(part, [2]int{u, v})
 					}
 				}
@@ -106,18 +154,23 @@ func PairsProduct(p *Product, opts Options) [][2]int {
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	total := 0
 	for _, part := range results {
 		total += len(part)
 	}
 	if total == 0 {
-		return nil // match the sequential path's nil for empty results
+		return nil, nil // match the sequential path's nil for empty results
 	}
 	out := make([][2]int, 0, total)
 	for _, part := range results {
 		out = append(out, part...)
 	}
-	return out
+	return out, nil
 }
 
 // ReachableFrom returns all v with (src, v) ∈ ⟦R⟧_G, sorted.
@@ -133,6 +186,17 @@ func ReachableFromCompiled(p *Product, src int, sc *Scratch) []int {
 		sc = p.NewScratch()
 	}
 	return p.reachableInto(src, sc)
+}
+
+// ReachableFromMeter is ReachableFromCompiled under a meter — the building
+// block multi-stage evaluators (crpq atom materialization) use to share one
+// cancellation/budget instrument across many BFS runs. A nil meter never
+// fails.
+func ReachableFromMeter(p *Product, src int, sc *Scratch, m *Meter) ([]int, error) {
+	if sc == nil {
+		sc = p.NewScratch()
+	}
+	return p.reachableIntoMeter(src, sc, m)
 }
 
 func reachableFrom(p *Product, src int) []int {
@@ -193,10 +257,17 @@ type Options struct {
 	// MaxLen bounds path length (number of edges); 0 means unbounded.
 	MaxLen int
 	// Limit bounds the number of returned paths; 0 means unlimited.
+	// Exceeding Limit truncates; exceeding Budget.MaxRows errors.
 	Limit int
 	// Parallelism caps the number of worker goroutines used by per-source
 	// fan-out; 0 means runtime.GOMAXPROCS(0), 1 forces the sequential path.
 	Parallelism int
+	// Budget caps resources for the Ctx entry points; zero means unlimited.
+	Budget Budget
+	// Meter, when non-nil, overrides ctx+Budget in the Ctx entry points: the
+	// live instrument a serving layer threads through every stage of one
+	// query so cancellation and budgets are enforced query-globally.
+	Meter *Meter
 }
 
 // Paths enumerates the set of node-to-node paths from src to dst matching R

@@ -158,6 +158,16 @@ func (p *Product) NewScratch() *Scratch {
 // scratch. Unlike bfs it records no parents and imposes no visit order, so
 // it runs allocation-free after warm-up — the hot path of Pairs.
 func (p *Product) reachableInto(src int, sc *Scratch) []int {
+	nodes, _ := p.reachableIntoMeter(src, sc, nil)
+	return nodes
+}
+
+// reachableIntoMeter is reachableInto under a meter: every MeterCheckInterval
+// dequeued states it flushes the count to the shared meter and polls for
+// cancellation or an exhausted states budget. With a nil meter it is exactly
+// reachableInto and never fails. On error the scratch is still reset, so the
+// caller may reuse it.
+func (p *Product) reachableIntoMeter(src int, sc *Scratch, m *Meter) ([]int, error) {
 	nq := p.A.NumStates
 	g := p.G
 	sc.queue = sc.queue[:0]
@@ -169,7 +179,16 @@ func (p *Product) reachableInto(src int, sc *Scratch) []int {
 		sc.emitted[src] = true
 		sc.nodes = append(sc.nodes, src)
 	}
-	for head := 0; head < len(sc.queue); head++ {
+	var stopErr error
+	ticked := 0
+	head := 0
+	for ; head < len(sc.queue); head++ {
+		if m != nil && head-ticked >= MeterCheckInterval {
+			if stopErr = m.Tick(int64(head - ticked)); stopErr != nil {
+				break
+			}
+			ticked = head
+		}
 		cur := sc.queue[head]
 		node, state := cur/nq, cur%nq
 		for ti := range p.succ[state] {
@@ -190,15 +209,22 @@ func (p *Product) reachableInto(src int, sc *Scratch) []int {
 			}
 		}
 	}
-	// Reset the bitmaps by replaying the touched lists.
+	if stopErr == nil && m != nil && head > ticked {
+		stopErr = m.Tick(int64(head - ticked))
+	}
+	// Reset the bitmaps by replaying the touched lists (on error too, so the
+	// scratch stays reusable).
 	for _, id := range sc.queue {
 		sc.visited[id] = false
 	}
 	for _, v := range sc.nodes {
 		sc.emitted[v] = false
 	}
+	if stopErr != nil {
+		return nil, stopErr
+	}
 	sort.Ints(sc.nodes)
-	return sc.nodes
+	return sc.nodes, nil
 }
 
 // visit pushes product state (node, to) if unseen, emitting node when the

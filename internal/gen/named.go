@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graphquery/internal/graph"
+)
+
+// Named resolves a graph name from the built-in catalog shared by cmd/gqd
+// and the query service: fixed graphs ("bank", "bank-property") and
+// parameterized families written name-N ("figure5-8", "clique-50",
+// "social-200", "cycle-10", "path-10") or name-WxH ("grid-4x3").
+func Named(name string) (*graph.Graph, error) {
+	switch name {
+	case "bank":
+		return BankEdgeLabeled(), nil
+	case "bank-property":
+		return BankProperty(), nil
+	}
+	if base, ok := strings.CutPrefix(name, "grid-"); ok {
+		w, h, found := strings.Cut(base, "x")
+		if !found {
+			return nil, fmt.Errorf("gen: bad grid size %q (want grid-WxH)", base)
+		}
+		wn, errW := sizeArg(name, "grid", w)
+		hn, errH := sizeArg(name, "grid", h)
+		if errW != nil {
+			return nil, errW
+		}
+		if errH != nil {
+			return nil, errH
+		}
+		return Grid(wn, hn, "a"), nil
+	}
+	for _, fam := range []struct {
+		prefix string
+		build  func(n int) *graph.Graph
+	}{
+		{"figure5-", Figure5},
+		{"clique-", func(n int) *graph.Graph { return Clique(n, "a") }},
+		{"social-", func(n int) *graph.Graph { return Social(n, 1) }},
+		{"cycle-", func(n int) *graph.Graph { return Cycle(n, "a") }},
+		{"path-", func(n int) *graph.Graph { return APath(n, "a") }},
+	} {
+		if arg, ok := strings.CutPrefix(name, fam.prefix); ok {
+			n, err := sizeArg(name, strings.TrimSuffix(fam.prefix, "-"), arg)
+			if err != nil {
+				return nil, err
+			}
+			return fam.build(n), nil
+		}
+	}
+	return nil, fmt.Errorf("gen: unknown graph %q (catalog: %s)", name, strings.Join(CatalogNames(), ", "))
+}
+
+// CatalogNames lists the names Named accepts, parameterized families shown
+// with an N placeholder.
+func CatalogNames() []string {
+	return []string{
+		"bank", "bank-property",
+		"figure5-N", "clique-N", "social-N", "cycle-N", "path-N", "grid-WxH",
+	}
+}
+
+// maxGraphSize caps parameterized graph sizes so a service request cannot
+// ask the catalog to materialize an absurdly large graph.
+const maxGraphSize = 1 << 20
+
+func sizeArg(full, family, arg string) (int, error) {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("gen: bad %s size in %q", family, full)
+	}
+	if n > maxGraphSize {
+		return 0, fmt.Errorf("gen: %s size %d exceeds the catalog cap %d", family, n, maxGraphSize)
+	}
+	return n, nil
+}

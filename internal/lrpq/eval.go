@@ -1,6 +1,7 @@
 package lrpq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,7 +19,11 @@ var ErrUnbounded = errors.New("lrpq: unbounded enumeration under mode all requir
 // Options bound result enumeration.
 type Options struct {
 	MaxLen int // bound on path length; 0 = unbounded
-	Limit  int // bound on result count; 0 = unlimited
+	Limit  int // bound on result count; 0 = unlimited (truncates, never errors)
+	// Meter, when non-nil, enforces cooperative cancellation and per-query
+	// resource budgets (product states visited, result rows) — shared by a
+	// serving layer across all stages of one query.
+	Meter *eval.Meter
 }
 
 // EvalBetween computes m(σ_{u,v}(⟦R⟧_G)) — the path bindings between fixed
@@ -29,30 +34,47 @@ type Options struct {
 // Results are (p, µ) pairs under set semantics, ordered by path length,
 // then path key, then binding key. Distinct bindings over the same path are
 // distinct results.
+//
+// With opts.Meter set, evaluation stops early with eval.ErrCanceled or
+// eval.ErrBudgetExceeded; without one these errors are impossible.
 func EvalBetween(g *graph.Graph, e Expr, src, dst int, mode eval.Mode, opts Options) ([]gpath.PathBinding, error) {
 	a := Compile(e)
+	m := opts.Meter
 	switch mode {
 	case eval.All:
 		if opts.MaxLen <= 0 && opts.Limit <= 0 {
 			return nil, ErrUnbounded
 		}
 		if opts.MaxLen <= 0 {
-			return runBFSLimit(g, a, src, dst, opts.Limit), nil
+			return runBFSLimit(g, a, src, dst, opts.Limit, m)
 		}
-		return runSearch(g, a, src, dst, opts, nil, nil), nil
+		return runSearch(g, a, src, dst, opts, nil, nil)
 	case eval.Shortest:
-		dist, best := productDistances(g, a, src, dst)
+		dist, best, err := productDistances(g, a, src, dst, m)
+		if err != nil {
+			return nil, err
+		}
 		if best == -1 {
 			return nil, nil
 		}
-		return runTight(g, a, src, dst, dist, best), nil
+		return runTight(g, a, src, dst, dist, best, m)
 	case eval.Simple:
-		return runSearch(g, a, src, dst, opts, map[int]struct{}{src: {}}, nil), nil
+		return runSearch(g, a, src, dst, opts, map[int]struct{}{src: {}}, nil)
 	case eval.Trail:
-		return runSearch(g, a, src, dst, opts, nil, map[int]struct{}{}), nil
+		return runSearch(g, a, src, dst, opts, nil, map[int]struct{}{})
 	default:
 		return nil, fmt.Errorf("lrpq: unknown mode %v", mode)
 	}
+}
+
+// EvalBetweenCtx is EvalBetween under a context: when opts.Meter is unset,
+// one is minted from ctx (with no budget) so cancellation reaches the
+// enumeration loops.
+func EvalBetweenCtx(ctx context.Context, g *graph.Graph, e Expr, src, dst int, mode eval.Mode, opts Options) ([]gpath.PathBinding, error) {
+	if opts.Meter == nil {
+		opts.Meter = eval.NewMeter(ctx, eval.Budget{})
+	}
+	return EvalBetween(g, e, src, dst, mode, opts)
 }
 
 // Eval enumerates ⟦R⟧_G from every source node, bounded by opts (the raw
@@ -65,7 +87,11 @@ func Eval(g *graph.Graph, e Expr, opts Options) ([]gpath.PathBinding, error) {
 	a := Compile(e)
 	var out []gpath.PathBinding
 	for src := 0; src < g.NumNodes(); src++ {
-		out = append(out, runSearch(g, a, src, -1, opts, nil, nil)...)
+		res, err := runSearchCompiled(g, a, src, -1, opts, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
 	}
 	return sortPBs(out, opts.Limit), nil
 }
@@ -73,7 +99,7 @@ func Eval(g *graph.Graph, e Expr, opts Options) ([]gpath.PathBinding, error) {
 // runBFSLimit enumerates (p, µ) shortest-first until limit results, for
 // mode-all queries bounded only by Limit. Breadth-first layering guarantees
 // termination and nondecreasing path lengths.
-func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int) []gpath.PathBinding {
+func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int, m *eval.Meter) ([]gpath.PathBinding, error) {
 	type cfg struct {
 		node, state int
 		edges       []int
@@ -82,7 +108,14 @@ func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int) []gpath.PathBindi
 	queue := []cfg{{node: src, state: a.Start}}
 	seen := map[string]struct{}{}
 	var out []gpath.PathBinding
+	steps := 0
 	for len(queue) > 0 && len(out) < limit {
+		steps++
+		if steps%eval.MeterCheckInterval == 0 {
+			if err := m.Tick(eval.MeterCheckInterval); err != nil {
+				return nil, err
+			}
+		}
 		c := queue[0]
 		queue = queue[1:]
 		if a.Accept[c.state] && (dst == -1 || c.node == dst) {
@@ -91,6 +124,9 @@ func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int) []gpath.PathBindi
 			if _, dup := seen[k]; !dup {
 				seen[k] = struct{}{}
 				out = append(out, pb)
+				if err := m.AddRows(1); err != nil {
+					return nil, err
+				}
 				if len(out) == limit {
 					break
 				}
@@ -111,7 +147,10 @@ func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int) []gpath.PathBindi
 			}
 		}
 	}
-	return out
+	if err := m.Tick(int64(steps % eval.MeterCheckInterval)); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func sortPBs(pbs []gpath.PathBinding, limit int) []gpath.PathBinding {
@@ -135,13 +174,21 @@ func sortPBs(pbs []gpath.PathBinding, limit int) []gpath.PathBinding {
 // accepts any endpoint. usedNodes non-nil enforces simple paths; usedEdges
 // non-nil enforces trails.
 func runSearch(g *graph.Graph, a *VNFA, src, dst int, opts Options,
-	usedNodes, usedEdges map[int]struct{}) []gpath.PathBinding {
+	usedNodes, usedEdges map[int]struct{}) ([]gpath.PathBinding, error) {
+	return runSearchCompiled(g, a, src, dst, opts, usedNodes, usedEdges)
+}
 
+func runSearchCompiled(g *graph.Graph, a *VNFA, src, dst int, opts Options,
+	usedNodes, usedEdges map[int]struct{}) ([]gpath.PathBinding, error) {
+
+	m := opts.Meter
 	seen := map[string]struct{}{}
 	var out []gpath.PathBinding
 	var edges []int
 	var vars []string // variable per traversed edge ("" for none)
 	limitHit := false
+	var stopErr error
+	steps := 0
 
 	restricted := usedNodes != nil || usedEdges != nil
 
@@ -153,6 +200,10 @@ func runSearch(g *graph.Graph, a *VNFA, src, dst int, opts Options,
 		if _, dup := seen[k]; !dup {
 			seen[k] = struct{}{}
 			out = append(out, pb)
+			if err := m.AddRows(1); err != nil {
+				stopErr = err
+				return
+			}
 			if opts.Limit > 0 && len(out) >= opts.Limit && restricted {
 				limitHit = true
 			}
@@ -161,11 +212,21 @@ func runSearch(g *graph.Graph, a *VNFA, src, dst int, opts Options,
 
 	var dfs func(node, state int)
 	dfs = func(node, state int) {
-		if limitHit {
+		if limitHit || stopErr != nil {
 			return
+		}
+		steps++
+		if steps%eval.MeterCheckInterval == 0 {
+			if err := m.Tick(eval.MeterCheckInterval); err != nil {
+				stopErr = err
+				return
+			}
 		}
 		if a.Accept[state] && (dst == -1 || node == dst) {
 			emit(node)
+			if stopErr != nil {
+				return
+			}
 		}
 		if opts.MaxLen > 0 && len(edges) == opts.MaxLen {
 			return
@@ -208,10 +269,16 @@ func runSearch(g *graph.Graph, a *VNFA, src, dst int, opts Options,
 		}
 	}
 	dfs(src, a.Start)
-	if restricted {
-		return sortPBs(out, 0)
+	if stopErr == nil {
+		stopErr = m.Tick(int64(steps % eval.MeterCheckInterval))
 	}
-	return sortPBs(out, opts.Limit)
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	if restricted {
+		return sortPBs(out, 0), nil
+	}
+	return sortPBs(out, opts.Limit), nil
 }
 
 func buildPath(g *graph.Graph, src int, edges []int) gpath.Path {
@@ -240,7 +307,7 @@ func buildBinding(g *graph.Graph, edges []int, vars []string) gpath.Binding {
 // productDistances BFSes the (node, state) product ignoring annotations and
 // returns distances plus the minimal accepting distance at dst (-1 if
 // unreachable).
-func productDistances(g *graph.Graph, a *VNFA, src, dst int) (dist []int, best int) {
+func productDistances(g *graph.Graph, a *VNFA, src, dst int, m *eval.Meter) (dist []int, best int, err error) {
 	n := g.NumNodes() * a.NumStates
 	id := func(node, state int) int { return node*a.NumStates + state }
 	dist = make([]int, n)
@@ -250,7 +317,14 @@ func productDistances(g *graph.Graph, a *VNFA, src, dst int) (dist []int, best i
 	start := id(src, a.Start)
 	dist[start] = 0
 	queue := []int{start}
+	steps := 0
 	for len(queue) > 0 {
+		steps++
+		if steps%eval.MeterCheckInterval == 0 {
+			if err := m.Tick(eval.MeterCheckInterval); err != nil {
+				return nil, -1, err
+			}
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		node, state := cur/a.NumStates, cur%a.NumStates
@@ -267,6 +341,9 @@ func productDistances(g *graph.Graph, a *VNFA, src, dst int) (dist []int, best i
 			}
 		}
 	}
+	if err := m.Tick(int64(steps % eval.MeterCheckInterval)); err != nil {
+		return nil, -1, err
+	}
 	best = -1
 	for q := 0; q < a.NumStates; q++ {
 		i := id(dst, q)
@@ -274,18 +351,30 @@ func productDistances(g *graph.Graph, a *VNFA, src, dst int) (dist []int, best i
 			best = dist[i]
 		}
 	}
-	return dist, best
+	return dist, best, nil
 }
 
 // runTight enumerates all shortest (p, µ) via tight product edges.
-func runTight(g *graph.Graph, a *VNFA, src, dst int, dist []int, best int) []gpath.PathBinding {
+func runTight(g *graph.Graph, a *VNFA, src, dst int, dist []int, best int, m *eval.Meter) ([]gpath.PathBinding, error) {
 	id := func(node, state int) int { return node*a.NumStates + state }
 	seen := map[string]struct{}{}
 	var out []gpath.PathBinding
 	var edges []int
 	var vars []string
+	var stopErr error
+	steps := 0
 	var dfs func(node, state int)
 	dfs = func(node, state int) {
+		if stopErr != nil {
+			return
+		}
+		steps++
+		if steps%eval.MeterCheckInterval == 0 {
+			if err := m.Tick(eval.MeterCheckInterval); err != nil {
+				stopErr = err
+				return
+			}
+		}
 		d := len(edges)
 		if d == best {
 			if node == dst && a.Accept[state] {
@@ -294,6 +383,9 @@ func runTight(g *graph.Graph, a *VNFA, src, dst int, dist []int, best int) []gpa
 				if _, dup := seen[k]; !dup {
 					seen[k] = struct{}{}
 					out = append(out, pb)
+					if err := m.AddRows(1); err != nil {
+						stopErr = err
+					}
 				}
 			}
 			return
@@ -313,7 +405,13 @@ func runTight(g *graph.Graph, a *VNFA, src, dst int, dist []int, best int) []gpa
 		}
 	}
 	dfs(src, a.Start)
-	return sortPBs(out, 0)
+	if stopErr == nil {
+		stopErr = m.Tick(int64(steps % eval.MeterCheckInterval))
+	}
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	return sortPBs(out, 0), nil
 }
 
 // BindingsOnPath runs the ℓ-RPQ over one fixed path and returns the distinct

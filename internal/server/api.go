@@ -1,0 +1,257 @@
+// The HTTP JSON surface of the query service.
+//
+//	POST /v1/query    evaluate one query against a named graph
+//	GET  /v1/graphs   list registered graphs
+//	GET  /v1/healthz  liveness
+//	GET  /v1/statz    counters + per-graph plan-cache stats
+//
+// Errors use one envelope, {"error":{"code":..., "message":...}}, with
+// machine-readable codes: invalid_request and invalid_query (400),
+// unknown_graph (404), overloaded (429), budget_exceeded (422),
+// timeout (504), canceled (499), internal (500).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"graphquery/internal/core"
+	"graphquery/internal/eval"
+	"graphquery/internal/graph"
+)
+
+// maxRequestBytes bounds the request body a client may send.
+const maxRequestBytes = 1 << 20
+
+// statusClientClosedRequest is the de-facto code (nginx) for "the client
+// canceled before the response was produced"; net/http has no constant.
+const statusClientClosedRequest = 499
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	Graph string `json:"graph"`
+	Query string `json:"query"`
+	// Lang: "" or "auto" detects the language; "2rpq" forces two-way RPQ.
+	Lang string `json:"lang,omitempty"`
+	// From/To anchor path queries; Mode picks their path semantics
+	// (all, shortest, simple, trail — default all).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	Mode string `json:"mode,omitempty"`
+	// MaxLen / Limit override the engine's enumeration bounds when > 0.
+	MaxLen int `json:"max_len,omitempty"`
+	Limit  int `json:"limit,omitempty"`
+	// TimeoutMS overrides the server's default deadline (clamped to its
+	// maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxStates / MaxRows override the server's default budget when > 0.
+	MaxStates int64 `json:"max_states,omitempty"`
+	MaxRows   int64 `json:"max_rows,omitempty"`
+}
+
+// QueryResponse is the POST /v1/query success body. Exactly one of Pairs,
+// Paths, or Columns+Rows is populated, per Kind.
+type QueryResponse struct {
+	Graph   string      `json:"graph"`
+	Kind    string      `json:"kind"`
+	Pairs   [][2]string `json:"pairs,omitempty"`
+	Paths   []string    `json:"paths,omitempty"`
+	Columns []string    `json:"columns,omitempty"`
+	Rows    [][]string  `json:"rows,omitempty"`
+	Count   int         `json:"count"`
+
+	StatesVisited int64   `json:"states_visited"`
+	RowsProduced  int64   `json:"rows_produced"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+// GraphInfo is one entry of GET /v1/graphs.
+type GraphInfo struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statz", s.handleStatz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: message}})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	infos := []GraphInfo{}
+	for _, name := range s.GraphNames() {
+		g := s.Engine(name).Graph()
+		infos = append(infos, GraphInfo{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()})
+	}
+	writeJSON(w, http.StatusOK, map[string][]GraphInfo{"graphs": infos})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
+		return
+	}
+	if req.Query == "" {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request", "missing query")
+		return
+	}
+	eng := s.Engine(req.Graph)
+	if eng == nil {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(req.Graph))
+		return
+	}
+	mode := eval.All
+	if req.Mode != "" {
+		var err error
+		if mode, err = eval.ParseMode(req.Mode); err != nil {
+			s.stats.errors.Add(1)
+			writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+			return
+		}
+	}
+
+	// Admission: claim a concurrency slot or wait in the bounded queue.
+	if err := s.acquire(r.Context()); err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.stats.rejected.Add(1)
+			writeError(w, http.StatusTooManyRequests, "overloaded",
+				"all query slots busy and the wait queue is full; retry later")
+			return
+		}
+		s.stats.canceled.Add(1)
+		writeError(w, statusClientClosedRequest, "canceled", "client went away while queued")
+		return
+	}
+	defer s.release()
+	s.stats.accepted.Add(1)
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+
+	start := time.Now()
+	resp, err := s.evaluate(r.Context(), eng, core.Request{
+		Query:  req.Query,
+		Lang:   req.Lang,
+		From:   graph.NodeID(req.From),
+		To:     graph.NodeID(req.To),
+		Mode:   mode,
+		MaxLen: req.MaxLen,
+		Limit:  req.Limit,
+		Budget: eval.Budget{MaxStates: req.MaxStates, MaxRows: req.MaxRows},
+	}, s.timeoutFor(time.Duration(req.TimeoutMS)*time.Millisecond))
+	if err != nil {
+		status, code := classifyHTTP(err)
+		switch code {
+		case "timeout":
+			s.stats.timeouts.Add(1)
+		case "canceled":
+			s.stats.canceled.Add(1)
+		case "budget_exceeded":
+			s.stats.budgetExceeded.Add(1)
+		default:
+			s.stats.errors.Add(1)
+		}
+		writeError(w, status, code, err.Error())
+		return
+	}
+	s.stats.completed.Add(1)
+	writeJSON(w, http.StatusOK, renderResponse(eng, req.Graph, resp, time.Since(start)))
+}
+
+// classifyHTTP maps the engine/eval error taxonomy to an HTTP status and
+// error code.
+func classifyHTTP(err error) (int, string) {
+	switch {
+	case errors.Is(err, eval.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity, "budget_exceeded"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, eval.ErrCanceled), errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, "canceled"
+	case errors.Is(err, core.ErrBadQuery), errors.Is(err, core.ErrUnknownNode):
+		return http.StatusBadRequest, "invalid_query"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func renderResponse(eng *core.Engine, graphName string, resp *core.Response, elapsed time.Duration) *QueryResponse {
+	g := eng.Graph()
+	out := &QueryResponse{
+		Graph:         graphName,
+		Kind:          resp.Kind,
+		Count:         resp.Count(),
+		StatesVisited: resp.StatesVisited,
+		RowsProduced:  resp.RowsProduced,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+	}
+	switch resp.Kind {
+	case "pairs":
+		out.Pairs = make([][2]string, len(resp.Pairs))
+		for i, pr := range resp.Pairs {
+			out.Pairs[i] = [2]string{string(pr[0]), string(pr[1])}
+		}
+	case "paths":
+		out.Paths = make([]string, len(resp.Paths))
+		for i, p := range resp.Paths {
+			out.Paths[i] = p.Format(g)
+		}
+	case "rows":
+		out.Columns = resp.Rows.Head
+		out.Rows = make([][]string, len(resp.Rows.Rows))
+		for i, row := range resp.Rows.Rows {
+			rendered := make([]string, len(row))
+			for j, v := range row {
+				rendered[j] = v.Format(g)
+			}
+			out.Rows[i] = rendered
+		}
+	}
+	return out
+}
+
+func strconvQuote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -1,0 +1,194 @@
+// Package server is the embeddable query service behind cmd/gqserverd: a
+// set of named graphs, each with its own core.Engine, exposed over an HTTP
+// JSON API with per-query deadlines, cooperative cancellation, admission
+// control, and resource budgets.
+//
+// The serving posture follows directly from the paper's complexity
+// landscape: evaluation cost for the languages the engine implements can be
+// exponential in the query or output (Propositions 22–24, Example 28), so a
+// multi-tenant service must bound each query's resources — wall-clock via
+// context deadlines, memory/work via eval.Budget — and bound its own
+// concurrency via an admission limiter rather than letting load fan out
+// into unbounded goroutines.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphquery/internal/core"
+	"graphquery/internal/eval"
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+)
+
+// Config tunes a Server. The zero value serves with no deadlines, no
+// budgets, and concurrency bounded at defaultMaxConcurrent.
+type Config struct {
+	// DefaultTimeout is the per-query deadline applied when the request
+	// does not carry its own timeout_ms (0: none).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts, and applies even when the
+	// client asked for no deadline (0: uncapped).
+	MaxTimeout time.Duration
+	// MaxConcurrent bounds queries evaluating simultaneously
+	// (0: defaultMaxConcurrent).
+	MaxConcurrent int
+	// MaxQueue bounds admissions waiting for a concurrency slot; a request
+	// arriving with the queue full is rejected immediately with 429
+	// (0: no waiting, reject as soon as all slots are busy).
+	MaxQueue int
+	// DefaultBudget is the per-query resource budget; requests may
+	// override it field-by-field. Zero fields are unlimited.
+	DefaultBudget eval.Budget
+	// MaxLen / Limit / Parallelism seed the per-graph engines
+	// (0: engine defaults).
+	MaxLen, Limit, Parallelism int
+}
+
+const defaultMaxConcurrent = 16
+
+// Server is a query service over named graphs. Create with New, populate
+// with Register / LoadNamed, then serve Handler.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	engines map[string]*core.Engine
+
+	// sem holds one token per in-flight query; queued counts admissions
+	// blocked waiting for a token, checked against cfg.MaxQueue.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	stats counters
+}
+
+// New returns an empty server with cfg's admission limiter.
+func New(cfg Config) *Server {
+	mc := cfg.MaxConcurrent
+	if mc <= 0 {
+		mc = defaultMaxConcurrent
+	}
+	return &Server{
+		cfg:     cfg,
+		engines: make(map[string]*core.Engine),
+		sem:     make(chan struct{}, mc),
+	}
+}
+
+// Register adds g under name and returns its engine (already seeded with
+// the server's MaxLen/Limit/Parallelism/DefaultBudget) for further
+// customization before serving starts. Re-registering a name replaces it.
+func (s *Server) Register(name string, g *graph.Graph) *core.Engine {
+	e := core.New(g)
+	if s.cfg.MaxLen > 0 {
+		e.MaxLen = s.cfg.MaxLen
+	}
+	e.Limit = s.cfg.Limit
+	e.Parallelism = s.cfg.Parallelism
+	e.Budget = s.cfg.DefaultBudget
+	s.mu.Lock()
+	s.engines[name] = e
+	s.mu.Unlock()
+	return e
+}
+
+// LoadNamed registers graphs from the built-in catalog (gen.Named) under
+// their catalog names.
+func (s *Server) LoadNamed(names ...string) error {
+	for _, name := range names {
+		g, err := gen.Named(name)
+		if err != nil {
+			return err
+		}
+		s.Register(name, g)
+	}
+	return nil
+}
+
+// Engine returns the engine serving name, or nil.
+func (s *Server) Engine(name string) *core.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engines[name]
+}
+
+// GraphNames lists the registered graph names, sorted.
+func (s *Server) GraphNames() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.engines))
+	for name := range s.engines {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// errOverloaded is the admission-control rejection: all concurrency slots
+// busy and the wait queue full.
+var errOverloaded = errors.New("server: overloaded")
+
+// acquire claims a concurrency slot, waiting in the bounded queue if the
+// limiter is saturated. It returns errOverloaded when the queue is full and
+// the ctx error when the caller goes away while queued.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.MaxQueue <= 0 {
+		return errOverloaded
+	}
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return errOverloaded
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// timeoutFor resolves the effective deadline for a request that asked for
+// requested (0: use the default), clamped to MaxTimeout. 0 means no
+// deadline.
+func (s *Server) timeoutFor(requested time.Duration) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if requested > 0 {
+		d = requested
+	}
+	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// evaluate runs one admitted query: resolve the deadline, evaluate under
+// ctx, and account the meter readings.
+func (s *Server) evaluate(ctx context.Context, e *core.Engine, req core.Request, timeout time.Duration) (*core.Response, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout,
+			fmt.Errorf("%w: query deadline %v exceeded", context.DeadlineExceeded, timeout))
+		defer cancel()
+	}
+	resp, err := e.QueryCtx(ctx, req)
+	if resp != nil {
+		s.stats.statesVisited.Add(resp.StatesVisited)
+		s.stats.rowsReturned.Add(int64(resp.Count()))
+	}
+	return resp, err
+}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config, graphs ...string) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	if err := s.LoadNamed(graphs...); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a /v1/query body and decodes the JSON response (success or
+// error envelope) into a generic map.
+func post(t *testing.T, ts *httptest.Server, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("response %d is not JSON: %v\n%s", resp.StatusCode, err, raw)
+	}
+	return resp.StatusCode, m
+}
+
+func errorCode(t *testing.T, m map[string]any) string {
+	t.Helper()
+	env, ok := m["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error envelope in %v", m)
+	}
+	code, _ := env["code"].(string)
+	if msg, _ := env["message"].(string); msg == "" {
+		t.Errorf("error envelope without message: %v", m)
+	}
+	return code
+}
+
+func TestQueryEndpointSuccess(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, "bank", "bank-property", "figure5-4")
+
+	status, m := post(t, ts, `{"graph":"bank","query":"Transfer*"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, m)
+	}
+	if m["kind"] != "pairs" || len(m["pairs"].([]any)) == 0 {
+		t.Fatalf("want pairs, got %v", m)
+	}
+
+	status, m = post(t, ts, `{"graph":"bank","query":"q(x,y) :- Transfer(x,y), Transfer(y,x)"}`)
+	if status != http.StatusOK || m["kind"] != "rows" {
+		t.Fatalf("CRPQ: status %d, %v", status, m)
+	}
+
+	status, m = post(t, ts, `{"graph":"figure5-4","query":"a*","from":"s","to":"t","mode":"shortest"}`)
+	if status != http.StatusOK || m["kind"] != "paths" || m["count"].(float64) != 16 {
+		t.Fatalf("paths: status %d, %v", status, m)
+	}
+
+	status, m = post(t, ts, `{"graph":"bank","query":"~Transfer Transfer","lang":"2rpq"}`)
+	if status != http.StatusOK || m["kind"] != "pairs" {
+		t.Fatalf("2rpq: status %d, %v", status, m)
+	}
+
+	status, m = post(t, ts, `{"graph":"bank","query":"(Transfer^z)+","from":"a3","to":"a1","mode":"shortest"}`)
+	if status != http.StatusOK || m["kind"] != "paths" {
+		t.Fatalf("lrpq: status %d, %v", status, m)
+	}
+
+	status, m = post(t, ts, `{"graph":"bank-property","query":"() [Transfer][amount < 4500000] ()","from":"a3","to":"a4","mode":"shortest"}`)
+	if status != http.StatusOK || m["kind"] != "paths" {
+		t.Fatalf("dlrpq: status %d, %v", status, m)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, "bank")
+	cases := []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"bad json", `{"graph": bank}`, http.StatusBadRequest, "invalid_request"},
+		{"missing query", `{"graph":"bank"}`, http.StatusBadRequest, "invalid_request"},
+		{"bad mode", `{"graph":"bank","query":"a","mode":"sideways"}`, http.StatusBadRequest, "invalid_request"},
+		{"unknown graph", `{"graph":"nope","query":"a"}`, http.StatusNotFound, "unknown_graph"},
+		{"parse error", `{"graph":"bank","query":"((("}`, http.StatusBadRequest, "invalid_query"},
+		{"unknown node", `{"graph":"bank","query":"Transfer","from":"nope","to":"a1"}`, http.StatusBadRequest, "invalid_query"},
+	}
+	for _, tc := range cases {
+		status, m := post(t, ts, tc.body)
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, status, tc.status, m)
+			continue
+		}
+		if code := errorCode(t, m); code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, code, tc.code)
+		}
+	}
+}
+
+// TestQueryEndpointDeadline is the ISSUE acceptance check: a 50ms deadline
+// on an expensive clique query returns 504 within 2x the deadline.
+func TestQueryEndpointDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Parallelism: 1}, "clique-300")
+	start := time.Now()
+	status, m := post(t, ts, `{"graph":"clique-300","query":"a* a* a*","timeout_ms":50}`)
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%v)", status, m)
+	}
+	if code := errorCode(t, m); code != "timeout" {
+		t.Fatalf("code %q, want timeout", code)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("504 after %v; want within 2x the 50ms deadline", elapsed)
+	}
+}
+
+func TestQueryEndpointRowBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxLen: 18}, "figure5-18")
+	status, m := post(t, ts, `{"graph":"figure5-18","query":"a*","from":"s","to":"t","max_rows":50}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (%v)", status, m)
+	}
+	if code := errorCode(t, m); code != "budget_exceeded" {
+		t.Fatalf("code %q, want budget_exceeded", code)
+	}
+}
+
+// TestQueryEndpointOverload saturates a 1-slot/1-queue server and checks
+// the third concurrent query is rejected with 429 immediately.
+func TestQueryEndpointOverload(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 1, Parallelism: 1}, "clique-300")
+	slow := `{"graph":"clique-300","query":"a* a* a*","timeout_ms":10000}`
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(t, ts, slow)
+		}()
+		// Wait until this query occupies its slot (first: in flight;
+		// second: queued) before firing the next.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := s.Stats()
+			if st.InFlight >= 1 && st.Queued >= int64(i) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("server never reached in_flight>=1, queued>=%d: %+v", i, st)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	status, m := post(t, ts, slow)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%v)", status, m)
+	}
+	if code := errorCode(t, m); code != "overloaded" {
+		t.Fatalf("code %q, want overloaded", code)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", st.Rejected)
+	}
+}
+
+func TestMetaEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{DefaultTimeout: time.Second}, "bank", "figure5-4")
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gl map[string][]GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&gl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(gl["graphs"]) != 2 || gl["graphs"][0].Name != "bank" || gl["graphs"][0].Nodes == 0 {
+		t.Fatalf("graphs: %+v", gl)
+	}
+
+	// Drive some traffic, then check the counters flow through statz JSON.
+	post(t, ts, `{"graph":"bank","query":"Transfer*"}`)
+	post(t, ts, `{"graph":"bank","query":"((("}`)
+	resp, err = http.Get(ts.URL + "/v1/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Accepted != 2 || st.Completed != 1 || st.Errors != 1 {
+		t.Fatalf("statz counters: %+v", st)
+	}
+	if st.StatesVisited == 0 || st.RowsReturned == 0 {
+		t.Errorf("meter totals not aggregated: %+v", st)
+	}
+	if g, ok := st.Graphs["bank"]; !ok || g.Cache.Misses == 0 {
+		t.Errorf("per-graph cache stats missing: %+v", st.Graphs)
+	}
+	// The HTTP snapshot matches the in-process one (modulo the statz
+	// requests themselves, which touch no counters).
+	if direct := s.Stats(); direct.Accepted != st.Accepted {
+		t.Errorf("HTTP statz %d accepted, direct %d", st.Accepted, direct.Accepted)
+	}
+}
+
+// TestErrorEnvelopeShape checks the taxonomy round-trips JSON: code and
+// message fields decode into the documented envelope for every error class.
+func TestErrorEnvelopeShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, "bank")
+	status, m := post(t, ts, `{"graph":"bank","query":"a","max_states":1}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %v", status, m)
+	}
+	var env errorEnvelope
+	raw, _ := json.Marshal(m)
+	if err := json.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "budget_exceeded" || !strings.Contains(env.Error.Message, "states budget") {
+		t.Fatalf("envelope: %+v", env)
+	}
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, "bank")
+	huge := `{"graph":"bank","query":"` + strings.Repeat("a|", maxRequestBytes) + `a"}`
+	status, m := post(t, ts, huge)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%v)", status, m)
+	}
+	if code := errorCode(t, m); code != "invalid_request" {
+		t.Fatalf("code %q, want invalid_request", code)
+	}
+}

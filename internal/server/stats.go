@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"graphquery/internal/core"
+)
+
+// counters is the server's hot-path instrumentation: every field is an
+// independent atomic so request handling never takes a lock to account
+// itself, and Stats() assembles a (possibly slightly torn, individually
+// exact) snapshot.
+type counters struct {
+	accepted       atomic.Int64 // admitted past the limiter
+	completed      atomic.Int64 // finished with a 200
+	canceled       atomic.Int64 // client went away (499)
+	timeouts       atomic.Int64 // deadline exceeded (504)
+	budgetExceeded atomic.Int64 // resource budget hit (422)
+	rejected       atomic.Int64 // admission control said no (429)
+	errors         atomic.Int64 // invalid/unknown/internal (4xx/5xx rest)
+	inFlight       atomic.Int64 // currently evaluating
+
+	statesVisited atomic.Int64 // product states expanded, summed over queries
+	rowsReturned  atomic.Int64 // results returned, summed over queries
+}
+
+// ServerStats is the /v1/statz snapshot.
+type ServerStats struct {
+	Accepted       int64 `json:"accepted"`
+	Completed      int64 `json:"completed"`
+	Canceled       int64 `json:"canceled"`
+	Timeouts       int64 `json:"timeouts"`
+	BudgetExceeded int64 `json:"budget_exceeded"`
+	Rejected       int64 `json:"rejected"`
+	Errors         int64 `json:"errors"`
+	InFlight       int64 `json:"in_flight"`
+	Queued         int64 `json:"queued"`
+	StatesVisited  int64 `json:"states_visited"`
+	RowsReturned   int64 `json:"rows_returned"`
+
+	Graphs map[string]GraphStats `json:"graphs"`
+}
+
+// GraphStats describes one registered graph and its plan cache.
+type GraphStats struct {
+	Nodes int             `json:"nodes"`
+	Edges int             `json:"edges"`
+	Cache core.CacheStats `json:"cache"`
+}
+
+// Stats snapshots the server's counters and per-graph plan-cache stats.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Accepted:       s.stats.accepted.Load(),
+		Completed:      s.stats.completed.Load(),
+		Canceled:       s.stats.canceled.Load(),
+		Timeouts:       s.stats.timeouts.Load(),
+		BudgetExceeded: s.stats.budgetExceeded.Load(),
+		Rejected:       s.stats.rejected.Load(),
+		Errors:         s.stats.errors.Load(),
+		InFlight:       s.stats.inFlight.Load(),
+		Queued:         s.queued.Load(),
+		StatesVisited:  s.stats.statesVisited.Load(),
+		RowsReturned:   s.stats.rowsReturned.Load(),
+		Graphs:         make(map[string]GraphStats),
+	}
+	s.mu.RLock()
+	for name, e := range s.engines {
+		g := e.Graph()
+		st.Graphs[name] = GraphStats{Nodes: g.NumNodes(), Edges: g.NumEdges(), Cache: e.CacheStats()}
+	}
+	s.mu.RUnlock()
+	return st
+}

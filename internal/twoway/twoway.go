@@ -8,11 +8,13 @@
 package twoway
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"unicode"
 
 	"graphquery/internal/automata"
+	"graphquery/internal/eval"
 	"graphquery/internal/graph"
 )
 
@@ -333,14 +335,36 @@ func (g *tglushkov) analyze(e Expr) tinfo {
 // final sort: sources are scanned ascending and each per-source result is
 // ascending, so it is lexicographically sorted by construction.
 func Pairs(g *graph.Graph, e Expr) [][2]int {
+	out, _ := PairsMeter(g, e, nil) // nil meter: cannot fail
+	return out
+}
+
+// PairsCtx is Pairs under a context and budget: evaluation stops with
+// eval.ErrCanceled when ctx is canceled mid-search and with
+// eval.ErrBudgetExceeded when b is exhausted.
+func PairsCtx(ctx context.Context, g *graph.Graph, e Expr, b eval.Budget) ([][2]int, error) {
+	return PairsMeter(g, e, eval.NewMeter(ctx, b))
+}
+
+// PairsMeter is Pairs under a shared meter (nil means unlimited) — the
+// entry point for serving layers that thread one instrument through every
+// stage of a query.
+func PairsMeter(g *graph.Graph, e Expr, m *eval.Meter) ([][2]int, error) {
 	p := newTProduct(g, Compile(e))
 	var out [][2]int
 	for u := 0; u < g.NumNodes(); u++ {
-		for _, v := range p.reachableFrom(u) {
+		vs, err := p.reachableFromMeter(u, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddRows(int64(len(vs))); err != nil {
+			return nil, err
+		}
+		for _, v := range vs {
 			out = append(out, [2]int{u, v})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Check reports whether (src, dst) ∈ ⟦R⟧_G.
@@ -401,6 +425,13 @@ func newTProduct(g *graph.Graph, a *TNFA) *tProduct {
 }
 
 func (p *tProduct) reachableFrom(src int) []int {
+	out, _ := p.reachableFromMeter(src, nil)
+	return out
+}
+
+// reachableFromMeter is reachableFrom with amortized cancellation/budget
+// checks every eval.MeterCheckInterval dequeued product states.
+func (p *tProduct) reachableFromMeter(src int, m *eval.Meter) ([]int, error) {
 	g, a := p.g, p.a
 	id := func(node, state int) int { return node*a.NumStates + state }
 	visited := make([]bool, g.NumNodes()*a.NumStates)
@@ -413,7 +444,14 @@ func (p *tProduct) reachableFrom(src int) []int {
 			queue = append(queue, ni)
 		}
 	}
+	ticked := 0
 	for head := 0; head < len(queue); head++ {
+		if m != nil && head-ticked >= eval.MeterCheckInterval {
+			if err := m.Tick(int64(head - ticked)); err != nil {
+				return nil, err
+			}
+			ticked = head
+		}
 		cur := queue[head]
 		node, state := cur/a.NumStates, cur%a.NumStates
 		for ti := range p.succ[state] {
@@ -453,6 +491,11 @@ func (p *tProduct) reachableFrom(src int) []int {
 			}
 		}
 	}
+	if m != nil && len(queue) > ticked {
+		if err := m.Tick(int64(len(queue) - ticked)); err != nil {
+			return nil, err
+		}
+	}
 	var out []int
 	for v := 0; v < g.NumNodes(); v++ {
 		for q := 0; q < a.NumStates; q++ {
@@ -462,7 +505,7 @@ func (p *tProduct) reachableFrom(src int) []int {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Witness returns one shortest two-way walk (as the visited node sequence —
