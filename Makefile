@@ -4,12 +4,20 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke serve-smoke ci
+.PHONY: all vet lint build test race bench-smoke serve-smoke ci
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# Static hygiene beyond vet: formatting drift and exported functions no
+# other file references (internal/ packages have no outside importers, so
+# those are dead code).
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	bash scripts/dead_exports.sh
 
 build:
 	$(GO) build ./...
@@ -31,4 +39,4 @@ bench-smoke:
 serve-smoke:
 	GO="$(GO)" bash scripts/serve_smoke.sh
 
-ci: vet build test race bench-smoke serve-smoke
+ci: lint build test race bench-smoke serve-smoke

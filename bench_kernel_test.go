@@ -1,0 +1,63 @@
+package graphquery
+
+// BenchmarkE15_UnifiedKernel measures all-pairs product evaluation on the
+// two adversarial graph families of the paper: Figure 5 diamond chains
+// (exponentially many shortest paths over a long thin product) and
+// k-cliques (dense products where every state fans out to every node).
+// The benchmark pins the per-source kernel loop, so pre/post numbers for
+// the unified product-graph runtime (internal/pg) are directly comparable;
+// EXPERIMENTS.md records both sides.
+
+import (
+	"fmt"
+	"testing"
+
+	"graphquery/internal/eval"
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+	"graphquery/internal/rpq"
+)
+
+func BenchmarkE15_UnifiedKernel(b *testing.B) {
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		query string
+	}{
+		{"diamond/n=128", gen.Figure5(128), "a*"},
+		{"diamond/n=512", gen.Figure5(512), "a*"},
+		{"clique/k=32", gen.Clique(32, "a"), "a a*"},
+		{"clique/k=64", gen.Clique(64, "a"), "a a*"},
+	}
+	for _, tc := range cases {
+		nfa := rpq.Compile(rpq.MustParse(tc.query))
+		b.Run(tc.name, func(b *testing.B) {
+			want := -1
+			for i := 0; i < b.N; i++ {
+				prs := eval.PairsCompiled(tc.g, nfa, eval.Options{Parallelism: 1})
+				if want == -1 {
+					want = len(prs)
+				} else if len(prs) != want {
+					b.Fatalf("got %d pairs, want %d", len(prs), want)
+				}
+			}
+			if want <= 0 {
+				b.Fatal("no pairs")
+			}
+		})
+	}
+	// The same families through the engine's unified dispatch (plan cache
+	// warm), quantifying planner + dispatch overhead on top of the kernel.
+	g := gen.Clique(32, "a")
+	e := NewEngine(g)
+	if _, err := e.Pairs("a a*"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("engine/clique/k=%d", 32), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Pairs("a a*"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"graphquery/internal/automata"
 	"graphquery/internal/cardest"
@@ -20,6 +21,8 @@ import (
 	"graphquery/internal/gql"
 	"graphquery/internal/graph"
 	"graphquery/internal/lrpq"
+	"graphquery/internal/pg"
+	pgplan "graphquery/internal/pg/plan"
 	"graphquery/internal/pmr"
 	"graphquery/internal/regular"
 	"graphquery/internal/rpq"
@@ -46,6 +49,16 @@ type Engine struct {
 	// plans caches parsed ASTs and compiled NFAs keyed by normalized query
 	// text × query kind, so repeated queries skip parse + Glushkov.
 	plans *planCache
+
+	// counters aggregates the unified runtime's work and plan-choice
+	// statistics across every query this engine evaluates; RuntimeStats
+	// snapshots it for /v1/statz.
+	counters pg.Counters
+
+	// planner holds the cost-based planner, built lazily on the first RPQ
+	// compilation (its statistics collection scans the graph once).
+	plannerOnce sync.Once
+	planner     *pgplan.Planner
 }
 
 // New returns an engine over g with a default enumeration bound and plan
@@ -119,14 +132,44 @@ func (r PathResult) Format(g *graph.Graph) string {
 }
 
 // rpqPlan is the cached compilation product of a plain RPQ: its parsed
-// expression, Glushkov NFA, and the product with the engine's graph (the
-// guards resolved against the label index). All three are immutable, so a
-// cached plan serves concurrent queries.
+// expression, Glushkov NFA, the product with the engine's graph (the
+// guards resolved against the label index), and the kernel plan the
+// cost-based planner chose for it. All four are immutable, so a cached
+// plan serves concurrent queries. The plan snapshots e.Parallelism at
+// compile time; changing the field later affects only uncached queries.
 type rpqPlan struct {
 	expr    rpq.Expr
 	nfa     *automata.NFA
 	product *eval.Product
+	plan    pg.Plan
 }
+
+// plannerLazy builds the cost-based planner on first use (statistics
+// collection is one O(|E|) scan, amortized over the engine's lifetime).
+func (e *Engine) plannerLazy() *pgplan.Planner {
+	e.plannerOnce.Do(func() { e.planner = pgplan.New(e.g) })
+	return e.planner
+}
+
+// planMinNodes gates the planner: below this graph size every plan's
+// worst case is microseconds, so the cost model — O(|δ|) per compiled
+// automaton — would cost more than any choice it could save. Tiny graphs
+// keep the zero (forward, indexed, sequential) plan.
+const planMinNodes = 32
+
+// planFor plans one compiled automaton, or returns the default plan when
+// the graph is too small for planning to pay for itself.
+func (e *Engine) planFor(nfa *automata.NFA) pg.Plan {
+	if e.g.NumNodes() < planMinNodes {
+		return pg.Plan{}
+	}
+	return e.plannerLazy().ForNFA(nfa, e.Parallelism)
+}
+
+// RuntimeStats snapshots the unified runtime's counters: product states
+// expanded, edges scanned, peak frontier, and plan choices, cumulative
+// over every query this engine has evaluated.
+func (e *Engine) RuntimeStats() pg.CountersSnapshot { return e.counters.Snapshot() }
 
 func (e *Engine) compileRPQ(q string) (rpqPlan, error) {
 	expr, err := rpq.Parse(q)
@@ -134,7 +177,12 @@ func (e *Engine) compileRPQ(q string) (rpqPlan, error) {
 		return rpqPlan{}, err
 	}
 	nfa := rpq.Compile(expr)
-	return rpqPlan{expr: expr, nfa: nfa, product: eval.NewProduct(e.g, nfa)}, nil
+	return rpqPlan{
+		expr:    expr,
+		nfa:     nfa,
+		product: eval.NewProductInstrumented(e.g, nfa, &e.counters),
+		plan:    e.planFor(nfa),
+	}, nil
 }
 
 // Pairs evaluates a plain RPQ to its endpoint-pair semantics ⟦R⟧_G.
@@ -144,7 +192,7 @@ func (e *Engine) Pairs(query string) ([][2]graph.NodeID, error) {
 		return nil, err
 	}
 	var out [][2]graph.NodeID
-	for _, pr := range eval.PairsProduct(plan.product, eval.Options{Parallelism: e.Parallelism}) {
+	for _, pr := range eval.PairsProduct(plan.product, eval.Options{Parallelism: e.Parallelism, Plan: plan.plan}) {
 		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
 	}
 	return out, nil
@@ -168,7 +216,7 @@ func (e *Engine) Paths(query string, src, dst graph.NodeID, mode eval.Mode) ([]P
 		if err != nil {
 			return nil, err
 		}
-		pbs, err := dlrpq.EvalBetween(e.g, expr, u, v, mode, dlrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit})
+		pbs, err := dlrpq.EvalBetween(e.g, expr, u, v, mode, dlrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit, Counters: &e.counters})
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +226,7 @@ func (e *Engine) Paths(query string, src, dst graph.NodeID, mode eval.Mode) ([]P
 		if err != nil {
 			return nil, err
 		}
-		pbs, err := lrpq.EvalBetween(e.g, expr, u, v, mode, lrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit})
+		pbs, err := lrpq.EvalBetween(e.g, expr, u, v, mode, lrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit, Counters: &e.counters})
 		if err != nil {
 			return nil, err
 		}
@@ -245,6 +293,7 @@ func (e *Engine) Explain(query string) (string, error) {
 	fmt.Fprintf(&b, "glushkov NFA:    %d states, %d transitions\n", nfa.NumStates, nfa.NumTransitions())
 	fmt.Fprintf(&b, "unambiguous:     %v\n", nfa.IsUnambiguous())
 	fmt.Fprintf(&b, "minimal DFA:     %d states\n", det.NumStates())
+	fmt.Fprintf(&b, "plan:            %s\n", plan.plan)
 	return b.String(), nil
 }
 
@@ -266,8 +315,13 @@ func (e *Engine) TwoWayPairs(query string) ([][2]graph.NodeID, error) {
 	if err != nil {
 		return nil, err
 	}
+	prs, err := twoway.PairsMeterOpt(e.g, expr, nil,
+		twoway.Options{Parallelism: 1, Counters: &e.counters})
+	if err != nil {
+		return nil, err // unreachable with a nil meter
+	}
 	var out [][2]graph.NodeID
-	for _, pr := range twoway.Pairs(e.g, expr) {
+	for _, pr := range prs {
 		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
 	}
 	return out, nil
@@ -281,7 +335,7 @@ func (e *Engine) Estimate(query string) (estimate float64, actual int, err error
 		return 0, 0, err
 	}
 	stats := cardest.Collect(e.g)
-	actual = len(eval.PairsProduct(plan.product, eval.Options{Parallelism: e.Parallelism}))
+	actual = len(eval.PairsProduct(plan.product, eval.Options{Parallelism: e.Parallelism, Plan: plan.plan}))
 	return stats.Estimate(plan.expr, 0), actual, nil
 }
 

@@ -192,7 +192,7 @@ func (e *Engine) pairsMeter(query string, m *eval.Meter) ([][2]graph.NodeID, err
 		return nil, badQuery(err)
 	}
 	prs, err := eval.PairsProductCtx(context.Background(), plan.product,
-		eval.Options{Parallelism: e.Parallelism, Meter: m})
+		eval.Options{Parallelism: e.Parallelism, Meter: m, Plan: plan.plan})
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +242,7 @@ func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode,
 			return nil, badQuery(err)
 		}
 		pbs, err := dlrpq.EvalBetween(e.g, expr, u, v, mode,
-			dlrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m})
+			dlrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m, Counters: &e.counters})
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +253,7 @@ func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode,
 			return nil, badQuery(err)
 		}
 		pbs, err := lrpq.EvalBetween(e.g, expr, u, v, mode,
-			lrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m})
+			lrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m, Counters: &e.counters})
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +272,8 @@ func (e *Engine) twoWayPairsMeter(query string, m *eval.Meter) ([][2]graph.NodeI
 	if err != nil {
 		return nil, badQuery(err)
 	}
-	prs, err := twoway.PairsMeter(e.g, expr, m)
+	prs, err := twoway.PairsMeterOpt(e.g, expr, m,
+		twoway.Options{Parallelism: 1, Counters: &e.counters})
 	if err != nil {
 		return nil, err
 	}

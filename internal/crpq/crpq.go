@@ -22,14 +22,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"graphquery/internal/dlrpq"
 	"graphquery/internal/eval"
 	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
 	"graphquery/internal/lrpq"
+	"graphquery/internal/pg"
 	"graphquery/internal/rpq"
 )
 
@@ -531,14 +530,13 @@ func evalAtom(g *graph.Graph, a Atom, opts Options) (atomRelT, error) {
 	return atomRelT{attrs: attrs, tuples: tuples}, nil
 }
 
-// overSources runs fn once per source node through a worker pool of
-// eval.Parallelism(parallelism) goroutines (capped by the number of
-// sources). Sources are partitioned into contiguous chunks claimed off an
-// atomic cursor; per-chunk results are concatenated in chunk order, so the
-// relation is identical to the sequential loop's. p, when non-nil, supplies
-// one reusable reachability Scratch per worker. The meter m, when non-nil,
-// is polled between sources and a first error stops every worker from
-// claiming further chunks; the pool is always joined before returning.
+// overSources runs fn once per source node through the runtime's parallel
+// fan-out (pg.ForEach): sources are over-partitioned into contiguous
+// chunks claimed off an atomic cursor and per-chunk results concatenate in
+// chunk order, so the relation is identical to the sequential loop's. p,
+// when non-nil, supplies one reusable reachability Scratch per worker. The
+// meter m, when non-nil, is polled between sources, and a first error
+// stops every worker from claiming further chunks.
 func overSources(sources []int, parallelism int, p *eval.Product, m *eval.Meter, fn func(u int, sc *eval.Scratch) ([][]OutValue, error)) ([][]OutValue, error) {
 	newScratch := func() *eval.Scratch {
 		if p == nil {
@@ -546,82 +544,13 @@ func overSources(sources []int, parallelism int, p *eval.Product, m *eval.Meter,
 		}
 		return p.NewScratch()
 	}
-	n := len(sources)
-	workers := eval.Parallelism(parallelism)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		sc := newScratch()
-		var out [][]OutValue
-		for _, u := range sources {
+	return pg.ForEach(len(sources), eval.Parallelism(parallelism), newScratch,
+		func(i int, sc *eval.Scratch) ([][]OutValue, error) {
 			if err := m.Check(); err != nil {
 				return nil, err
 			}
-			rows, err := fn(u, sc)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, rows...)
-		}
-		return out, nil
-	}
-	chunks := workers * 4
-	if chunks > n {
-		chunks = n
-	}
-	size := (n + chunks - 1) / chunks
-	results := make([][][]OutValue, chunks)
-	errs := make([]error, chunks)
-	var failed atomic.Bool
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := newScratch()
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= chunks || failed.Load() {
-					return
-				}
-				lo, hi := c*size, (c+1)*size
-				if lo > n {
-					lo = n
-				}
-				if hi > n {
-					hi = n
-				}
-				var part [][]OutValue
-				for _, u := range sources[lo:hi] {
-					err := m.Check()
-					var rows [][]OutValue
-					if err == nil {
-						rows, err = fn(u, sc)
-					}
-					if err != nil {
-						errs[c] = err
-						failed.Store(true)
-						break
-					}
-					part = append(part, rows...)
-				}
-				results[c] = part
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	var out [][]OutValue
-	for _, part := range results {
-		out = append(out, part...)
-	}
-	return out, nil
+			return fn(sources[i], sc)
+		})
 }
 
 // evalAtomBetween dispatches to the right evaluator with the atom's mode.

@@ -198,36 +198,6 @@ func childString(e Expr, parent int) string {
 
 // Constructors.
 
-// NodeLabel returns (a).
-func NodeLabel(a string) Expr { return Atom{Name: a} }
-
-// NodeLabelVar returns (a^z).
-func NodeLabelVar(a, z string) Expr { return Atom{Name: a, Var: z} }
-
-// AnyNode returns the anonymous node atom ().
-func AnyNode() Expr { return Atom{Wild: true} }
-
-// AnyNodeVar returns (_^z).
-func AnyNodeVar(z string) Expr { return Atom{Wild: true, Var: z} }
-
-// EdgeLabel returns [a].
-func EdgeLabel(a string) Expr { return Atom{Edge: true, Name: a} }
-
-// EdgeLabelVar returns [a^z].
-func EdgeLabelVar(a, z string) Expr { return Atom{Edge: true, Name: a, Var: z} }
-
-// AnyEdge returns the anonymous edge atom [].
-func AnyEdge() Expr { return Atom{Edge: true, Wild: true} }
-
-// AnyEdgeVar returns [_^z].
-func AnyEdgeVar(z string) Expr { return Atom{Edge: true, Wild: true, Var: z} }
-
-// NodeTest returns (et).
-func NodeTest(t Test) Expr { return Atom{Test: &t} }
-
-// EdgeTest returns [et].
-func EdgeTest(t Test) Expr { return Atom{Edge: true, Test: &t} }
-
 // Seq returns the concatenation of parts.
 func Seq(parts ...Expr) Expr {
 	switch len(parts) {

@@ -7,9 +7,11 @@ import (
 	"sort"
 	"strings"
 
+	"graphquery/internal/automata"
 	"graphquery/internal/eval"
 	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 )
 
 // ErrUnbounded is returned when mode-all enumeration has no MaxLen/Limit.
@@ -23,6 +25,9 @@ type Options struct {
 	// resource budgets across the configuration search; with a nil meter
 	// evaluation never returns eval.ErrCanceled/eval.ErrBudgetExceeded.
 	Meter *eval.Meter
+	// Counters, when non-nil, receives runtime statistics (configurations
+	// expanded) from the search loops.
+	Counters *pg.Counters
 }
 
 // assignment is a value assignment ν: DataVar → Values (partial).
@@ -137,11 +142,59 @@ type move struct {
 	cost     int
 }
 
+// edgeGuard maps an edge atom's label constraint onto a runtime guard: a
+// named label is the positive singleton, a wildcard is co-finite over its
+// exception list, and a test atom constrains no label at all (the data
+// test runs in matchAtom).
+func edgeGuard(a Atom) automata.Guard {
+	if a.Test != nil {
+		return automata.GuardAny()
+	}
+	if a.Wild {
+		ex := append([]string(nil), a.Except...)
+		sort.Strings(ex)
+		return automata.Guard{Negated: true, Labels: ex}
+	}
+	return automata.GuardLabel(a.Name)
+}
+
+// anfaMachine pairs a compiled ANFA with its edge-atom guards resolved
+// against one graph through the shared runtime — the dl-RPQ instantiation
+// of pg's guard resolution. A positive guard carries the graph's label ID
+// so candidate edges come from the per-label index; wildcard and test
+// atoms become co-finite guards filtering dense lists. ok is false when a
+// named label does not occur in the graph at all: that transition can
+// never consume an edge there.
+type anfaMachine struct {
+	a      *ANFA
+	guards [][]resolvedAtom // aligned with a.Trans; node atoms stay zero
+}
+
+type resolvedAtom struct {
+	rg pg.ResolvedGuard
+	ok bool
+}
+
+func newANFAMachine(g *graph.Graph, a *ANFA) *anfaMachine {
+	m := &anfaMachine{a: a, guards: make([][]resolvedAtom, len(a.Trans))}
+	for q, ts := range a.Trans {
+		m.guards[q] = make([]resolvedAtom, len(ts))
+		for i, tr := range ts {
+			if tr.Atom.Edge {
+				rg, ok := pg.Resolve(g, edgeGuard(tr.Atom))
+				m.guards[q][i] = resolvedAtom{rg: rg, ok: ok}
+			}
+		}
+	}
+	return m
+}
+
 // successors enumerates the legal atom applications from cfg. anchor is the
 // required src(p) for paths still empty (-1 for unanchored evaluation).
-func successors(g *graph.Graph, a *ANFA, cfg config, anchor int) []move {
+func successors(g *graph.Graph, mach *anfaMachine, cfg config, anchor int) []move {
+	a := mach.a
 	var out []move
-	for _, tr := range a.Trans[cfg.state] {
+	for ti, tr := range a.Trans[cfg.state] {
 		atom := tr.Atom
 		if !atom.Edge {
 			// Node atom: candidate objects per the concatenation rules.
@@ -181,35 +234,23 @@ func successors(g *graph.Graph, a *ANFA, cfg config, anchor int) []move {
 				out = append(out, m)
 			}
 		} else {
-			// Edge atom. A plain named label intersects the candidate set
-			// with the graph's label index (matchAtom would reject every
-			// other edge anyway); wildcard and test atoms use dense lists.
-			// Shared index slices are read-only here.
-			byLabel := atom.Test == nil && !atom.Wild
-			labelID, labelKnown := -1, false
-			if byLabel {
-				labelID, labelKnown = g.LabelID(atom.Name)
-			}
+			// Edge atom: candidate edges come from the transition's resolved
+			// guard (matchAtom still applies the atom's full check to every
+			// candidate, so this only prunes edges the atom would reject
+			// anyway).
+			ra := mach.guards[cfg.state][ti]
 			var candidates []int
+			collect := func(ei int) { candidates = append(candidates, ei) }
 			var appended bool
 			var cost int
 			switch {
 			case !cfg.hasObj:
 				appended, cost = true, 1
-				switch {
-				case anchor >= 0 && byLabel:
-					if labelKnown {
-						candidates = g.OutWithLabel(anchor, labelID)
-					}
-				case anchor >= 0:
-					candidates = g.Out(anchor)
-				case byLabel:
-					if labelKnown {
-						candidates = g.EdgesWithLabelID(labelID)
-					}
-				default:
-					for e := 0; e < g.NumEdges(); e++ {
-						candidates = append(candidates, e)
+				if ra.ok {
+					if anchor >= 0 {
+						ra.rg.OutEdges(g, anchor, collect)
+					} else {
+						ra.rg.Edges(g, collect)
 					}
 				}
 			case cfg.obj.IsEdge():
@@ -217,12 +258,8 @@ func successors(g *graph.Graph, a *ANFA, cfg config, anchor int) []move {
 				candidates = []int{cfg.obj.Index()}
 			default: // last object is a node: outgoing edges
 				appended, cost = true, 1
-				if byLabel {
-					if labelKnown {
-						candidates = g.OutWithLabel(cfg.obj.Index(), labelID)
-					}
-				} else {
-					candidates = g.Out(cfg.obj.Index())
+				if ra.ok {
+					ra.rg.OutEdges(g, cfg.obj.Index(), collect)
 				}
 			}
 			for _, e := range candidates {
@@ -277,18 +314,18 @@ func EvalBetween(g *graph.Graph, e Expr, src, dst int, mode eval.Mode, opts Opti
 		if opts.MaxLen <= 0 {
 			// Limit-only: iteratively deepen until enough results or the
 			// search space is exhausted at the configuration level.
-			return deepen(g, a, src, dst, opts.Limit, opts.Meter)
+			return deepen(g, a, src, dst, opts.Limit, opts.Meter, opts.Counters)
 		}
 		return search(g, a, src, dst, opts, 0)
 	case eval.Shortest:
-		best, reachable, err := shortestDistance(g, a, src, dst, opts.Meter)
+		best, reachable, err := shortestDistance(g, a, src, dst, opts.Meter, opts.Counters)
 		if err != nil {
 			return nil, err
 		}
 		if !reachable {
 			return nil, nil
 		}
-		return search(g, a, src, dst, Options{MaxLen: best, Limit: opts.Limit, Meter: opts.Meter}, flagExact)
+		return search(g, a, src, dst, Options{MaxLen: best, Limit: opts.Limit, Meter: opts.Meter, Counters: opts.Counters}, flagExact)
 	case eval.Simple:
 		return search(g, a, src, dst, opts, modeSimple)
 	case eval.Trail:
@@ -339,11 +376,13 @@ func search(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags searchFla
 
 // searchAnchor is the core DFS over configurations. src = -1 means any
 // start; dst = -1 means any end. truncated reports whether some branch was
-// cut by the MaxLen bound (i.e. deeper results may exist). The meter in
-// opts, when set, is polled every eval.MeterCheckInterval configuration
-// expansions and charged one row per emitted result.
+// cut by the MaxLen bound (i.e. deeper results may exist). Budget checks
+// run through the runtime's Ticker — one step per configuration expansion
+// — and the meter is charged one row per emitted result.
 func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags searchFlags) ([]gpath.PathBinding, bool, error) {
 	m := opts.Meter
+	tick := pg.NewTicker(m, opts.Counters)
+	mach := newANFAMachine(g, a)
 	seen := map[string]struct{}{}
 	var out []gpath.PathBinding
 
@@ -357,7 +396,6 @@ func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags sea
 	limitHit := false
 	truncated := false
 	var stopErr error
-	steps := 0
 
 	emit := func() {
 		p, err := gpath.New(g, objs...)
@@ -391,12 +429,9 @@ func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags sea
 		if limitHit || stopErr != nil {
 			return
 		}
-		steps++
-		if steps%eval.MeterCheckInterval == 0 {
-			if err := m.Tick(eval.MeterCheckInterval); err != nil {
-				stopErr = err
-				return
-			}
+		if err := tick.Step(); err != nil {
+			stopErr = err
+			return
 		}
 		if a.Accept[cfg.state] && cfg.hasObj {
 			if dst == -1 || endpointOK(g, cfg, dst) {
@@ -405,7 +440,7 @@ func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags sea
 				}
 			}
 		}
-		for _, m := range successors(g, a, cfg, src) {
+		for _, m := range successors(g, mach, cfg, src) {
 			if m.cost > 0 {
 				if opts.MaxLen > 0 && edgesUsed+1 > opts.MaxLen {
 					truncated = true
@@ -470,7 +505,7 @@ func searchAnchor(g *graph.Graph, a *ANFA, src, dst int, opts Options, flags sea
 	start := config{state: a.Start}
 	dfs(start, 0, map[string]struct{}{start.key(): {}})
 	if stopErr == nil {
-		stopErr = m.Tick(int64(steps % eval.MeterCheckInterval))
+		stopErr = tick.Flush()
 	}
 	if stopErr != nil {
 		return nil, false, stopErr
@@ -490,23 +525,21 @@ func cloneSet(s map[string]struct{}) map[string]struct{} {
 // len(p) of any result from src to dst. reachable is false when there is
 // none. This is the register-automaton product search of Section 6.4: the
 // configuration space is finite because ν ranges over the active domain.
-func shortestDistance(g *graph.Graph, a *ANFA, src, dst int, m *eval.Meter) (int, bool, error) {
+func shortestDistance(g *graph.Graph, a *ANFA, src, dst int, m *eval.Meter, cnt *pg.Counters) (int, bool, error) {
 	type qitem struct {
 		cfg  config
 		dist int
 	}
+	tick := pg.NewTicker(m, cnt)
+	mach := newANFAMachine(g, a)
 	dist := map[string]int{}
 	start := config{state: a.Start}
 	dist[start.key()] = 0
 	deque := []qitem{{start, 0}}
 	best := -1
-	steps := 0
 	for len(deque) > 0 {
-		steps++
-		if steps%eval.MeterCheckInterval == 0 {
-			if err := m.Tick(eval.MeterCheckInterval); err != nil {
-				return 0, false, err
-			}
+		if err := tick.Step(); err != nil {
+			return 0, false, err
 		}
 		it := deque[0]
 		deque = deque[1:]
@@ -522,7 +555,7 @@ func shortestDistance(g *graph.Graph, a *ANFA, src, dst int, m *eval.Meter) (int
 		if best != -1 && it.dist >= best {
 			continue
 		}
-		for _, m := range successors(g, a, it.cfg, src) {
+		for _, m := range successors(g, mach, it.cfg, src) {
 			nd := it.dist + m.cost
 			nk := m.next.key()
 			if d, ok := dist[nk]; !ok || nd < d {
@@ -535,7 +568,7 @@ func shortestDistance(g *graph.Graph, a *ANFA, src, dst int, m *eval.Meter) (int
 			}
 		}
 	}
-	if err := m.Tick(int64(steps % eval.MeterCheckInterval)); err != nil {
+	if err := tick.Flush(); err != nil {
 		return 0, false, err
 	}
 	if best == -1 {
@@ -548,9 +581,9 @@ func shortestDistance(g *graph.Graph, a *ANFA, src, dst int, m *eval.Meter) (int
 // on path length, stopping when the limit is reached or the search space is
 // exhausted (no branch hit the depth bound). Re-searched configurations are
 // re-charged to the meter: the repeated work is real work.
-func deepen(g *graph.Graph, a *ANFA, src, dst, limit int, m *eval.Meter) ([]gpath.PathBinding, error) {
+func deepen(g *graph.Graph, a *ANFA, src, dst, limit int, m *eval.Meter, cnt *pg.Counters) ([]gpath.PathBinding, error) {
 	for maxLen := 1; ; maxLen *= 2 {
-		res, truncated, err := searchAnchor(g, a, src, dst, Options{MaxLen: maxLen, Meter: m}, 0)
+		res, truncated, err := searchAnchor(g, a, src, dst, Options{MaxLen: maxLen, Meter: m, Counters: cnt}, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -5,14 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"graphquery/internal/automata"
 	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 	"graphquery/internal/rpq"
 )
 
@@ -22,12 +20,7 @@ var ErrUnbounded = errors.New("eval: unbounded enumeration under mode all requir
 
 // Parallelism resolves an Options.Parallelism value to a worker count:
 // values ≤ 0 mean "one worker per available CPU".
-func Parallelism(p int) int {
-	if p > 0 {
-		return p
-	}
-	return runtime.GOMAXPROCS(0)
-}
+func Parallelism(p int) int { return pg.Workers(p) }
 
 // Pairs computes ⟦R⟧_G = {(u,v) | some path from u to v matches R}
 // (Section 3.1.1), via one product-graph BFS per source node. Results are
@@ -79,98 +72,62 @@ func PairsProductCtx(ctx context.Context, p *Product, opts Options) ([][2]int, e
 	return pairsProductMeter(p, opts, m)
 }
 
-// pairsProductMeter is the shared implementation: one product BFS per
-// source, fanned out over a worker pool, every BFS metered. Workers share
-// the meter, so a canceled context or an exhausted budget stops all of them
-// within one check interval; the pool is always joined before returning
-// (no goroutine outlives the call, even on error).
+// pairsProductMeter is the shared implementation: one kernel sweep per
+// source (or per target, under a backward plan), fanned out over
+// pg.ForEach's worker pool with deterministic chunk-ordered merge, every
+// sweep metered. Workers share the meter, so a canceled context or an
+// exhausted budget stops all of them within one check interval; the pool
+// is always joined before returning (no goroutine outlives the call, even
+// on error).
 func pairsProductMeter(p *Product, opts Options, m *Meter) ([][2]int, error) {
 	n := p.G.NumNodes()
-	workers := Parallelism(opts.Parallelism)
-	if workers > n {
-		workers = n
+	plan := opts.Plan
+	workers := plan.Workers
+	if workers == 0 {
+		workers = Parallelism(opts.Parallelism)
 	}
-	if workers <= 1 {
-		sc := p.NewScratch()
-		var out [][2]int
-		for u := 0; u < n; u++ {
-			vs, err := p.reachableIntoMeter(u, sc, m)
-			if err != nil {
-				return nil, err
-			}
-			if err := m.AddRows(int64(len(vs))); err != nil {
-				return nil, err
-			}
-			for _, v := range vs {
-				out = append(out, [2]int{u, v})
-			}
-		}
-		return out, nil
+	kern := p.kern
+	if plan.Backward {
+		kern = p.backward()
 	}
-	// Over-partition (4 chunks per worker) so stragglers balance, then
-	// concatenate chunk results in index order for determinism.
-	chunks := workers * 4
-	if chunks > n {
-		chunks = n
+	sweep := kern.Reachable
+	if plan.Dense {
+		sweep = kern.ReachableDense
 	}
-	size := (n + chunks - 1) / chunks
-	results := make([][][2]int, chunks)
-	errs := make([]error, chunks)
-	var failed atomic.Bool
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := p.NewScratch()
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				if c >= chunks || failed.Load() {
-					return
-				}
-				lo := c * size
-				hi := lo + size
-				if hi > n {
-					hi = n
-				}
-				var part [][2]int
-				for u := lo; u < hi; u++ {
-					vs, err := p.reachableIntoMeter(u, sc, m)
-					if err == nil {
-						err = m.AddRows(int64(len(vs)))
-					}
-					if err != nil {
-						errs[c] = err
-						failed.Store(true)
-						return
-					}
-					for _, v := range vs {
-						part = append(part, [2]int{u, v})
-					}
-				}
-				results[c] = part
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+	kern.Counters().CountPlan(pg.Plan{Backward: plan.Backward, Dense: plan.Dense, Workers: workers})
+	pairs, err := pg.ForEach(n, workers, kern.NewScratch, func(u int, sc *Scratch) ([][2]int, error) {
+		vs, err := sweep(u, sc, m)
 		if err != nil {
 			return nil, err
 		}
+		if err := m.AddRows(int64(len(vs))); err != nil {
+			return nil, err
+		}
+		part := make([][2]int, len(vs))
+		for i, v := range vs {
+			if plan.Backward {
+				part[i] = [2]int{v, u}
+			} else {
+				part[i] = [2]int{u, v}
+			}
+		}
+		return part, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	total := 0
-	for _, part := range results {
-		total += len(part)
+	// A backward plan sweeps targets, yielding pairs grouped by v; one
+	// global sort restores the forward path's lexicographic order (the two
+	// paths produce the same set, so the sorted sequences are identical).
+	if plan.Backward {
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
 	}
-	if total == 0 {
-		return nil, nil // match the sequential path's nil for empty results
-	}
-	out := make([][2]int, 0, total)
-	for _, part := range results {
-		out = append(out, part...)
-	}
-	return out, nil
+	return pairs, nil
 }
 
 // ReachableFrom returns all v with (src, v) ∈ ⟦R⟧_G, sorted.
@@ -178,25 +135,16 @@ func ReachableFrom(g *graph.Graph, e rpq.Expr, src int) []int {
 	return reachableFrom(CompileProduct(g, e), src)
 }
 
-// ReachableFromCompiled is ReachableFrom over a prebuilt product; sc may be
-// nil for one-shot use, or a scratch reused across calls (the result is then
-// only valid until the next call).
-func ReachableFromCompiled(p *Product, src int, sc *Scratch) []int {
-	if sc == nil {
-		sc = p.NewScratch()
-	}
-	return p.reachableInto(src, sc)
-}
-
-// ReachableFromMeter is ReachableFromCompiled under a meter — the building
-// block multi-stage evaluators (crpq atom materialization) use to share one
-// cancellation/budget instrument across many BFS runs. A nil meter never
-// fails.
+// ReachableFromMeter is ReachableFrom over a prebuilt product under a meter
+// (sc may be nil for one-shot use, or a scratch reused across calls) — the
+// building block multi-stage evaluators (crpq atom materialization) use to
+// share one cancellation/budget instrument across many BFS runs. A nil
+// meter never fails.
 func ReachableFromMeter(p *Product, src int, sc *Scratch, m *Meter) ([]int, error) {
 	if sc == nil {
 		sc = p.NewScratch()
 	}
-	return p.reachableIntoMeter(src, sc, m)
+	return p.kern.Reachable(src, sc, m)
 }
 
 func reachableFrom(p *Product, src int) []int {
@@ -208,7 +156,7 @@ func Check(g *graph.Graph, e rpq.Expr, src, dst int) bool {
 	p := CompileProduct(g, e)
 	dist, _, _ := p.bfs(src)
 	for q := 0; q < p.A.NumStates; q++ {
-		if p.A.Accept[q] && dist[p.id(State{dst, q})] >= 0 {
+		if p.A.Accept[q] && dist[p.id(State{Node: dst, State: q})] >= 0 {
 			return true
 		}
 	}
@@ -222,7 +170,7 @@ func Witness(g *graph.Graph, e rpq.Expr, src, dst int) (gpath.Path, bool) {
 	dist, parent, parentEdge := p.bfs(src)
 	best, bestDist := -1, -1
 	for q := 0; q < p.A.NumStates; q++ {
-		id := p.id(State{dst, q})
+		id := p.id(State{Node: dst, State: q})
 		if p.A.Accept[q] && dist[id] >= 0 && (bestDist == -1 || dist[id] < bestDist) {
 			best, bestDist = id, dist[id]
 		}
@@ -262,6 +210,10 @@ type Options struct {
 	// Parallelism caps the number of worker goroutines used by per-source
 	// fan-out; 0 means runtime.GOMAXPROCS(0), 1 forces the sequential path.
 	Parallelism int
+	// Plan is the evaluation strategy chosen by the cost-based planner
+	// (direction, scan mode, fan-out degree). The zero Plan is the
+	// historical default: forward, label-indexed, Parallelism workers.
+	Plan pg.Plan
 	// Budget caps resources for the Ctx entry points; zero means unlimited.
 	Budget Budget
 	// Meter, when non-nil, overrides ctx+Budget in the Ctx entry points: the
@@ -357,7 +309,7 @@ func enumerateShortest(p *Product, src, dst int, opts Options) []gpath.Path {
 	dist, _, _ := p.bfs(src)
 	best := -1
 	for q := 0; q < p.A.NumStates; q++ {
-		id := p.id(State{dst, q})
+		id := p.id(State{Node: dst, State: q})
 		if p.A.Accept[q] && dist[id] >= 0 && (best == -1 || dist[id] < best) {
 			best = dist[id]
 		}
@@ -477,7 +429,7 @@ func CountMatchingPaths(g *graph.Graph, e rpq.Expr, src, dst, maxLen int) *big.I
 	addAccepting := func(cs []*big.Int) {
 		for q := 0; q < p.A.NumStates; q++ {
 			if p.A.Accept[q] {
-				total.Add(total, cs[p.id(State{dst, q})])
+				total.Add(total, cs[p.id(State{Node: dst, State: q})])
 			}
 		}
 	}

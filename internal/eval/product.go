@@ -1,10 +1,11 @@
 package eval
 
 import (
-	"sort"
+	"sync"
 
 	"graphquery/internal/automata"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 	"graphquery/internal/rpq"
 )
 
@@ -13,55 +14,45 @@ import (
 // edge e and an automaton transition (q₁, a, q₂) with λ(e) = a yields the
 // product edge ((src(e), q₁) → (tgt(e), q₂)).
 //
-// The product is materialized lazily per state: Succ computes the outgoing
-// product edges of a state on demand, which is what makes single-pair
-// queries cheap on large graphs. At construction time every transition
-// guard is resolved against the graph's interned label numbering, so Succ
-// intersects guards with the per-label CSR adjacency instead of scanning
-// all out-edges; only co-finite wildcard guards fall back to the dense
-// list. A Product is immutable after construction and safe for concurrent
-// use.
+// Product is a veneer over the unified product-graph runtime: construction
+// compiles the NFA into a pg.Machine (guards resolved against the graph's
+// interned label numbering) and all traversal — the reachability fixpoint,
+// witness BFS, Succ expansion — runs on the shared pg.Kernel. The reversed
+// kernel for backward plans is built lazily on first use. A Product is
+// immutable after construction (the lazy field is a sync.Once) and safe
+// for concurrent use.
 type Product struct {
 	G *graph.Graph
 	A *automata.NFA
 
-	// succ holds, per automaton state, its transitions with positive guards
-	// pre-resolved to graph label IDs. Transitions whose positive guard
-	// mentions no label present in G can never fire and are dropped.
-	succ [][]ptrans
+	kern     *pg.Kernel
+	counters *pg.Counters
+
+	backOnce sync.Once
+	back     *pg.Kernel
 }
 
-// ptrans is one automaton transition resolved against a concrete graph.
-type ptrans struct {
-	to       int
-	labelIDs []int          // label IDs matched by a positive guard
-	negated  bool           // co-finite guard: scan the dense list with guard
-	guard    automata.Guard // kept for the negated fallback
-}
+// State is a product-graph node (u, q).
+type State = pg.State
+
+// Step is one product edge: the graph edge taken and the resulting state.
+type Step = pg.Step
+
+// Scratch holds the reusable buffers of repeated single-source
+// reachability runs over one product; one scratch serves one goroutine.
+type Scratch = pg.Scratch
 
 // NewProduct pairs a graph with a compiled automaton, resolving every
 // transition guard against the graph's label index.
 func NewProduct(g *graph.Graph, a *automata.NFA) *Product {
-	p := &Product{G: g, A: a, succ: make([][]ptrans, a.NumStates)}
-	for q, ts := range a.Trans {
-		resolved := make([]ptrans, 0, len(ts))
-		for _, t := range ts {
-			pt := ptrans{to: t.To, negated: t.Guard.Negated, guard: t.Guard}
-			if !t.Guard.Negated {
-				for _, lab := range t.Guard.Labels {
-					if id, ok := g.LabelID(lab); ok {
-						pt.labelIDs = append(pt.labelIDs, id)
-					}
-				}
-				if len(pt.labelIDs) == 0 {
-					continue // guard matches no edge of this graph
-				}
-			}
-			resolved = append(resolved, pt)
-		}
-		p.succ[q] = resolved
-	}
-	return p
+	return NewProductInstrumented(g, a, nil)
+}
+
+// NewProductInstrumented is NewProduct with a runtime-counters sink (may
+// be nil): engines attach their counters here so every sweep over the
+// product is accounted in /v1/statz.
+func NewProductInstrumented(g *graph.Graph, a *automata.NFA, c *pg.Counters) *Product {
+	return &Product{G: g, A: a, counters: c, kern: pg.NewKernel(g, pg.FromNFA(g, a), c)}
 }
 
 // CompileProduct pairs a graph with the Glushkov automaton of an RPQ.
@@ -69,22 +60,26 @@ func CompileProduct(g *graph.Graph, e rpq.Expr) *Product {
 	return NewProduct(g, rpq.Compile(e))
 }
 
-// State is a product-graph node (u, q).
-type State struct {
-	Node  int // graph node u
-	State int // automaton state q
+// Kernel exposes the forward runtime kernel of the product.
+func (p *Product) Kernel() *pg.Kernel { return p.kern }
+
+// backward returns the reversed kernel (target→source sweeps), building it
+// on first use.
+func (p *Product) backward() *pg.Kernel {
+	p.backOnce.Do(func() {
+		p.back = pg.NewKernel(p.G, pg.FromNFABackward(p.G, p.A), p.counters)
+	})
+	return p.back
 }
 
 // NumStates returns |N|·|Q|, the worst-case product size.
-func (p *Product) NumStates() int { return p.G.NumNodes() * p.A.NumStates }
+func (p *Product) NumStates() int { return p.kern.NumProductStates() }
 
 // id packs a State into a dense integer.
-func (p *Product) id(s State) int { return s.Node*p.A.NumStates + s.State }
+func (p *Product) id(s State) int { return p.kern.ID(s) }
 
 // unid unpacks a dense integer into a State.
-func (p *Product) unid(i int) State {
-	return State{Node: i / p.A.NumStates, State: i % p.A.NumStates}
-}
+func (p *Product) unid(i int) State { return p.kern.Unid(i) }
 
 // Start returns the initial product state (u, q₀) for source node u.
 func (p *Product) Start(u int) State { return State{Node: u, State: p.A.Start} }
@@ -93,183 +88,26 @@ func (p *Product) Start(u int) State { return State{Node: u, State: p.A.Start} }
 // in F.
 func (p *Product) Accepting(s State) bool { return p.A.Accept[s.State] }
 
-// Step is one product edge: the graph edge taken and the resulting state.
-type Step struct {
-	Edge int
-	To   State
-}
-
 // Succ returns the outgoing product edges of s, in ascending (graph edge,
-// transition) order — the same deterministic order the dense scan produced,
-// but touching only label-matching edges via the CSR index.
-func (p *Product) Succ(s State) []Step {
-	type cand struct{ edge, ord, to int }
-	var cands []cand
-	for ti, t := range p.succ[s.State] {
-		if t.negated {
-			for _, ei := range p.G.Out(s.Node) {
-				if t.guard.Matches(p.G.Edge(ei).Label) {
-					cands = append(cands, cand{ei, ti, t.to})
-				}
-			}
-		} else {
-			for _, lid := range t.labelIDs {
-				for _, ei := range p.G.OutWithLabel(s.Node, lid) {
-					cands = append(cands, cand{ei, ti, t.to})
-				}
-			}
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].edge != cands[j].edge {
-			return cands[i].edge < cands[j].edge
-		}
-		return cands[i].ord < cands[j].ord
-	})
-	out := make([]Step, len(cands))
-	for i, c := range cands {
-		out[i] = Step{Edge: c.edge, To: State{Node: p.G.Edge(c.edge).Tgt, State: c.to}}
-	}
-	return out
-}
-
-// Scratch holds the reusable buffers of repeated single-source
-// reachability runs over one product: a visited bitmap over product states,
-// the BFS queue (which doubles as the touched list for O(visited) resets),
-// and a per-graph-node emitted bitmap. One scratch serves one goroutine.
-type Scratch struct {
-	visited []bool
-	emitted []bool
-	queue   []int
-	nodes   []int
-}
+// transition) order — the deterministic order enumeration, PMR, and
+// k-shortest tie-breaking rely on.
+func (p *Product) Succ(s State) []Step { return p.kern.Succ(s) }
 
 // NewScratch allocates buffers sized for p.
-func (p *Product) NewScratch() *Scratch {
-	return &Scratch{
-		visited: make([]bool, p.NumStates()),
-		emitted: make([]bool, p.G.NumNodes()),
-	}
-}
+func (p *Product) NewScratch() *Scratch { return p.kern.NewScratch() }
 
 // reachableInto computes all graph nodes v such that some accepting product
 // state (v, q) is reachable from (src, q₀), sorted ascending. The returned
 // slice aliases sc.nodes and is valid until the next call with the same
-// scratch. Unlike bfs it records no parents and imposes no visit order, so
-// it runs allocation-free after warm-up — the hot path of Pairs.
+// scratch.
 func (p *Product) reachableInto(src int, sc *Scratch) []int {
-	nodes, _ := p.reachableIntoMeter(src, sc, nil)
+	nodes, _ := p.kern.Reachable(src, sc, nil)
 	return nodes
-}
-
-// reachableIntoMeter is reachableInto under a meter: every MeterCheckInterval
-// dequeued states it flushes the count to the shared meter and polls for
-// cancellation or an exhausted states budget. With a nil meter it is exactly
-// reachableInto and never fails. On error the scratch is still reset, so the
-// caller may reuse it.
-func (p *Product) reachableIntoMeter(src int, sc *Scratch, m *Meter) ([]int, error) {
-	nq := p.A.NumStates
-	g := p.G
-	sc.queue = sc.queue[:0]
-	sc.nodes = sc.nodes[:0]
-	start := src*nq + p.A.Start
-	sc.visited[start] = true
-	sc.queue = append(sc.queue, start)
-	if p.A.Accept[p.A.Start] {
-		sc.emitted[src] = true
-		sc.nodes = append(sc.nodes, src)
-	}
-	var stopErr error
-	ticked := 0
-	head := 0
-	for ; head < len(sc.queue); head++ {
-		if m != nil && head-ticked >= MeterCheckInterval {
-			if stopErr = m.Tick(int64(head - ticked)); stopErr != nil {
-				break
-			}
-			ticked = head
-		}
-		cur := sc.queue[head]
-		node, state := cur/nq, cur%nq
-		for ti := range p.succ[state] {
-			t := &p.succ[state][ti]
-			if t.negated {
-				for _, ei := range g.Out(node) {
-					if !t.guard.Matches(g.Edge(ei).Label) {
-						continue
-					}
-					p.visit(g.Edge(ei).Tgt, t.to, sc)
-				}
-			} else {
-				for _, lid := range t.labelIDs {
-					for _, ei := range g.OutWithLabel(node, lid) {
-						p.visit(g.Edge(ei).Tgt, t.to, sc)
-					}
-				}
-			}
-		}
-	}
-	if stopErr == nil && m != nil && head > ticked {
-		stopErr = m.Tick(int64(head - ticked))
-	}
-	// Reset the bitmaps by replaying the touched lists (on error too, so the
-	// scratch stays reusable).
-	for _, id := range sc.queue {
-		sc.visited[id] = false
-	}
-	for _, v := range sc.nodes {
-		sc.emitted[v] = false
-	}
-	if stopErr != nil {
-		return nil, stopErr
-	}
-	sort.Ints(sc.nodes)
-	return sc.nodes, nil
-}
-
-// visit pushes product state (node, to) if unseen, emitting node when the
-// automaton state accepts.
-func (p *Product) visit(node, to int, sc *Scratch) {
-	id := node*p.A.NumStates + to
-	if sc.visited[id] {
-		return
-	}
-	sc.visited[id] = true
-	sc.queue = append(sc.queue, id)
-	if p.A.Accept[to] && !sc.emitted[node] {
-		sc.emitted[node] = true
-		sc.nodes = append(sc.nodes, node)
-	}
 }
 
 // bfs runs breadth-first search over the product from (src, q₀) and returns
 // dist (−1 for unreached) and parent pointers (product id and graph edge)
 // for witness reconstruction.
 func (p *Product) bfs(src int) (dist []int, parent []int, parentEdge []int) {
-	n := p.NumStates()
-	dist = make([]int, n)
-	parent = make([]int, n)
-	parentEdge = make([]int, n)
-	for i := range dist {
-		dist[i] = -1
-		parent[i] = -1
-	}
-	start := p.id(p.Start(src))
-	dist[start] = 0
-	queue := []int{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		s := p.unid(cur)
-		for _, st := range p.Succ(s) {
-			ni := p.id(st.To)
-			if dist[ni] == -1 {
-				dist[ni] = dist[cur] + 1
-				parent[ni] = cur
-				parentEdge[ni] = st.Edge
-				queue = append(queue, ni)
-			}
-		}
-	}
-	return dist, parent, parentEdge
+	return p.kern.BFS(src)
 }

@@ -142,12 +142,6 @@ func Eps() Expr { return Epsilon{} }
 // L returns the plain atom for label a.
 func L(a string) Expr { return Atom{Name: a} }
 
-// LV returns the annotated atom a^z.
-func LV(a, z string) Expr { return Atom{Name: a, Var: z} }
-
-// AnyV returns the wildcard atom _^z (z may be empty).
-func AnyV(z string) Expr { return Atom{Wild: true, Var: z} }
-
 // Seq returns the concatenation of parts.
 func Seq(parts ...Expr) Expr {
 	switch len(parts) {

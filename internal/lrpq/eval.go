@@ -9,6 +9,7 @@ import (
 	"graphquery/internal/eval"
 	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 )
 
 // ErrUnbounded mirrors eval.ErrUnbounded for ℓ-RPQ enumeration: ⟦R⟧_G can be
@@ -24,6 +25,9 @@ type Options struct {
 	// resource budgets (product states visited, result rows) — shared by a
 	// serving layer across all stages of one query.
 	Meter *eval.Meter
+	// Counters (may be nil) receives runtime counters (states expanded
+	// by the search loops and kernel sweeps).
+	Counters *pg.Counters
 }
 
 // EvalBetween computes m(σ_{u,v}(⟦R⟧_G)) — the path bindings between fixed
@@ -46,18 +50,18 @@ func EvalBetween(g *graph.Graph, e Expr, src, dst int, mode eval.Mode, opts Opti
 			return nil, ErrUnbounded
 		}
 		if opts.MaxLen <= 0 {
-			return runBFSLimit(g, a, src, dst, opts.Limit, m)
+			return runBFSLimit(g, a, src, dst, opts.Limit, m, opts.Counters)
 		}
 		return runSearch(g, a, src, dst, opts, nil, nil)
 	case eval.Shortest:
-		dist, best, err := productDistances(g, a, src, dst, m)
+		dist, best, err := productDistances(g, a, src, dst, m, opts.Counters)
 		if err != nil {
 			return nil, err
 		}
 		if best == -1 {
 			return nil, nil
 		}
-		return runTight(g, a, src, dst, dist, best, m)
+		return runTight(g, a, src, dst, dist, best, m, opts.Counters)
 	case eval.Simple:
 		return runSearch(g, a, src, dst, opts, map[int]struct{}{src: {}}, nil)
 	case eval.Trail:
@@ -98,8 +102,9 @@ func Eval(g *graph.Graph, e Expr, opts Options) ([]gpath.PathBinding, error) {
 
 // runBFSLimit enumerates (p, µ) shortest-first until limit results, for
 // mode-all queries bounded only by Limit. Breadth-first layering guarantees
-// termination and nondecreasing path lengths.
-func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int, m *eval.Meter) ([]gpath.PathBinding, error) {
+// termination and nondecreasing path lengths. Budget checks run through the
+// runtime's Ticker (as in all search loops of this package).
+func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int, m *eval.Meter, cnt *pg.Counters) ([]gpath.PathBinding, error) {
 	type cfg struct {
 		node, state int
 		edges       []int
@@ -108,13 +113,10 @@ func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int, m *eval.Meter) ([
 	queue := []cfg{{node: src, state: a.Start}}
 	seen := map[string]struct{}{}
 	var out []gpath.PathBinding
-	steps := 0
+	tick := pg.NewTicker(m, cnt)
 	for len(queue) > 0 && len(out) < limit {
-		steps++
-		if steps%eval.MeterCheckInterval == 0 {
-			if err := m.Tick(eval.MeterCheckInterval); err != nil {
-				return nil, err
-			}
+		if err := tick.Step(); err != nil {
+			return nil, err
 		}
 		c := queue[0]
 		queue = queue[1:]
@@ -147,7 +149,7 @@ func runBFSLimit(g *graph.Graph, a *VNFA, src, dst, limit int, m *eval.Meter) ([
 			}
 		}
 	}
-	if err := m.Tick(int64(steps % eval.MeterCheckInterval)); err != nil {
+	if err := tick.Flush(); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -188,7 +190,7 @@ func runSearchCompiled(g *graph.Graph, a *VNFA, src, dst int, opts Options,
 	var vars []string // variable per traversed edge ("" for none)
 	limitHit := false
 	var stopErr error
-	steps := 0
+	tick := pg.NewTicker(m, opts.Counters)
 
 	restricted := usedNodes != nil || usedEdges != nil
 
@@ -215,12 +217,9 @@ func runSearchCompiled(g *graph.Graph, a *VNFA, src, dst int, opts Options,
 		if limitHit || stopErr != nil {
 			return
 		}
-		steps++
-		if steps%eval.MeterCheckInterval == 0 {
-			if err := m.Tick(eval.MeterCheckInterval); err != nil {
-				stopErr = err
-				return
-			}
+		if err := tick.Step(); err != nil {
+			stopErr = err
+			return
 		}
 		if a.Accept[state] && (dst == -1 || node == dst) {
 			emit(node)
@@ -270,7 +269,7 @@ func runSearchCompiled(g *graph.Graph, a *VNFA, src, dst int, opts Options,
 	}
 	dfs(src, a.Start)
 	if stopErr == nil {
-		stopErr = m.Tick(int64(steps % eval.MeterCheckInterval))
+		stopErr = tick.Flush()
 	}
 	if stopErr != nil {
 		return nil, stopErr
@@ -304,49 +303,20 @@ func buildBinding(g *graph.Graph, edges []int, vars []string) gpath.Binding {
 	return mu
 }
 
-// productDistances BFSes the (node, state) product ignoring annotations and
-// returns distances plus the minimal accepting distance at dst (-1 if
+// productDistances computes (node, state) product distances ignoring
+// variable annotations, on the unified runtime kernel over the erased NFA
+// (annotations cannot change reachability, and VNFA state numbering is
+// preserved by Erased), plus the minimal accepting distance at dst (-1 if
 // unreachable).
-func productDistances(g *graph.Graph, a *VNFA, src, dst int, m *eval.Meter) (dist []int, best int, err error) {
-	n := g.NumNodes() * a.NumStates
-	id := func(node, state int) int { return node*a.NumStates + state }
-	dist = make([]int, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	start := id(src, a.Start)
-	dist[start] = 0
-	queue := []int{start}
-	steps := 0
-	for len(queue) > 0 {
-		steps++
-		if steps%eval.MeterCheckInterval == 0 {
-			if err := m.Tick(eval.MeterCheckInterval); err != nil {
-				return nil, -1, err
-			}
-		}
-		cur := queue[0]
-		queue = queue[1:]
-		node, state := cur/a.NumStates, cur%a.NumStates
-		for _, ei := range g.Out(node) {
-			lab := g.Edge(ei).Label
-			for _, tr := range a.Trans[state] {
-				if tr.Guard.Matches(lab) {
-					ni := id(g.Edge(ei).Tgt, tr.To)
-					if dist[ni] == -1 {
-						dist[ni] = dist[cur] + 1
-						queue = append(queue, ni)
-					}
-				}
-			}
-		}
-	}
-	if err := m.Tick(int64(steps % eval.MeterCheckInterval)); err != nil {
+func productDistances(g *graph.Graph, a *VNFA, src, dst int, m *eval.Meter, cnt *pg.Counters) (dist []int, best int, err error) {
+	kern := pg.NewKernel(g, pg.FromNFA(g, a.Erased()), cnt)
+	dist, err = kern.Distances(src, m)
+	if err != nil {
 		return nil, -1, err
 	}
 	best = -1
 	for q := 0; q < a.NumStates; q++ {
-		i := id(dst, q)
+		i := dst*a.NumStates + q
 		if a.Accept[q] && dist[i] >= 0 && (best == -1 || dist[i] < best) {
 			best = dist[i]
 		}
@@ -355,25 +325,22 @@ func productDistances(g *graph.Graph, a *VNFA, src, dst int, m *eval.Meter) (dis
 }
 
 // runTight enumerates all shortest (p, µ) via tight product edges.
-func runTight(g *graph.Graph, a *VNFA, src, dst int, dist []int, best int, m *eval.Meter) ([]gpath.PathBinding, error) {
+func runTight(g *graph.Graph, a *VNFA, src, dst int, dist []int, best int, m *eval.Meter, cnt *pg.Counters) ([]gpath.PathBinding, error) {
 	id := func(node, state int) int { return node*a.NumStates + state }
 	seen := map[string]struct{}{}
 	var out []gpath.PathBinding
 	var edges []int
 	var vars []string
 	var stopErr error
-	steps := 0
+	tick := pg.NewTicker(m, cnt)
 	var dfs func(node, state int)
 	dfs = func(node, state int) {
 		if stopErr != nil {
 			return
 		}
-		steps++
-		if steps%eval.MeterCheckInterval == 0 {
-			if err := m.Tick(eval.MeterCheckInterval); err != nil {
-				stopErr = err
-				return
-			}
+		if err := tick.Step(); err != nil {
+			stopErr = err
+			return
 		}
 		d := len(edges)
 		if d == best {
@@ -406,7 +373,7 @@ func runTight(g *graph.Graph, a *VNFA, src, dst int, dist []int, best int, m *ev
 	}
 	dfs(src, a.Start)
 	if stopErr == nil {
-		stopErr = m.Tick(int64(steps % eval.MeterCheckInterval))
+		stopErr = tick.Flush()
 	}
 	if stopErr != nil {
 		return nil, stopErr

@@ -1,0 +1,109 @@
+package pg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism option to a worker count: values ≤ 0 mean
+// one worker per available CPU.
+func Workers(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach is the runtime's parallel per-source fan-out with deterministic
+// merge: it runs fn(i, scratch) for every i in [0, n) and concatenates the
+// per-index results in index order, so the output is byte-identical to the
+// sequential loop regardless of worker count or scheduling.
+//
+// With workers ≤ 1 it degenerates to the plain sequential loop (no
+// goroutines, one scratch). Otherwise indexes are over-partitioned into
+// 4 chunks per worker so stragglers balance; workers claim chunks off an
+// atomic cursor, each with its own scratch from newScratch (may be nil
+// when S is unused). The first error stops all workers at their next chunk
+// claim and is returned; the pool is always joined before returning, so no
+// goroutine outlives the call even on error. An empty total yields nil.
+func ForEach[T, S any](n, workers int, newScratch func() S, fn func(i int, sc S) ([]T, error)) ([]T, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var sc S
+		if newScratch != nil {
+			sc = newScratch()
+		}
+		var out []T
+		for i := 0; i < n; i++ {
+			part, err := fn(i, sc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		return out, nil
+	}
+	chunks := workers * 4
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	results := make([][]T, chunks)
+	errs := make([]error, chunks)
+	var failed atomic.Bool
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc S
+			if newScratch != nil {
+				sc = newScratch()
+			}
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= chunks || failed.Load() {
+					return
+				}
+				lo := c * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				var part []T
+				for i := lo; i < hi; i++ {
+					rows, err := fn(i, sc)
+					if err != nil {
+						errs[c] = err
+						failed.Store(true)
+						return
+					}
+					part = append(part, rows...)
+				}
+				results[c] = part
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, part := range results {
+		total += len(part)
+	}
+	if total == 0 {
+		return nil, nil // match the sequential path's nil for empty results
+	}
+	out := make([]T, 0, total)
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out, nil
+}

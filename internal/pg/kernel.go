@@ -1,0 +1,396 @@
+package pg
+
+import (
+	"sort"
+
+	"graphquery/internal/graph"
+)
+
+// State is a product-graph node (u, q): graph node u, automaton state q.
+type State struct {
+	Node  int
+	State int
+}
+
+// Step is one product edge: the graph edge taken and the resulting state.
+type Step struct {
+	Edge int
+	To   State
+}
+
+// Kernel runs product-graph search over one (graph, Semantics) pair. It
+// snapshots the semantics into flat slices at construction, so the
+// fixpoint loop touches no interfaces; a Kernel is immutable afterwards
+// and safe for concurrent use (each goroutine brings its own Scratch).
+type Kernel struct {
+	g      *graph.Graph
+	sem    Semantics
+	c      *Counters
+	nq     int
+	starts []int
+	accept []bool
+	trans  [][]Trans
+}
+
+// NewKernel builds a kernel over g with the given semantics; c (may be
+// nil) receives the kernel's runtime counters.
+func NewKernel(g *graph.Graph, sem Semantics, c *Counters) *Kernel {
+	k := &Kernel{
+		g:      g,
+		sem:    sem,
+		c:      c,
+		nq:     sem.NumStates(),
+		starts: sem.Starts(),
+		accept: make([]bool, sem.NumStates()),
+		trans:  make([][]Trans, sem.NumStates()),
+	}
+	for q := 0; q < k.nq; q++ {
+		k.accept[q] = sem.Accepting(q)
+		k.trans[q] = sem.Transitions(q)
+	}
+	return k
+}
+
+// Graph returns the kernel's graph.
+func (k *Kernel) Graph() *graph.Graph { return k.g }
+
+// Semantics returns the semantics the kernel was built over.
+func (k *Kernel) Semantics() Semantics { return k.sem }
+
+// Counters returns the counters sink attached at construction (may be nil).
+func (k *Kernel) Counters() *Counters { return k.c }
+
+// NumProductStates returns |N|·|Q|, the worst-case product size.
+func (k *Kernel) NumProductStates() int { return k.g.NumNodes() * k.nq }
+
+// ID packs a product state into a dense integer.
+func (k *Kernel) ID(s State) int { return s.Node*k.nq + s.State }
+
+// Unid unpacks a dense integer into a product state.
+func (k *Kernel) Unid(i int) State { return State{Node: i / k.nq, State: i % k.nq} }
+
+// Accepting reports whether s is accepting.
+func (k *Kernel) Accepting(s State) bool { return k.accept[s.State] }
+
+// Scratch holds the reusable buffers of repeated single-source
+// reachability sweeps over one kernel: a visited bitmap over product
+// states, the BFS queue (which doubles as the touched list for O(visited)
+// resets), and a per-graph-node emitted bitmap. One scratch serves one
+// goroutine.
+type Scratch struct {
+	visited []bool
+	emitted []bool
+	queue   []int
+	nodes   []int
+}
+
+// NewScratch allocates buffers sized for k.
+func (k *Kernel) NewScratch() *Scratch {
+	return &Scratch{
+		visited: make([]bool, k.NumProductStates()),
+		emitted: make([]bool, k.g.NumNodes()),
+	}
+}
+
+// Reachable computes all graph nodes v such that an accepting product
+// state (v, q) is reachable from (src, q₀) for some start state q₀, sorted
+// ascending. The returned slice aliases sc.nodes and is valid until the
+// next call with the same scratch. A nil meter never fails; on error the
+// scratch is still reset, so the caller may reuse it.
+//
+// This is the frontier/BFS fixpoint loop of the runtime — the single
+// amortized budget-check loop all evaluators share: every CheckInterval
+// (256) dequeued states the count is flushed to the shared meter, which
+// polls for cancellation or an exhausted states budget.
+func (k *Kernel) Reachable(src int, sc *Scratch, mt *Meter) ([]int, error) {
+	return k.reachable(src, sc, mt, false)
+}
+
+// ReachableDense is Reachable under a dense-scan plan: positive guards
+// filter full adjacency lists instead of probing the per-label index. The
+// result is identical; only the scan strategy differs.
+func (k *Kernel) ReachableDense(src int, sc *Scratch, mt *Meter) ([]int, error) {
+	return k.reachable(src, sc, mt, true)
+}
+
+func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, error) {
+	g := k.g
+	nq := k.nq
+	sc.queue = sc.queue[:0]
+	sc.nodes = sc.nodes[:0]
+	for _, q := range k.starts {
+		id := src*nq + q
+		if sc.visited[id] {
+			continue
+		}
+		sc.visited[id] = true
+		sc.queue = append(sc.queue, id)
+		if k.accept[q] && !sc.emitted[src] {
+			sc.emitted[src] = true
+			sc.nodes = append(sc.nodes, src)
+		}
+	}
+	var stopErr error
+	var edgesScanned int64
+	peak := 0
+	ticked := 0
+	head := 0
+	for ; head < len(sc.queue); head++ {
+		if mt != nil && head-ticked >= CheckInterval {
+			if stopErr = mt.Tick(int64(head - ticked)); stopErr != nil {
+				break
+			}
+			ticked = head
+		}
+		if f := len(sc.queue) - head; f > peak {
+			peak = f
+		}
+		cur := sc.queue[head]
+		node, state := cur/nq, cur%nq
+		trans := k.trans[state]
+		for ti := range trans {
+			t := &trans[ti]
+			if t.Negated || dense {
+				adj := g.Out(node)
+				if t.Back {
+					adj = g.In(node)
+				}
+				edgesScanned += int64(len(adj))
+				for _, ei := range adj {
+					// Positive guards filter by interned label ID (an int
+					// compare against a tiny list); only co-finite guards
+					// need the symbolic match.
+					if t.Negated {
+						if !t.Guard.Matches(g.Edge(ei).Label) {
+							continue
+						}
+					} else if !containsLabel(t.LabelIDs, g.EdgeLabelID(ei)) {
+						continue
+					}
+					e := g.Edge(ei)
+					if t.Back {
+						k.visit(e.Src, t.To, sc)
+					} else {
+						k.visit(e.Tgt, t.To, sc)
+					}
+				}
+				continue
+			}
+			// Indexed fast path, split per direction so the inner loop
+			// carries no per-edge branch.
+			to := t.To
+			if t.Back {
+				for _, lid := range t.LabelIDs {
+					adj := g.InWithLabel(node, lid)
+					edgesScanned += int64(len(adj))
+					for _, ei := range adj {
+						k.visit(g.Edge(ei).Src, to, sc)
+					}
+				}
+				continue
+			}
+			for _, lid := range t.LabelIDs {
+				adj := g.OutWithLabel(node, lid)
+				edgesScanned += int64(len(adj))
+				for _, ei := range adj {
+					k.visit(g.Edge(ei).Tgt, to, sc)
+				}
+			}
+		}
+	}
+	if stopErr == nil && mt != nil && head > ticked {
+		stopErr = mt.Tick(int64(head - ticked))
+	}
+	k.c.AddStates(int64(head))
+	k.c.AddEdges(edgesScanned)
+	k.c.ObserveFrontier(int64(peak))
+	// Reset the bitmaps by replaying the touched lists (on error too, so
+	// the scratch stays reusable).
+	for _, id := range sc.queue {
+		sc.visited[id] = false
+	}
+	for _, v := range sc.nodes {
+		sc.emitted[v] = false
+	}
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	sort.Ints(sc.nodes)
+	return sc.nodes, nil
+}
+
+// visit pushes product state (node, to) if unseen, emitting node when the
+// automaton state accepts.
+func (k *Kernel) visit(node, to int, sc *Scratch) {
+	id := node*k.nq + to
+	if sc.visited[id] {
+		return
+	}
+	sc.visited[id] = true
+	sc.queue = append(sc.queue, id)
+	if k.accept[to] && !sc.emitted[node] {
+		sc.emitted[node] = true
+		sc.nodes = append(sc.nodes, node)
+	}
+}
+
+// Distances computes BFS distances (−1 for unreached) over the product
+// from src, under a meter — the distance sweep behind shortest-path modes.
+// Distance values are order-independent, so unlike BFS no expansion order
+// is imposed and no parents are recorded.
+func (k *Kernel) Distances(src int, mt *Meter) ([]int, error) {
+	g := k.g
+	dist := make([]int, k.NumProductStates())
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for _, q := range k.starts {
+		id := src*k.nq + q
+		if dist[id] == 0 {
+			continue
+		}
+		dist[id] = 0
+		queue = append(queue, id)
+	}
+	var stopErr error
+	var edgesScanned int64
+	peak := 0
+	ticked := 0
+	head := 0
+	for ; head < len(queue); head++ {
+		if mt != nil && head-ticked >= CheckInterval {
+			if stopErr = mt.Tick(int64(head - ticked)); stopErr != nil {
+				break
+			}
+			ticked = head
+		}
+		if f := len(queue) - head; f > peak {
+			peak = f
+		}
+		cur := queue[head]
+		node, state := cur/k.nq, cur%k.nq
+		trans := k.trans[state]
+		for ti := range trans {
+			t := &trans[ti]
+			visit := func(ei int) {
+				edgesScanned++
+				e := g.Edge(ei)
+				to := e.Tgt
+				if t.Back {
+					to = e.Src
+				}
+				id := to*k.nq + t.To
+				if dist[id] == -1 {
+					dist[id] = dist[cur] + 1
+					queue = append(queue, id)
+				}
+			}
+			if t.Back {
+				t.InEdges(g, node, visit)
+			} else {
+				t.OutEdges(g, node, visit)
+			}
+		}
+	}
+	if stopErr == nil && mt != nil && head > ticked {
+		stopErr = mt.Tick(int64(head - ticked))
+	}
+	k.c.AddStates(int64(head))
+	k.c.AddEdges(edgesScanned)
+	k.c.ObserveFrontier(int64(peak))
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	return dist, nil
+}
+
+// Succ returns the outgoing product edges of s in ascending (graph edge,
+// transition) order — the deterministic order every path enumerator, the
+// PMR construction, and the k-shortest tie-breaking rely on.
+func (k *Kernel) Succ(s State) []Step {
+	type cand struct{ edge, ord, to, back int }
+	var cands []cand
+	g := k.g
+	trans := k.trans[s.State]
+	for ti := range trans {
+		t := &trans[ti]
+		back := 0
+		if t.Back {
+			back = 1
+		}
+		add := func(ei int) {
+			cands = append(cands, cand{ei, ti, t.To, back})
+		}
+		if t.Back {
+			t.InEdges(g, s.Node, add)
+		} else {
+			t.OutEdges(g, s.Node, add)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].edge != cands[j].edge {
+			return cands[i].edge < cands[j].edge
+		}
+		return cands[i].ord < cands[j].ord
+	})
+	out := make([]Step, len(cands))
+	for i, c := range cands {
+		to := g.Edge(c.edge).Tgt
+		if c.back == 1 {
+			to = g.Edge(c.edge).Src
+		}
+		out[i] = Step{Edge: c.edge, To: State{Node: to, State: c.to}}
+	}
+	return out
+}
+
+// BFS runs breadth-first search over the product from (src, q₀) and
+// returns dist (−1 for unreached) and parent pointers (product id and
+// graph edge) — the witness-reconstruction hook behind Witness, shortest
+// enumeration, and distance queries. Expansion follows Succ order, so the
+// parent tree (and therefore which shortest witness is reconstructed) is
+// deterministic.
+func (k *Kernel) BFS(src int) (dist, parent, parentEdge []int) {
+	n := k.NumProductStates()
+	dist = make([]int, n)
+	parent = make([]int, n)
+	parentEdge = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	var queue []int
+	for _, q := range k.starts {
+		id := src*k.nq + q
+		if dist[id] == 0 {
+			continue
+		}
+		dist[id] = 0
+		queue = append(queue, id)
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, st := range k.Succ(k.Unid(cur)) {
+			ni := k.ID(st.To)
+			if dist[ni] == -1 {
+				dist[ni] = dist[cur] + 1
+				parent[ni] = cur
+				parentEdge[ni] = st.Edge
+				queue = append(queue, ni)
+			}
+		}
+	}
+	return dist, parent, parentEdge
+}
+
+// containsLabel reports whether a positive guard's resolved label-ID list
+// (tiny, ascending) contains id.
+func containsLabel(ids []int, id int) bool {
+	for _, l := range ids {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}

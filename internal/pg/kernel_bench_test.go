@@ -1,0 +1,57 @@
+package pg_test
+
+// Micro-benchmarks for the kernel's two scan strategies, pinning the
+// break-even the planner's denseFraction constant encodes: on a
+// single-label clique every positive guard matches every edge, so the
+// per-label index and the dense scan visit the same edges and only the
+// per-edge overhead differs.
+
+import (
+	"fmt"
+	"testing"
+
+	"graphquery/internal/automata"
+	"graphquery/internal/gen"
+	"graphquery/internal/pg"
+)
+
+func cliqueKernel(b *testing.B, k int) *pg.Kernel {
+	b.Helper()
+	g := gen.Clique(k, "a")
+	// a a* — the E15 clique query.
+	a := &automata.NFA{
+		NumStates: 2,
+		Start:     0,
+		Accept:    []bool{false, true},
+		Trans: [][]automata.Transition{
+			{{Guard: automata.GuardLabel("a"), To: 1}},
+			{{Guard: automata.GuardLabel("a"), To: 1}},
+		},
+	}
+	return pg.NewKernel(g, pg.FromNFA(g, a), nil)
+}
+
+func BenchmarkKernelScan(b *testing.B) {
+	for _, k := range []int{32, 64} {
+		kern := cliqueKernel(b, k)
+		sc := kern.NewScratch()
+		b.Run(fmt.Sprintf("indexed/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for u := 0; u < k; u++ {
+					if _, err := kern.Reachable(u, sc, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("dense/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for u := 0; u < k; u++ {
+					if _, err := kern.ReachableDense(u, sc, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package pg_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"graphquery/internal/automata"
+	"graphquery/internal/gen"
+	"graphquery/internal/pg"
+)
+
+func TestNewMeterNil(t *testing.T) {
+	if m := pg.NewMeter(context.Background(), pg.Budget{}); m != nil {
+		t.Fatalf("unbudgeted background meter should be nil, got %v", m)
+	}
+	var m *pg.Meter // nil meter: every operation is a no-op that succeeds
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRows(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterBudget(t *testing.T) {
+	m := pg.NewMeter(context.Background(), pg.Budget{MaxStates: 100})
+	if err := m.Tick(100); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Tick(1)
+	if !errors.Is(err, pg.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	var be *pg.BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" || be.Limit != 100 {
+		t.Fatalf("want states BudgetError with limit 100, got %#v", err)
+	}
+}
+
+func TestMeterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := pg.NewMeter(ctx, pg.Budget{})
+	if m == nil {
+		t.Fatal("cancellable context should yield a meter")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	err := m.Check()
+	if !errors.Is(err, pg.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrCanceled wrapping context.Canceled, got %v", err)
+	}
+}
+
+// TestTicker verifies the amortized instrument charges the meter in
+// CheckInterval batches plus an exact remainder, and mirrors the total
+// into the counters.
+func TestTicker(t *testing.T) {
+	m := pg.NewMeter(context.Background(), pg.Budget{MaxStates: pg.CheckInterval + 50})
+	var c pg.Counters
+	tick := pg.NewTicker(m, &c)
+	for i := 0; i < pg.CheckInterval+10; i++ {
+		if err := tick.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := tick.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.States(); got != int64(pg.CheckInterval+10) {
+		t.Fatalf("meter states = %d, want %d", got, pg.CheckInterval+10)
+	}
+	if got := c.Snapshot().StatesExpanded; got != int64(pg.CheckInterval+10) {
+		t.Fatalf("counter states = %d, want %d", got, pg.CheckInterval+10)
+	}
+
+	// Exceeding the budget surfaces at a batch boundary.
+	tick = pg.NewTicker(m, &c)
+	var err error
+	for i := 0; err == nil && i < 2*pg.CheckInterval; i++ {
+		err = tick.Step()
+	}
+	if err == nil {
+		err = tick.Flush()
+	}
+	if !errors.Is(err, pg.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestForEachDeterministic(t *testing.T) {
+	fn := func(i int, _ struct{}) ([]int, error) {
+		return []int{2 * i, 2*i + 1}, nil
+	}
+	want, err := pg.ForEach(100, 1, nil, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := pg.ForEach(100, workers, nil, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: %v != sequential %v", workers, got, want)
+		}
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := pg.ForEach(64, workers, nil, func(i int, _ struct{}) ([]int, error) {
+			if i == 33 {
+				return nil, boom
+			}
+			return []int{i}, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: want boom, got %v", workers, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	out, err := pg.ForEach(0, 4, nil, func(i int, _ struct{}) ([]int, error) {
+		return []int{i}, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("empty fan-out: got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	g := gen.Random(10, 30, []string{"a", "b"}, 1)
+	if _, ok := pg.Resolve(g, automata.GuardLabel("zzz")); ok {
+		t.Fatal("positive guard over an absent label should not resolve")
+	}
+	rg, ok := pg.Resolve(g, automata.GuardLabel("a"))
+	if !ok || rg.Negated || len(rg.LabelIDs) != 1 {
+		t.Fatalf("positive guard: %+v ok=%v", rg, ok)
+	}
+	nrg, ok := pg.Resolve(g, automata.Guard{Negated: true, Labels: []string{"a"}})
+	if !ok || !nrg.Negated {
+		t.Fatalf("negated guard: %+v ok=%v", nrg, ok)
+	}
+	// The two guards partition the edge set.
+	count := func(r pg.ResolvedGuard) int {
+		n := 0
+		r.Edges(g, func(int) { n++ })
+		return n
+	}
+	if count(rg)+count(nrg) != g.NumEdges() {
+		t.Fatalf("a-edges %d + non-a-edges %d != %d", count(rg), count(nrg), g.NumEdges())
+	}
+}
+
+func TestCountersObserveFrontier(t *testing.T) {
+	var c pg.Counters
+	c.ObserveFrontier(10)
+	c.ObserveFrontier(3)
+	c.ObserveFrontier(25)
+	if got := c.Snapshot().FrontierPeak; got != 25 {
+		t.Fatalf("frontier peak = %d, want 25", got)
+	}
+	var nilC *pg.Counters
+	nilC.AddStates(1) // nil counters must be inert
+	nilC.ObserveFrontier(1)
+	nilC.CountPlan(pg.Plan{})
+	if got := nilC.Snapshot(); got != (pg.CountersSnapshot{}) {
+		t.Fatalf("nil counters snapshot = %+v", got)
+	}
+}

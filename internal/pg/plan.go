@@ -1,0 +1,38 @@
+package pg
+
+import "fmt"
+
+// Plan is the evaluation strategy for one compiled query, chosen per
+// (graph, automaton) by the cost-based planner in internal/pg/plan from
+// cardinality estimates. The zero Plan — forward, label-indexed, worker
+// count decided by Options.Parallelism — is the historical default
+// behavior, so callers that never plan lose nothing.
+type Plan struct {
+	// Backward evaluates target→source over the reversed automaton: one
+	// sweep per target node collects its sources. Pays off when the query's
+	// last labels are much rarer than its first (the reversed frontier
+	// stays small). Results are re-sorted, so output is unchanged.
+	Backward bool
+	// Dense scans full adjacency lists (filtering by guard) instead of the
+	// per-label CSR index. Pays off when guards match most labels anyway:
+	// one contiguous scan beats several binary-searched index probes.
+	Dense bool
+	// Workers is the per-source fan-out degree; 0 defers to
+	// Options.Parallelism, 1 forces the sequential path.
+	Workers int
+	// EstStates is the planner's frontier-mass estimate for the chosen
+	// direction (product states expanded per sweep) — recorded for Explain
+	// output and the plan-selection table in EXPERIMENTS.md.
+	EstStates float64
+}
+
+func (p Plan) String() string {
+	dir, scan := "forward", "indexed"
+	if p.Backward {
+		dir = "backward"
+	}
+	if p.Dense {
+		scan = "dense"
+	}
+	return fmt.Sprintf("dir=%s scan=%s workers=%d est=%.0f", dir, scan, p.Workers, p.EstStates)
+}

@@ -1,0 +1,211 @@
+// Package plan is the cost-based planner of the unified product-graph
+// runtime: given a compiled automaton and the graph's cardinality
+// statistics (internal/cardest), it chooses how the kernel should run the
+// query — evaluation direction (forward from sources vs. backward from
+// targets over the reversed automaton), scan strategy (per-label index
+// vs. dense adjacency), and parallelism degree. Every choice changes only
+// how the answer set is computed, never the answer set itself, so a bad
+// estimate costs time, not correctness.
+package plan
+
+import (
+	"math"
+
+	"graphquery/internal/automata"
+	"graphquery/internal/cardest"
+	"graphquery/internal/graph"
+	"graphquery/internal/pg"
+)
+
+// Tuning constants of the cost model. They only shift the break-even
+// points between equivalent strategies.
+const (
+	// backwardMargin is how much cheaper the reversed sweep must look
+	// before the planner abandons the forward default (the margin absorbs
+	// estimation noise and the backward path's final re-sort).
+	backwardMargin = 0.7
+	// parallelThreshold is the minimum estimated total product states
+	// (across all sources) before the fan-out is worth more than one
+	// worker.
+	parallelThreshold = 1 << 15
+)
+
+// Planner chooses kernel plans for queries over one graph. It is
+// immutable after New and safe for concurrent use.
+type Planner struct {
+	g     *graph.Graph
+	stats *cardest.Stats
+}
+
+// New collects statistics over g and returns its planner.
+func New(g *graph.Graph) *Planner {
+	return &Planner{g: g, stats: cardest.Collect(g)}
+}
+
+// Stats exposes the collected per-label statistics.
+func (p *Planner) Stats() *cardest.Stats { return p.stats }
+
+// ForNFA plans the all-pairs evaluation of a compiled RPQ automaton.
+// parallelism is the caller's worker cap (0 = one per CPU); the planner
+// may lower it to 1 when the estimated work cannot amortize the pool.
+func (p *Planner) ForNFA(a *automata.NFA, parallelism int) pg.Plan {
+	n := p.stats.Nodes
+	if n == 0 || a.NumStates == 0 {
+		return pg.Plan{}
+	}
+	pl := pg.Plan{}
+	if bwd, fwd := p.firstStepMass(a, true), p.firstStepMass(a, false); bwd < backwardMargin*fwd {
+		pl.Backward = true
+	}
+	pl.EstStates = p.sweepCost(a, pl.Backward) * float64(n)
+	pl.Dense = p.denseWins(a)
+	pl.Workers = 1
+	if pl.EstStates >= parallelThreshold {
+		pl.Workers = pg.Workers(parallelism)
+	}
+	return pl
+}
+
+// guardEdges estimates the number of graph edges matching a guard from
+// the per-label counts (mirroring cardest's internal estimate).
+func (p *Planner) guardEdges(gd automata.Guard) float64 {
+	if !gd.Negated {
+		n := 0
+		for _, l := range gd.Labels {
+			n += p.stats.EdgeCount[l]
+		}
+		return float64(n)
+	}
+	n := p.stats.TotalEdges
+	for _, l := range gd.Labels {
+		n -= p.stats.EdgeCount[l]
+	}
+	if n < 0 {
+		n = 0
+	}
+	return float64(n)
+}
+
+// firstStepMass estimates the expected frontier arrivals of a sweep's
+// first kernel step — the per-node fan-out of the transitions leaving the
+// start states (forward) or entering the accepting states (backward).
+// Seed selectivity dominates the direction choice: a sweep whose first
+// guard matches nothing at its source dies after one state, so when a
+// query's final labels are far more selective than its initial ones, the
+// reversed automaton turns almost every per-node sweep into a no-op.
+// Deeper propagation cannot see this asymmetry — expectations averaged
+// over all sources saturate the same way in either direction.
+func (p *Planner) firstStepMass(a *automata.NFA, backward bool) float64 {
+	n := float64(p.stats.Nodes)
+	mass := 0.0
+	for q := 0; q < a.NumStates; q++ {
+		for _, t := range a.Trans[q] {
+			if backward {
+				if a.Accept[t.To] {
+					mass += p.guardEdges(t.Guard) / n
+				}
+			} else if q == a.Start {
+				mass += p.guardEdges(t.Guard) / n
+			}
+		}
+	}
+	return mass
+}
+
+// sweepCost estimates the product states one single-source kernel sweep
+// expands: expected per-state frontier mass is propagated through the
+// automaton (reversed, for a backward sweep, and seeded from the
+// accepting states) with per-step fan-out guardEdges/|N| under the
+// independence assumptions of cardest, capped at |N| distinct nodes per
+// state, for a horizon of about the graph's expected diameter.
+func (p *Planner) sweepCost(a *automata.NFA, backward bool) float64 {
+	n := float64(p.stats.Nodes)
+	mass := make([]float64, a.NumStates)
+	if backward {
+		for q, acc := range a.Accept {
+			if acc {
+				mass[q] = 1
+			}
+		}
+	} else {
+		mass[a.Start] = 1
+	}
+	type edge struct {
+		to  int
+		fan float64
+	}
+	outs := make([][]edge, a.NumStates)
+	for q := 0; q < a.NumStates; q++ {
+		for _, t := range a.Trans[q] {
+			fan := p.guardEdges(t.Guard) / n
+			if backward {
+				outs[t.To] = append(outs[t.To], edge{to: q, fan: fan})
+			} else {
+				outs[q] = append(outs[q], edge{to: t.To, fan: fan})
+			}
+		}
+	}
+	total := 0.0
+	for _, m := range mass {
+		total += m
+	}
+	for step := 0; step < horizon(p.stats.Nodes); step++ {
+		next := make([]float64, a.NumStates)
+		moved := false
+		for q, m := range mass {
+			if m <= 0 {
+				continue
+			}
+			for _, e := range outs[q] {
+				if c := m * e.fan; c > 0 {
+					next[e.to] += c
+					moved = true
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+		for q := range next {
+			if next[q] > n {
+				next[q] = n // at most |N| distinct nodes per state
+			}
+			total += next[q]
+		}
+		mass = next
+	}
+	return total
+}
+
+// denseWins reports whether the plan should scan dense adjacency. The
+// per-label index never loses for a positive guard — it iterates a
+// precomputed contiguous edge region with no per-edge test, while the
+// dense scan pays a label lookup and compare on every edge
+// (BenchmarkKernelScan measures the dense scan ~2x slower even on a
+// single-label clique, the best possible case for it, where both
+// strategies visit exactly the same edges). So the planner marks a plan
+// dense only when every guard is co-finite: the kernel scans dense lists
+// for those transitions regardless, and the plan then records what will
+// actually run.
+func (p *Planner) denseWins(a *automata.NFA) bool {
+	seen := false
+	for q := 0; q < a.NumStates; q++ {
+		for _, t := range a.Trans[q] {
+			if !t.Guard.Negated {
+				return false
+			}
+			seen = true
+		}
+	}
+	return seen
+}
+
+// horizon mirrors cardest's default Kleene-unrolling depth: about twice
+// the log of the node count, floored at 4.
+func horizon(nodes int) int {
+	h := int(math.Ceil(2 * math.Log2(float64(nodes)+1)))
+	if h < 4 {
+		h = 4
+	}
+	return h
+}

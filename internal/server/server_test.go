@@ -231,6 +231,10 @@ func TestMetaEndpoints(t *testing.T) {
 	if g, ok := st.Graphs["bank"]; !ok || g.Cache.Misses == 0 {
 		t.Errorf("per-graph cache stats missing: %+v", st.Graphs)
 	}
+	if g := st.Graphs["bank"]; g.Runtime.StatesExpanded == 0 ||
+		g.Runtime.PlanForward+g.Runtime.PlanBackward == 0 {
+		t.Errorf("kernel runtime counters missing from statz: %+v", g.Runtime)
+	}
 	// The HTTP snapshot matches the in-process one (modulo the statz
 	// requests themselves, which touch no counters).
 	if direct := s.Stats(); direct.Accepted != st.Accepted {

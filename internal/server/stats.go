@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"graphquery/internal/core"
+	"graphquery/internal/pg"
 )
 
 // counters is the server's hot-path instrumentation: every field is an
@@ -41,11 +42,14 @@ type ServerStats struct {
 	Graphs map[string]GraphStats `json:"graphs"`
 }
 
-// GraphStats describes one registered graph and its plan cache.
+// GraphStats describes one registered graph: its size, plan cache, and
+// the unified runtime's kernel counters (work done and plans chosen,
+// cumulative over the engine's lifetime).
 type GraphStats struct {
-	Nodes int             `json:"nodes"`
-	Edges int             `json:"edges"`
-	Cache core.CacheStats `json:"cache"`
+	Nodes   int                 `json:"nodes"`
+	Edges   int                 `json:"edges"`
+	Cache   core.CacheStats     `json:"cache"`
+	Runtime pg.CountersSnapshot `json:"runtime"`
 }
 
 // Stats snapshots the server's counters and per-graph plan-cache stats.
@@ -67,7 +71,12 @@ func (s *Server) Stats() ServerStats {
 	s.mu.RLock()
 	for name, e := range s.engines {
 		g := e.Graph()
-		st.Graphs[name] = GraphStats{Nodes: g.NumNodes(), Edges: g.NumEdges(), Cache: e.CacheStats()}
+		st.Graphs[name] = GraphStats{
+			Nodes:   g.NumNodes(),
+			Edges:   g.NumEdges(),
+			Cache:   e.CacheStats(),
+			Runtime: e.RuntimeStats(),
+		}
 	}
 	s.mu.RUnlock()
 	return st

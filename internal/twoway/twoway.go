@@ -16,6 +16,7 @@ import (
 	"graphquery/internal/automata"
 	"graphquery/internal/eval"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 )
 
 // Expr is a 2RPQ expression.
@@ -132,9 +133,6 @@ func childString(e Expr, parent int) string {
 
 // L returns the forward atom a.
 func L(a string) Expr { return Atom{Name: a} }
-
-// Inv returns the inverse atom ~a.
-func Inv(a string) Expr { return Atom{Name: a, Inverse: true} }
 
 // Seq returns a concatenation.
 func Seq(parts ...Expr) Expr {
@@ -329,10 +327,47 @@ func (g *tglushkov) analyze(e Expr) tinfo {
 	}
 }
 
+// machineFor resolves a compiled TNFA against g into a runtime machine:
+// direction annotations become Back-flagged transitions, and guards are
+// resolved by the shared pg guard resolution (transitions whose positive
+// guard matches no label of g are dropped).
+func machineFor(g *graph.Graph, a *TNFA) *pg.Machine {
+	m := pg.NewMachine(a.NumStates, a.Start)
+	for q := 0; q < a.NumStates; q++ {
+		if a.Accept[q] {
+			m.SetAccept(q)
+		}
+		for _, t := range a.Trans[q] {
+			rg, ok := pg.Resolve(g, t.Guard)
+			if !ok {
+				continue
+			}
+			m.Add(q, pg.Trans{To: t.To, Back: t.Back, ResolvedGuard: rg})
+		}
+	}
+	return m
+}
+
+// Kernel compiles e for evaluation over g on the unified product-graph
+// runtime; c (may be nil) receives the kernel's runtime counters. The
+// kernel is immutable and serves concurrent queries.
+func Kernel(g *graph.Graph, e Expr, c *pg.Counters) *pg.Kernel {
+	return pg.NewKernel(g, machineFor(g, Compile(e)), c)
+}
+
+// Options configure evaluation on the unified runtime.
+type Options struct {
+	// Parallelism caps the per-source fan-out degree; 0 means one worker
+	// per available CPU, 1 forces the sequential path.
+	Parallelism int
+	// Counters (may be nil) receives the kernel's runtime counters.
+	Counters *pg.Counters
+}
+
 // Pairs computes ⟦R⟧_G for the 2RPQ: pairs (u, v) connected by a two-way
-// path matching R, via product BFS that follows out-edges on forward
+// path matching R, via kernel sweeps that follow out-edges on forward
 // transitions and in-edges on inverse transitions. The output needs no
-// final sort: sources are scanned ascending and each per-source result is
+// final sort: sources are merged ascending and each per-source result is
 // ascending, so it is lexicographically sorted by construction.
 func Pairs(g *graph.Graph, e Expr) [][2]int {
 	out, _ := PairsMeter(g, e, nil) // nil meter: cannot fail
@@ -348,28 +383,37 @@ func PairsCtx(ctx context.Context, g *graph.Graph, e Expr, b eval.Budget) ([][2]
 
 // PairsMeter is Pairs under a shared meter (nil means unlimited) — the
 // entry point for serving layers that thread one instrument through every
-// stage of a query.
+// stage of a query. Evaluation is sequential; use PairsMeterOpt for
+// parallel fan-out and counters.
 func PairsMeter(g *graph.Graph, e Expr, m *eval.Meter) ([][2]int, error) {
-	p := newTProduct(g, Compile(e))
-	var out [][2]int
-	for u := 0; u < g.NumNodes(); u++ {
-		vs, err := p.reachableFromMeter(u, m)
-		if err != nil {
-			return nil, err
-		}
-		if err := m.AddRows(int64(len(vs))); err != nil {
-			return nil, err
-		}
-		for _, v := range vs {
-			out = append(out, [2]int{u, v})
-		}
-	}
-	return out, nil
+	return PairsMeterOpt(g, e, m, Options{Parallelism: 1})
+}
+
+// PairsMeterOpt is PairsMeter with explicit runtime options: per-source
+// fan-out over the runtime's worker pool (deterministic chunk-ordered
+// merge, so output is identical at any parallelism) and runtime counters.
+func PairsMeterOpt(g *graph.Graph, e Expr, m *eval.Meter, opts Options) ([][2]int, error) {
+	kern := Kernel(g, e, opts.Counters)
+	return pg.ForEach(g.NumNodes(), pg.Workers(opts.Parallelism), kern.NewScratch,
+		func(u int, sc *pg.Scratch) ([][2]int, error) {
+			vs, err := kern.Reachable(u, sc, m)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.AddRows(int64(len(vs))); err != nil {
+				return nil, err
+			}
+			part := make([][2]int, len(vs))
+			for i, v := range vs {
+				part[i] = [2]int{u, v}
+			}
+			return part, nil
+		})
 }
 
 // Check reports whether (src, dst) ∈ ⟦R⟧_G.
 func Check(g *graph.Graph, e Expr, src, dst int) bool {
-	for _, v := range newTProduct(g, Compile(e)).reachableFrom(src) {
+	for _, v := range ReachableFrom(g, e, src) {
 		if v == dst {
 			return true
 		}
@@ -379,185 +423,38 @@ func Check(g *graph.Graph, e Expr, src, dst int) bool {
 
 // ReachableFrom returns all v with (src, v) ∈ ⟦R⟧_G, sorted.
 func ReachableFrom(g *graph.Graph, e Expr, src int) []int {
-	return newTProduct(g, Compile(e)).reachableFrom(src)
-}
-
-// tProduct is a TNFA with its guards resolved against a concrete graph's
-// label index, so product BFS intersects each positive guard with the
-// per-label CSR adjacency instead of scanning all incident edges. Resolved
-// once per (graph, automaton) and shared across all per-source runs.
-type tProduct struct {
-	g    *graph.Graph
-	a    *TNFA
-	succ [][]ttrans
-}
-
-// ttrans is one direction-annotated transition resolved to label IDs.
-type ttrans struct {
-	to       int
-	back     bool
-	labelIDs []int          // label IDs matched by a positive guard
-	negated  bool           // co-finite guard: scan the dense list
-	guard    automata.Guard // kept for the negated fallback
-}
-
-func newTProduct(g *graph.Graph, a *TNFA) *tProduct {
-	p := &tProduct{g: g, a: a, succ: make([][]ttrans, a.NumStates)}
-	for q, ts := range a.Trans {
-		resolved := make([]ttrans, 0, len(ts))
-		for _, t := range ts {
-			tt := ttrans{to: t.To, back: t.Back, negated: t.Guard.Negated, guard: t.Guard}
-			if !t.Guard.Negated {
-				for _, lab := range t.Guard.Labels {
-					if id, ok := g.LabelID(lab); ok {
-						tt.labelIDs = append(tt.labelIDs, id)
-					}
-				}
-				if len(tt.labelIDs) == 0 {
-					continue // guard matches no edge of this graph
-				}
-			}
-			resolved = append(resolved, tt)
-		}
-		p.succ[q] = resolved
-	}
-	return p
-}
-
-func (p *tProduct) reachableFrom(src int) []int {
-	out, _ := p.reachableFromMeter(src, nil)
-	return out
-}
-
-// reachableFromMeter is reachableFrom with amortized cancellation/budget
-// checks every eval.MeterCheckInterval dequeued product states.
-func (p *tProduct) reachableFromMeter(src int, m *eval.Meter) ([]int, error) {
-	g, a := p.g, p.a
-	id := func(node, state int) int { return node*a.NumStates + state }
-	visited := make([]bool, g.NumNodes()*a.NumStates)
-	start := id(src, a.Start)
-	visited[start] = true
-	queue := []int{start}
-	step := func(ni int) {
-		if !visited[ni] {
-			visited[ni] = true
-			queue = append(queue, ni)
-		}
-	}
-	ticked := 0
-	for head := 0; head < len(queue); head++ {
-		if m != nil && head-ticked >= eval.MeterCheckInterval {
-			if err := m.Tick(int64(head - ticked)); err != nil {
-				return nil, err
-			}
-			ticked = head
-		}
-		cur := queue[head]
-		node, state := cur/a.NumStates, cur%a.NumStates
-		for ti := range p.succ[state] {
-			tr := &p.succ[state][ti]
-			follow := func(ei int) {
-				ed := g.Edge(ei)
-				next := ed.Tgt
-				if tr.back {
-					next = ed.Src
-				}
-				step(id(next, tr.to))
-			}
-			if tr.negated {
-				var edges []int
-				if tr.back {
-					edges = g.In(node)
-				} else {
-					edges = g.Out(node)
-				}
-				for _, ei := range edges {
-					if tr.guard.Matches(g.Edge(ei).Label) {
-						follow(ei)
-					}
-				}
-			} else {
-				for _, lid := range tr.labelIDs {
-					var edges []int
-					if tr.back {
-						edges = g.InWithLabel(node, lid)
-					} else {
-						edges = g.OutWithLabel(node, lid)
-					}
-					for _, ei := range edges {
-						follow(ei)
-					}
-				}
-			}
-		}
-	}
-	if m != nil && len(queue) > ticked {
-		if err := m.Tick(int64(len(queue) - ticked)); err != nil {
-			return nil, err
-		}
-	}
-	var out []int
-	for v := 0; v < g.NumNodes(); v++ {
-		for q := 0; q < a.NumStates; q++ {
-			if a.Accept[q] && visited[id(v, q)] {
-				out = append(out, v)
-				break
-			}
-		}
-	}
-	return out, nil
+	kern := Kernel(g, e, nil)
+	vs, _ := kern.Reachable(src, kern.NewScratch(), nil) // nil meter: cannot fail
+	return vs
 }
 
 // Witness returns one shortest two-way walk (as the visited node sequence —
 // edges may be traversed in either direction, so the result is a node
-// itinerary rather than a gpath.Path). ok is false when no walk exists.
+// itinerary rather than a gpath.Path). ok is false when no walk exists. The
+// walk is reconstructed from the kernel's BFS parent tree, so the choice
+// among equal-length witnesses is deterministic.
 func Witness(g *graph.Graph, e Expr, src, dst int) ([]int, bool) {
-	a := Compile(e)
-	id := func(node, state int) int { return node*a.NumStates + state }
-	type crumb struct{ prev, node int }
-	from := map[int]crumb{}
-	start := id(src, a.Start)
-	from[start] = crumb{prev: -1, node: src}
-	queue := []int{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		node, state := cur/a.NumStates, cur%a.NumStates
-		if node == dst && a.Accept[state] {
-			var seq []int
-			for c := cur; c != -1; c = from[c].prev {
-				seq = append(seq, from[c].node)
-			}
-			for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
-				seq[i], seq[j] = seq[j], seq[i]
-			}
-			return seq, true
-		}
-		for _, tr := range a.Trans[state] {
-			var edges []int
-			if tr.Back {
-				edges = g.In(node)
-			} else {
-				edges = g.Out(node)
-			}
-			for _, ei := range edges {
-				ed := g.Edge(ei)
-				if !tr.Guard.Matches(ed.Label) {
-					continue
-				}
-				next := ed.Tgt
-				if tr.Back {
-					next = ed.Src
-				}
-				ni := id(next, tr.To)
-				if _, seen := from[ni]; !seen {
-					from[ni] = crumb{prev: cur, node: next}
-					queue = append(queue, ni)
-				}
-			}
+	kern := Kernel(g, e, nil)
+	sem := kern.Semantics()
+	dist, parent, _ := kern.BFS(src)
+	best := -1
+	for q := 0; q < sem.NumStates(); q++ {
+		id := kern.ID(pg.State{Node: dst, State: q})
+		if sem.Accepting(q) && dist[id] >= 0 && (best == -1 || dist[id] < dist[best]) {
+			best = id
 		}
 	}
-	return nil, false
+	if best == -1 {
+		return nil, false
+	}
+	var seq []int
+	for cur := best; cur != -1; cur = parent[cur] {
+		seq = append(seq, kern.Unid(cur).Node)
+	}
+	for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+	return seq, true
 }
 
 // Parse parses the 2RPQ syntax: the RPQ syntax of package rpq plus a '~'

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# dead_exports.sh — flag exported package-level functions in internal/
+# packages that no other file in the repository references. internal/
+# packages have no external importers by construction, so an export nobody
+# else uses is either dead code or should be unexported. Methods, types,
+# and constants are out of scope: interface satisfaction and struct
+# embedding make name-grep too imprecise for them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+while IFS='|' read -r file lineno name; do
+  [ -n "$name" ] || continue
+  # A function is dead when its only occurrences are its declaration line
+  # and comments: no call, reference, or shadowing use anywhere else.
+  # (No grep -q here: its early exit SIGPIPEs the upstream grep, which
+  # pipefail would then report as the pipeline's failure.)
+  refs=$(grep -rnw --include='*.go' -- "$name" . |
+    grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' |
+    grep -v "^\./$file:$lineno:" || true)
+  if [ -z "$refs" ]; then
+    echo "dead export: $file: func $name"
+    status=1
+  fi
+done < <(grep -rn --include='*.go' -E '^func [A-Z][A-Za-z0-9_]*\(' internal | grep -v _test.go |
+  sed -E 's/^([^:]+):([0-9]+):func ([A-Z][A-Za-z0-9_]*)\(.*/\1|\2|\3/')
+exit $status
