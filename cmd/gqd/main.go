@@ -29,6 +29,7 @@ import (
 	"graphquery/internal/eval"
 	"graphquery/internal/gen"
 	"graphquery/internal/graph"
+	"graphquery/internal/obs"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 	maxLen := flag.Int("maxlen", 16, "bound on path length for mode all")
 	limit := flag.Int("limit", 100, "bound on number of results")
 	programPath := flag.String("program", "", "path to a nested-CRPQ program file (regular queries)")
+	flag.BoolVar(&traceQueries, "trace", false, "print the query plan and evaluation span timings to stderr")
 	flag.Parse()
 
 	g, err := loadGraph(*graphPath, *nodesCSV, *edgesCSV, *builtin)
@@ -83,6 +85,11 @@ func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gqd:", err)
 	os.Exit(1)
 }
+
+// traceQueries mirrors the -trace flag: runOnce prints each query's plan
+// line and span timings to stderr (stderr so piped result output stays
+// clean).
+var traceQueries bool
 
 func loadGraph(path, nodesCSV, edgesCSV, builtin string) (*graph.Graph, error) {
 	switch {
@@ -149,6 +156,14 @@ func runOnce(ctx context.Context, eng *core.Engine, query, from, to, modeStr str
 			fmt.Println(r.Format(g))
 		}
 		fmt.Printf("%d result(s)\n", len(resp.Paths))
+	}
+	if traceQueries {
+		if resp.Plan != "" {
+			fmt.Fprintf(os.Stderr, "plan:  %s\n", resp.Plan)
+		}
+		if len(resp.Spans) > 0 {
+			fmt.Fprintf(os.Stderr, "spans: %s\n", obs.SpansString(resp.Spans))
+		}
 	}
 	return nil
 }

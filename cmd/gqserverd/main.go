@@ -11,6 +11,12 @@
 //	curl -s localhost:8080/v1/graphs
 //	curl -s localhost:8080/v1/query -d '{"graph":"bank","query":"Transfer*"}'
 //	curl -s localhost:8080/v1/statz
+//	curl -s localhost:8080/metrics                    # Prometheus text format
+//
+// Observability: -slow-query 100ms logs every query at or over the
+// threshold as one structured WARN record (query, graph, plan, span
+// timings, budget consumption, outcome); -debug-addr 127.0.0.1:6060
+// serves net/http/pprof on a separate listener.
 //
 // Graphs named like file paths (containing a slash or ending in .json) are
 // loaded as graph JSON; everything else resolves through the catalog:
@@ -24,8 +30,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -51,7 +59,12 @@ func main() {
 	limit := flag.Int("limit", 0, "bound on returned paths/rows (0: unlimited)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines per query (0: one per CPU)")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this as structured WARN records (0: off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: off)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	srv := server.New(server.Config{
 		DefaultTimeout: *defaultTimeout,
@@ -62,6 +75,8 @@ func main() {
 		MaxLen:         *maxLen,
 		Limit:          *limit,
 		Parallelism:    *parallelism,
+		SlowQuery:      *slowQuery,
+		Logger:         logger,
 	})
 	for _, name := range strings.Split(*graphs, ",") {
 		name = strings.TrimSpace(name)
@@ -81,6 +96,22 @@ func main() {
 	// bound port when -addr :0 picked a random one.
 	fmt.Printf("gqserverd: listening on http://%s (graphs: %s)\n",
 		ln.Addr(), strings.Join(srv.GraphNames(), ", "))
+
+	// The pprof surface lives on its own listener so profiling endpoints
+	// are never reachable through the query port. http.DefaultServeMux
+	// carries the net/http/pprof handlers via its import side effect.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gqserverd: debug (pprof) on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, http.DefaultServeMux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"graphquery/internal/gen"
@@ -75,6 +76,63 @@ func TestPlanCacheEviction(t *testing.T) {
 	}
 	if s := e.CacheStats(); s.Size != 0 {
 		t.Fatalf("disabled cache stored a plan: %+v", s)
+	}
+}
+
+// planLine extracts the "plan:" line from Explain output (the Explain text
+// also carries per-run span timings, so whole-output comparison is not
+// stable).
+func planLine(t *testing.T, e *Engine, query string) string {
+	t.Helper()
+	out, err := e.Explain(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "plan:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "plan:"))
+		}
+	}
+	t.Fatalf("no plan line in Explain output:\n%s", out)
+	return ""
+}
+
+// TestPlanCacheKeyedByKnobs is the regression test for the stale-plan bug:
+// the cache used to key on kind × normalized text alone, so flipping an
+// engine knob that feeds compilation (Parallelism drives the planner's
+// worker choice) kept serving the plan compiled under the old setting.
+// Clique(64) with "a a*" clears both planner gates (≥ 32 nodes, frontier
+// mass ≥ 2^15), so the planned worker count genuinely differs between the
+// two settings and must show up in the Explain plan line.
+func TestPlanCacheKeyedByKnobs(t *testing.T) {
+	e := New(gen.Clique(64, "a"))
+	e.Parallelism = 1
+	before := planLine(t, e, "a a*")
+	if !strings.Contains(before, "workers=1") {
+		t.Fatalf("sequential plan line missing workers=1: %s", before)
+	}
+	e.Parallelism = 4
+	after := planLine(t, e, "a a*")
+	if !strings.Contains(after, "workers=4") {
+		t.Fatalf("plan not replanned after Parallelism change (stale cache entry?): %s", after)
+	}
+	// Each knob setting owns a distinct entry; returning to the first must
+	// hit its original plan, not rebuild.
+	e.Parallelism = 1
+	hits := e.CacheStats().Hits
+	if again := planLine(t, e, "a a*"); again != before {
+		t.Fatalf("returning to Parallelism=1 changed the plan: %s vs %s", again, before)
+	}
+	if got := e.CacheStats().Hits; got != hits+1 {
+		t.Fatalf("expected a cache hit for the original knob setting, hits %d -> %d", hits, got)
+	}
+	// MaxLen is part of the key too (it bounds enumeration plans).
+	e.MaxLen = 8
+	if _, err := e.Explain("a a*"); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Size != 3 {
+		t.Fatalf("expected 3 distinct entries across knob settings, got %+v", s)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"graphquery/internal/gql"
 	"graphquery/internal/graph"
 	"graphquery/internal/lrpq"
+	"graphquery/internal/obs"
 	"graphquery/internal/pg"
 	pgplan "graphquery/internal/pg/plan"
 	"graphquery/internal/pmr"
@@ -136,7 +137,8 @@ func (r PathResult) Format(g *graph.Graph) string {
 // guards resolved against the label index), and the kernel plan the
 // cost-based planner chose for it. All four are immutable, so a cached
 // plan serves concurrent queries. The plan snapshots e.Parallelism at
-// compile time; changing the field later affects only uncached queries.
+// compile time; the knob is part of the cache key, so changing it routes
+// queries to a freshly planned entry rather than a stale one.
 type rpqPlan struct {
 	expr    rpq.Expr
 	nfa     *automata.NFA
@@ -172,17 +174,31 @@ func (e *Engine) planFor(nfa *automata.NFA) pg.Plan {
 func (e *Engine) RuntimeStats() pg.CountersSnapshot { return e.counters.Snapshot() }
 
 func (e *Engine) compileRPQ(q string) (rpqPlan, error) {
-	expr, err := rpq.Parse(q)
-	if err != nil {
-		return rpqPlan{}, err
+	return e.compileRPQTraced(nil)(q)
+}
+
+// compileRPQTraced returns the compileRPQ build function with each stage —
+// parse, Glushkov compilation + product resolution, cost-based planning —
+// recorded as a span on tr (nil: untraced, identical behavior). The spans
+// appear only on plan-cache misses, which is accurate: on a hit none of
+// this work happens.
+func (e *Engine) compileRPQTraced(tr *obs.Trace) func(string) (rpqPlan, error) {
+	return func(q string) (rpqPlan, error) {
+		sp := tr.Start("parse")
+		expr, err := rpq.Parse(q)
+		sp.End()
+		if err != nil {
+			return rpqPlan{}, err
+		}
+		sp = tr.Start("compile")
+		nfa := rpq.Compile(expr)
+		product := eval.NewProductInstrumented(e.g, nfa, &e.counters)
+		sp.End()
+		sp = tr.Start("plan")
+		plan := e.planFor(nfa)
+		sp.End()
+		return rpqPlan{expr: expr, nfa: nfa, product: product, plan: plan}, nil
 	}
-	nfa := rpq.Compile(expr)
-	return rpqPlan{
-		expr:    expr,
-		nfa:     nfa,
-		product: eval.NewProductInstrumented(e.g, nfa, &e.counters),
-		plan:    e.planFor(nfa),
-	}, nil
 }
 
 // Pairs evaluates a plain RPQ to its endpoint-pair semantics ⟦R⟧_G.
@@ -275,9 +291,12 @@ func (e *Engine) Representation(query string, src, dst graph.NodeID, shortestOnl
 }
 
 // Explain reports the compiled automaton's size and ambiguity for an RPQ —
-// the statistics of the E22 experiment.
+// the statistics of the E22 experiment — plus the chosen kernel plan and,
+// when this call compiled the query (a plan-cache miss), the compilation
+// trace spans with their timings.
 func (e *Engine) Explain(query string) (string, error) {
-	plan, err := cached(e, "rpq", query, e.compileRPQ)
+	tr := obs.NewTrace()
+	plan, err := cached(e, "rpq", query, e.compileRPQTraced(tr))
 	if err != nil {
 		return "", err
 	}
@@ -294,6 +313,9 @@ func (e *Engine) Explain(query string) (string, error) {
 	fmt.Fprintf(&b, "unambiguous:     %v\n", nfa.IsUnambiguous())
 	fmt.Fprintf(&b, "minimal DFA:     %d states\n", det.NumStates())
 	fmt.Fprintf(&b, "plan:            %s\n", plan.plan)
+	if spans := tr.Spans(); len(spans) > 0 {
+		fmt.Fprintf(&b, "spans:           %s\n", obs.SpansString(spans))
+	}
 	return b.String(), nil
 }
 

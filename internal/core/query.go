@@ -15,8 +15,10 @@ import (
 	"graphquery/internal/crpq"
 	"graphquery/internal/dlrpq"
 	"graphquery/internal/eval"
+	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
 	"graphquery/internal/lrpq"
+	"graphquery/internal/obs"
 	"graphquery/internal/twoway"
 )
 
@@ -70,6 +72,11 @@ type Request struct {
 	// Budget overrides the engine's per-query budget field-by-field when
 	// its fields are > 0.
 	Budget eval.Budget
+	// Trace, when set, receives the query's evaluation spans and plan
+	// attribute. Serving layers supply one so span timings and the plan
+	// line survive even when the query errs (timeout, exhausted budget)
+	// and no Response is produced. When nil, QueryCtx makes its own.
+	Trace *obs.Trace
 }
 
 // Response is the union result of QueryCtx, discriminated by Kind.
@@ -83,6 +90,12 @@ type Response struct {
 	// the work it performed, for accounting and /v1/statz aggregation.
 	StatesVisited int64
 	RowsProduced  int64
+
+	// Plan is the kernel plan line the planner chose ("" for query kinds
+	// without a planned kernel sweep); Spans are the evaluation stages with
+	// nanosecond timings and per-stage meter deltas.
+	Plan  string
+	Spans []obs.Span
 }
 
 // Count returns the number of results regardless of kind.
@@ -121,13 +134,19 @@ func (e *Engine) QueryCtx(ctx context.Context, req Request) (*Response, error) {
 		b.MaxRows = e.Budget.MaxRows
 	}
 	m := eval.NewMeter(ctx, b)
+	tr := req.Trace
+	if tr == nil {
+		tr = obs.NewTrace()
+	}
 
-	resp, err := e.dispatch(req, m, maxLen, limit)
+	resp, err := e.dispatch(req, m, tr, maxLen, limit)
 	if err != nil {
 		return nil, classify(err)
 	}
 	resp.StatesVisited = m.States()
 	resp.RowsProduced = m.Rows()
+	resp.Plan = tr.Attr("plan")
+	resp.Spans = tr.Spans()
 	return resp, nil
 }
 
@@ -137,9 +156,9 @@ func (e *Engine) Query(req Request) (*Response, error) {
 	return e.QueryCtx(context.Background(), req)
 }
 
-func (e *Engine) dispatch(req Request, m *eval.Meter, maxLen, limit int) (*Response, error) {
+func (e *Engine) dispatch(req Request, m *eval.Meter, tr *obs.Trace, maxLen, limit int) (*Response, error) {
 	if req.Lang == "2rpq" {
-		pairs, err := e.twoWayPairsMeter(req.Query, m)
+		pairs, err := e.twoWayPairsMeter(req.Query, m, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +170,7 @@ func (e *Engine) dispatch(req Request, m *eval.Meter, maxLen, limit int) (*Respo
 		if anchored {
 			return nil, badQuery(errors.New("core: CRPQ queries return rows; do not anchor them with from/to"))
 		}
-		rows, err := e.rowsMeter(req.Query, m, maxLen)
+		rows, err := e.rowsMeter(req.Query, m, tr, maxLen)
 		if err != nil {
 			return nil, err
 		}
@@ -166,13 +185,13 @@ func (e *Engine) dispatch(req Request, m *eval.Meter, maxLen, limit int) (*Respo
 			if req.From == "" || req.To == "" {
 				return nil, badQuery(errors.New("core: path queries need both from and to"))
 			}
-			paths, err := e.pathsMeter(req.Query, req.From, req.To, req.Mode, m, maxLen, limit)
+			paths, err := e.pathsMeter(req.Query, req.From, req.To, req.Mode, m, tr, maxLen, limit)
 			if err != nil {
 				return nil, err
 			}
 			return &Response{Kind: "paths", Paths: paths}, nil
 		}
-		pairs, err := e.pairsMeter(req.Query, m)
+		pairs, err := e.pairsMeter(req.Query, m, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -182,20 +201,26 @@ func (e *Engine) dispatch(req Request, m *eval.Meter, maxLen, limit int) (*Respo
 
 // PairsCtx is Pairs under ctx and the engine's budget.
 func (e *Engine) PairsCtx(ctx context.Context, query string) ([][2]graph.NodeID, error) {
-	pairs, err := e.pairsMeter(query, eval.NewMeter(ctx, e.Budget))
+	pairs, err := e.pairsMeter(query, eval.NewMeter(ctx, e.Budget), nil)
 	return pairs, classify(err)
 }
 
-func (e *Engine) pairsMeter(query string, m *eval.Meter) ([][2]graph.NodeID, error) {
-	plan, err := cached(e, "rpq", query, e.compileRPQ)
+func (e *Engine) pairsMeter(query string, m *eval.Meter, tr *obs.Trace) ([][2]graph.NodeID, error) {
+	plan, err := cached(e, "rpq", query, e.compileRPQTraced(tr))
 	if err != nil {
 		return nil, badQuery(err)
 	}
+	tr.Set("plan", plan.plan.String())
+	s0, r0 := m.States(), m.Rows()
+	sp := tr.Start("kernel")
 	prs, err := eval.PairsProductCtx(context.Background(), plan.product,
 		eval.Options{Parallelism: e.Parallelism, Meter: m, Plan: plan.plan})
+	sp.Counts(m.States()-s0, m.Rows()-r0).End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Start("enumerate")
+	defer sp.End()
 	var out [][2]graph.NodeID
 	for _, pr := range prs {
 		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
@@ -205,26 +230,31 @@ func (e *Engine) pairsMeter(query string, m *eval.Meter) ([][2]graph.NodeID, err
 
 // RowsCtx is Rows under ctx and the engine's budget.
 func (e *Engine) RowsCtx(ctx context.Context, query string) (*crpq.Result, error) {
-	rows, err := e.rowsMeter(query, eval.NewMeter(ctx, e.Budget), e.MaxLen)
+	rows, err := e.rowsMeter(query, eval.NewMeter(ctx, e.Budget), nil, e.MaxLen)
 	return rows, classify(err)
 }
 
-func (e *Engine) rowsMeter(query string, m *eval.Meter, maxLen int) (*crpq.Result, error) {
+func (e *Engine) rowsMeter(query string, m *eval.Meter, tr *obs.Trace, maxLen int) (*crpq.Result, error) {
+	sp := tr.Start("parse")
 	q, err := cached(e, "crpq", query, crpq.Parse)
+	sp.End()
 	if err != nil {
 		return nil, badQuery(err)
 	}
+	s0, r0 := m.States(), m.Rows()
+	sp = tr.Start("kernel")
+	defer func() { sp.Counts(m.States()-s0, m.Rows()-r0).End() }()
 	return crpq.EvalCtx(context.Background(), e.g, q,
 		crpq.Options{AtomMaxLen: maxLen, Parallelism: e.Parallelism, Meter: m})
 }
 
 // PathsCtx is Paths under ctx and the engine's budget.
 func (e *Engine) PathsCtx(ctx context.Context, query string, src, dst graph.NodeID, mode eval.Mode) ([]PathResult, error) {
-	res, err := e.pathsMeter(query, src, dst, mode, eval.NewMeter(ctx, e.Budget), e.MaxLen, e.Limit)
+	res, err := e.pathsMeter(query, src, dst, mode, eval.NewMeter(ctx, e.Budget), nil, e.MaxLen, e.Limit)
 	return res, classify(err)
 }
 
-func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode, m *eval.Meter, maxLen, limit int) ([]PathResult, error) {
+func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode, m *eval.Meter, tr *obs.Trace, maxLen, limit int) ([]PathResult, error) {
 	u, ok := e.g.NodeIndex(src)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, src)
@@ -233,50 +263,70 @@ func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode,
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, dst)
 	}
+	// Path evaluators interleave search and path reconstruction, so one
+	// "enumerate" span covers evaluation; the meter deltas still report
+	// the product states it expanded.
+	enumerate := func(eval func() ([]gpath.PathBinding, error)) ([]PathResult, error) {
+		s0, r0 := m.States(), m.Rows()
+		sp := tr.Start("enumerate")
+		pbs, err := eval()
+		sp.Counts(m.States()-s0, m.Rows()-r0).End()
+		if err != nil {
+			return nil, err
+		}
+		return toResults(pbs), nil
+	}
 	switch Detect(query) {
 	case KindCRPQ:
 		return nil, badQuery(errors.New("core: CRPQ queries return rows; use Rows"))
 	case KindDLRPQ:
+		sp := tr.Start("parse")
 		expr, err := cached(e, "dlrpq", query, dlrpq.Parse)
+		sp.End()
 		if err != nil {
 			return nil, badQuery(err)
 		}
-		pbs, err := dlrpq.EvalBetween(e.g, expr, u, v, mode,
-			dlrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m, Counters: &e.counters})
-		if err != nil {
-			return nil, err
-		}
-		return toResults(pbs), nil
+		return enumerate(func() ([]gpath.PathBinding, error) {
+			return dlrpq.EvalBetween(e.g, expr, u, v, mode,
+				dlrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m, Counters: &e.counters})
+		})
 	default:
+		sp := tr.Start("parse")
 		expr, err := cached(e, "lrpq", query, lrpq.Parse)
+		sp.End()
 		if err != nil {
 			return nil, badQuery(err)
 		}
-		pbs, err := lrpq.EvalBetween(e.g, expr, u, v, mode,
-			lrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m, Counters: &e.counters})
-		if err != nil {
-			return nil, err
-		}
-		return toResults(pbs), nil
+		return enumerate(func() ([]gpath.PathBinding, error) {
+			return lrpq.EvalBetween(e.g, expr, u, v, mode,
+				lrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m, Counters: &e.counters})
+		})
 	}
 }
 
 // TwoWayPairsCtx is TwoWayPairs under ctx and the engine's budget.
 func (e *Engine) TwoWayPairsCtx(ctx context.Context, query string) ([][2]graph.NodeID, error) {
-	pairs, err := e.twoWayPairsMeter(query, eval.NewMeter(ctx, e.Budget))
+	pairs, err := e.twoWayPairsMeter(query, eval.NewMeter(ctx, e.Budget), nil)
 	return pairs, classify(err)
 }
 
-func (e *Engine) twoWayPairsMeter(query string, m *eval.Meter) ([][2]graph.NodeID, error) {
+func (e *Engine) twoWayPairsMeter(query string, m *eval.Meter, tr *obs.Trace) ([][2]graph.NodeID, error) {
+	sp := tr.Start("parse")
 	expr, err := cached(e, "2rpq", query, twoway.Parse)
+	sp.End()
 	if err != nil {
 		return nil, badQuery(err)
 	}
+	s0, r0 := m.States(), m.Rows()
+	sp = tr.Start("kernel")
 	prs, err := twoway.PairsMeterOpt(e.g, expr, m,
 		twoway.Options{Parallelism: 1, Counters: &e.counters})
+	sp.Counts(m.States()-s0, m.Rows()-r0).End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Start("enumerate")
+	defer sp.End()
 	var out [][2]graph.NodeID
 	for _, pr := range prs {
 		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})

@@ -1,0 +1,173 @@
+// Budget and cancellation conformance across the five independent
+// evaluators. The serving layer promises one error taxonomy (Section
+// 6.1/6.3: evaluation cost can blow up combinatorially, so a service must
+// stop a run and say precisely why) — these tests pin the contract every
+// evaluator must honor: an exhausted budget or a canceled context yields
+// the taxonomy error and NO partial result slice, under sequential and
+// parallel plans alike.
+package crossval_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphquery/internal/crpq"
+	"graphquery/internal/dlrpq"
+	"graphquery/internal/eval"
+	"graphquery/internal/gen"
+	"graphquery/internal/lrpq"
+	"graphquery/internal/rpq"
+	"graphquery/internal/twoway"
+)
+
+// evaluatorRun is one evaluator under one fixed workload, reporting how
+// many results it produced alongside the error. The workloads are sized so
+// every evaluator expands well over one meter check interval of states and
+// produces at least two results — tight budgets therefore always trip
+// mid-evaluation, never before or after it.
+type evaluatorRun struct {
+	name        string
+	parallelism []int // worker degrees to exercise; 1 is the sequential plan
+	run         func(ctx context.Context, b eval.Budget, par int) (int, error)
+}
+
+func evaluators() []evaluatorRun {
+	gBig := gen.Clique(60, "a")   // pairs evaluators: 60·nq product states per source
+	gSmall := gen.Clique(10, "a") // path enumerators: ~800 configurations anchored
+	rq := rpq.MustParse("a* a*")
+	tw := twoway.MustParse("a* a*")
+	lq := lrpq.MustParse("a*")
+	dq := dlrpq.MustParse("() {[a]()}+")
+	cq := crpq.MustParse("q(x, y) :- a* a*(x, y)")
+	return []evaluatorRun{
+		{"eval", []int{1, 4}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := eval.PairsCtx(ctx, gBig, rq, eval.Options{Parallelism: par, Budget: b})
+			return len(out), err
+		}},
+		{"twoway", []int{1, 4}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := twoway.PairsMeterOpt(gBig, tw, eval.NewMeter(ctx, b), twoway.Options{Parallelism: par})
+			return len(out), err
+		}},
+		{"lrpq", []int{1}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := lrpq.EvalBetweenCtx(ctx, gSmall, lq, 0, 1, eval.All,
+				lrpq.Options{MaxLen: 4, Meter: eval.NewMeter(ctx, b)})
+			return len(out), err
+		}},
+		{"dlrpq", []int{1}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := dlrpq.EvalBetweenCtx(ctx, gSmall, dq, 0, 1, eval.All,
+				dlrpq.Options{MaxLen: 4, Meter: eval.NewMeter(ctx, b)})
+			return len(out), err
+		}},
+		{"crpq", []int{1, 4}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			res, err := crpq.EvalCtx(ctx, gBig, cq, crpq.Options{Parallelism: par, Budget: b})
+			if res == nil {
+				return 0, err
+			}
+			return len(res.Rows), err
+		}},
+	}
+}
+
+// TestEvaluatorsBudgetNoPartialResults: a tight states or rows budget makes
+// every evaluator return ErrBudgetExceeded naming the exhausted resource,
+// with an empty result — never a truncated slice the caller could mistake
+// for a complete answer.
+func TestEvaluatorsBudgetNoPartialResults(t *testing.T) {
+	budgets := []struct {
+		resource string
+		budget   eval.Budget
+	}{
+		{"states", eval.Budget{MaxStates: 8}},
+		{"rows", eval.Budget{MaxRows: 1}},
+	}
+	for _, ev := range evaluators() {
+		for _, par := range ev.parallelism {
+			for _, bc := range budgets {
+				n, err := ev.run(context.Background(), bc.budget, par)
+				if !errors.Is(err, eval.ErrBudgetExceeded) {
+					t.Errorf("%s/par=%d/%s: got %v, want ErrBudgetExceeded", ev.name, par, bc.resource, err)
+					continue
+				}
+				var be *eval.BudgetError
+				if !errors.As(err, &be) || be.Resource != bc.resource {
+					t.Errorf("%s/par=%d/%s: got %v, want *BudgetError{%s}", ev.name, par, bc.resource, err, bc.resource)
+				}
+				if n != 0 {
+					t.Errorf("%s/par=%d/%s: %d partial results alongside the error", ev.name, par, bc.resource, n)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorsPreCanceledContext: a context canceled before evaluation
+// starts stops every evaluator with ErrCanceled (cause preserved) and no
+// results.
+func TestEvaluatorsPreCanceledContext(t *testing.T) {
+	for _, ev := range evaluators() {
+		for _, par := range ev.parallelism {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			n, err := ev.run(ctx, eval.Budget{}, par)
+			if !errors.Is(err, eval.ErrCanceled) {
+				t.Errorf("%s/par=%d: got %v, want ErrCanceled", ev.name, par, err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s/par=%d: cause context.Canceled not preserved: %v", ev.name, par, err)
+			}
+			if n != 0 {
+				t.Errorf("%s/par=%d: %d partial results alongside the error", ev.name, par, n)
+			}
+		}
+	}
+}
+
+// tripwire is a context whose Err reports cancellation only from its
+// second poll on — a deterministic stand-in for a client disconnecting
+// mid-evaluation. The meter polls Err once per CheckInterval expanded
+// states, so by the time the tripwire fires the evaluator has provably
+// done real work; a sleep-then-cancel test would either race a fast query
+// or stall the suite. Done returns a non-nil channel so pg.NewMeter treats
+// the context as cancelable.
+type tripwire struct {
+	polls atomic.Int64
+	done  chan struct{}
+}
+
+func newTripwire() *tripwire { return &tripwire{done: make(chan struct{})} }
+
+func (t *tripwire) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (t *tripwire) Done() <-chan struct{}       { return t.done }
+func (t *tripwire) Value(any) any               { return nil }
+func (t *tripwire) Err() error {
+	if t.polls.Add(1) > 1 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestEvaluatorsMidFlightCancel: cancellation observed after evaluation is
+// underway (the first budget check has already passed) still yields
+// ErrCanceled and an empty result — no evaluator commits to partial output
+// once its search loops have started.
+func TestEvaluatorsMidFlightCancel(t *testing.T) {
+	for _, ev := range evaluators() {
+		for _, par := range ev.parallelism {
+			tw := newTripwire()
+			n, err := ev.run(tw, eval.Budget{}, par)
+			if !errors.Is(err, eval.ErrCanceled) {
+				t.Errorf("%s/par=%d: got %v, want ErrCanceled", ev.name, par, err)
+			}
+			if n != 0 {
+				t.Errorf("%s/par=%d: %d partial results alongside the error", ev.name, par, n)
+			}
+			if tw.polls.Load() < 2 {
+				t.Errorf("%s/par=%d: meter polled the context %d time(s); cancellation never observed mid-flight",
+					ev.name, par, tw.polls.Load())
+			}
+		}
+	}
+}

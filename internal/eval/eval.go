@@ -90,17 +90,13 @@ func pairsProductMeter(p *Product, opts Options, m *Meter) ([][2]int, error) {
 	if plan.Backward {
 		kern = p.backward()
 	}
-	sweep := kern.Reachable
-	if plan.Dense {
-		sweep = kern.ReachableDense
-	}
 	kern.Counters().CountPlan(pg.Plan{Backward: plan.Backward, Dense: plan.Dense, Workers: workers})
 	pairs, err := pg.ForEach(n, workers, kern.NewScratch, func(u int, sc *Scratch) ([][2]int, error) {
-		vs, err := sweep(u, sc, m)
+		// ReachableRows charges the rows budget at emission time, so a
+		// MaxRows budget trips on row MaxRows+1 instead of after the whole
+		// sweep's batch landed.
+		vs, err := kern.ReachableRows(u, sc, m, plan.Dense)
 		if err != nil {
-			return nil, err
-		}
-		if err := m.AddRows(int64(len(vs))); err != nil {
 			return nil, err
 		}
 		part := make([][2]int, len(vs))

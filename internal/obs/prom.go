@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// This file renders metrics in the Prometheus text exposition format
+// (version 0.0.4) with no dependency beyond the stdlib: a MetricWriter
+// that emits `# HELP` / `# TYPE` headers and samples, and a Histogram
+// whose Observe path is lock-free so the HTTP handlers can record
+// latencies without contending with the scraper.
+
+// MetricWriter accumulates one scrape's worth of samples. Emit families
+// with Counter/Gauge/Histogram in the order they should appear; labels are
+// rendered sorted by key so output is deterministic.
+type MetricWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewMetricWriter writes the exposition to w.
+func NewMetricWriter(w io.Writer) *MetricWriter { return &MetricWriter{w: w} }
+
+// Err returns the first write error encountered, if any.
+func (m *MetricWriter) Err() error { return m.err }
+
+func (m *MetricWriter) printf(format string, args ...any) {
+	if m.err == nil {
+		_, m.err = fmt.Fprintf(m.w, format, args...)
+	}
+}
+
+func (m *MetricWriter) header(name, help, typ string) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter emits one counter family with a single sample.
+func (m *MetricWriter) Counter(name, help string, value int64, labels map[string]string) {
+	m.header(name, help, "counter")
+	m.Sample(name, value, labels)
+}
+
+// Gauge emits one gauge family with a single sample.
+func (m *MetricWriter) Gauge(name, help string, value int64, labels map[string]string) {
+	m.header(name, help, "gauge")
+	m.Sample(name, value, labels)
+}
+
+// Family emits only the HELP/TYPE header; follow with Sample calls when a
+// family has several label sets (e.g. one sample per graph).
+func (m *MetricWriter) Family(name, help, typ string) { m.header(name, help, typ) }
+
+// Sample emits one sample line for an already-declared family.
+func (m *MetricWriter) Sample(name string, value int64, labels map[string]string) {
+	m.printf("%s%s %d\n", name, renderLabels(labels), value)
+}
+
+// Histogram emits the cumulative-bucket exposition of h as one family.
+func (m *MetricWriter) Histogram(name, help string, h *Histogram, labels map[string]string) {
+	m.header(name, help, "histogram")
+	cum := int64(0)
+	for i, le := range h.bounds {
+		cum += h.buckets[i].Load()
+		m.printf("%s_bucket%s %d\n", name, renderLabels(withLE(labels, formatBound(le))), cum)
+	}
+	cum += h.overflow.Load()
+	m.printf("%s_bucket%s %d\n", name, renderLabels(withLE(labels, "+Inf")), cum)
+	m.printf("%s_sum%s %g\n", name, renderLabels(labels), h.Sum())
+	m.printf("%s_count%s %d\n", name, renderLabels(labels), h.Count())
+}
+
+func withLE(labels map[string]string, le string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	out["le"] = le
+	return out
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// the shortest representation that round-trips.
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free:
+// per-bucket atomic counters, an atomic observation count, and a float64
+// sum maintained by compare-and-swap on its bit pattern. Readers see a
+// consistent-enough snapshot for monitoring (Prometheus semantics — the
+// scrape is not a linearizable transaction).
+type Histogram struct {
+	bounds   []float64 // ascending upper bounds, le-inclusive
+	buckets  []atomic.Int64
+	overflow atomic.Int64
+	count    atomic.Int64
+	sumBits  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b))}
+}
+
+// DefBuckets are the default latency buckets in seconds: 100µs … 10s in
+// roughly 1-2.5-5 steps, matching the spread between a warm plan-cache hit
+// and a budget-bounded worst case.
+func DefBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose bound is >= v (bounds are le-inclusive).
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.buckets[i].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }

@@ -82,6 +82,14 @@ type Scratch struct {
 	emitted []bool
 	queue   []int
 	nodes   []int
+	// rows is live only inside a ReachableRows sweep: the meter charged one
+	// row per emitted node, between dequeues. Per-row charging is what
+	// makes MaxRows exact — the amortized Tick path may overshoot the
+	// states budget by up to CheckInterval, but a rows budget trips on row
+	// MaxRows+1. The charging happens in the dequeue loop, NOT in visit:
+	// visit runs once per scanned edge and must stay under the inlining
+	// budget.
+	rows *Meter
 }
 
 // NewScratch allocates buffers sized for k.
@@ -113,6 +121,19 @@ func (k *Kernel) ReachableDense(src int, sc *Scratch, mt *Meter) ([]int, error) 
 	return k.reachable(src, sc, mt, true)
 }
 
+// ReachableRows is Reachable with exact rows-budget accounting: every node
+// emitted into the result charges one row on mt (one AddRows call per row,
+// flushed between dequeues), so a MaxRows budget fails on row MaxRows+1
+// instead of after a whole sweep's batch. dense selects the scan strategy
+// as in ReachableDense. States remain amortized (every CheckInterval
+// dequeues) — the sweep stops within one dequeue of the first row over
+// budget.
+func (k *Kernel) ReachableRows(src int, sc *Scratch, mt *Meter, dense bool) ([]int, error) {
+	sc.rows = mt
+	defer func() { sc.rows = nil }()
+	return k.reachable(src, sc, mt, dense)
+}
+
 func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, error) {
 	g := k.g
 	nq := k.nq
@@ -134,8 +155,17 @@ func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, 
 	var edgesScanned int64
 	peak := 0
 	ticked := 0
+	charged := 0
 	head := 0
 	for ; head < len(sc.queue); head++ {
+		// Exact rows accounting (ReachableRows only): charge emissions from
+		// the previous dequeue — and the start states — one row at a time,
+		// so the meter reads exactly MaxRows+1 when the budget trips.
+		if sc.rows != nil && charged < len(sc.nodes) {
+			if charged, stopErr = chargeRows(sc, charged); stopErr != nil {
+				break
+			}
+		}
 		if mt != nil && head-ticked >= CheckInterval {
 			if stopErr = mt.Tick(int64(head - ticked)); stopErr != nil {
 				break
@@ -198,6 +228,9 @@ func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, 
 			}
 		}
 	}
+	if stopErr == nil && sc.rows != nil && charged < len(sc.nodes) {
+		_, stopErr = chargeRows(sc, charged) // emissions of the final dequeue
+	}
 	if stopErr == nil && mt != nil && head > ticked {
 		stopErr = mt.Tick(int64(head - ticked))
 	}
@@ -220,7 +253,9 @@ func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, 
 }
 
 // visit pushes product state (node, to) if unseen, emitting node when the
-// automaton state accepts.
+// automaton state accepts. It runs once per scanned edge: keep it small
+// enough to inline (rows charging lives in the dequeue loop for exactly
+// this reason).
 func (k *Kernel) visit(node, to int, sc *Scratch) {
 	id := node*k.nq + to
 	if sc.visited[id] {
@@ -232,6 +267,18 @@ func (k *Kernel) visit(node, to int, sc *Scratch) {
 		sc.emitted[node] = true
 		sc.nodes = append(sc.nodes, node)
 	}
+}
+
+// chargeRows charges one row per node emitted since the last call,
+// stopping at the first budget error.
+func chargeRows(sc *Scratch, charged int) (int, error) {
+	for charged < len(sc.nodes) {
+		if err := sc.rows.AddRows(1); err != nil {
+			return charged, err
+		}
+		charged++
+	}
+	return charged, nil
 }
 
 // Distances computes BFS distances (−1 for unreached) over the product

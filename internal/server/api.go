@@ -21,6 +21,7 @@ import (
 	"graphquery/internal/core"
 	"graphquery/internal/eval"
 	"graphquery/internal/graph"
+	"graphquery/internal/obs"
 )
 
 // maxRequestBytes bounds the request body a client may send.
@@ -91,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -160,8 +162,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				"all query slots busy and the wait queue is full; retry later")
 			return
 		}
+		// The client is gone: account the abort, write nothing. See the
+		// same guard on the post-evaluation path below.
 		s.stats.canceled.Add(1)
-		writeError(w, statusClientClosedRequest, "canceled", "client went away while queued")
 		return
 	}
 	defer s.release()
@@ -170,6 +173,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer s.stats.inFlight.Add(-1)
 
 	start := time.Now()
+	tr := obs.NewTrace()
 	resp, err := s.evaluate(r.Context(), eng, core.Request{
 		Query:  req.Query,
 		Lang:   req.Lang,
@@ -179,7 +183,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		MaxLen: req.MaxLen,
 		Limit:  req.Limit,
 		Budget: eval.Budget{MaxStates: req.MaxStates, MaxRows: req.MaxRows},
+		Trace:  tr,
 	}, s.timeoutFor(time.Duration(req.TimeoutMS)*time.Millisecond))
+	elapsed := time.Since(start)
+	s.latency.Observe(elapsed.Seconds())
 	if err != nil {
 		status, code := classifyHTTP(err)
 		switch code {
@@ -192,11 +199,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		default:
 			s.stats.errors.Add(1)
 		}
+		s.logSlow(req.Graph, req.Query, code, elapsed, tr, nil)
+		if code == "canceled" && r.Context().Err() != nil {
+			// The cancellation came from the client side: its connection is
+			// closed (or closing), so any WriteHeader/Write here lands on a
+			// dead connection — at best discarded, at worst logged by
+			// net/http as a superfluous WriteHeader after a failed body
+			// write. The 499 is accounting-only; write nothing.
+			return
+		}
 		writeError(w, status, code, err.Error())
 		return
 	}
 	s.stats.completed.Add(1)
-	writeJSON(w, http.StatusOK, renderResponse(eng, req.Graph, resp, time.Since(start)))
+	s.logSlow(req.Graph, req.Query, "ok", elapsed, tr, resp)
+	writeJSON(w, http.StatusOK, renderResponse(eng, req.Graph, resp, elapsed))
 }
 
 // classifyHTTP maps the engine/eval error taxonomy to an HTTP status and

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+
+	"graphquery/internal/obs"
+)
+
+// GET /metrics: the Prometheus text-format view of the server. Every value
+// is rendered from one Stats() snapshot — the same snapshot function behind
+// /v1/statz — so the two endpoints cannot drift; the only metric with no
+// statz counterpart is the latency histogram, which has no JSON rendering.
+//
+// Naming maps 1:1 onto ServerStats fields: monotonic counters get a
+// _total suffix (gq_accepted_total ↔ "accepted"), point-in-time values are
+// gauges (gq_in_flight, gq_queued), per-graph families carry a graph
+// label, and gq_query_duration_seconds is the admitted-query wall-clock
+// histogram (queue wait included).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := obs.NewMetricWriter(w)
+
+	m.Counter("gq_accepted_total", "Queries admitted past the concurrency limiter.", st.Accepted, nil)
+	m.Counter("gq_completed_total", "Queries that finished with a 200.", st.Completed, nil)
+	m.Counter("gq_canceled_total", "Queries aborted by the client (499).", st.Canceled, nil)
+	m.Counter("gq_timeouts_total", "Queries that exceeded their deadline (504).", st.Timeouts, nil)
+	m.Counter("gq_budget_exceeded_total", "Queries that exhausted a resource budget (422).", st.BudgetExceeded, nil)
+	m.Counter("gq_rejected_total", "Queries rejected by admission control (429).", st.Rejected, nil)
+	m.Counter("gq_errors_total", "Queries rejected as invalid or failed internally.", st.Errors, nil)
+	m.Gauge("gq_in_flight", "Queries evaluating right now.", st.InFlight, nil)
+	m.Gauge("gq_queued", "Admissions waiting for a concurrency slot.", st.Queued, nil)
+	m.Counter("gq_states_visited_total", "Product states expanded, summed over queries.", st.StatesVisited, nil)
+	m.Counter("gq_rows_returned_total", "Result rows returned, summed over queries.", st.RowsReturned, nil)
+
+	names := make([]string, 0, len(st.Graphs))
+	for name := range st.Graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, fam := range graphFamilies {
+		m.Family(fam.name, fam.help, fam.typ)
+		for _, name := range names {
+			m.Sample(fam.name, fam.value(st.Graphs[name]), map[string]string{"graph": name})
+		}
+	}
+
+	m.Histogram("gq_query_duration_seconds",
+		"Wall-clock of admitted queries, queue wait included.", s.latency, nil)
+}
+
+// graphFamilies are the per-graph metric families, each one field of
+// GraphStats under a graph label.
+var graphFamilies = []struct {
+	name, help, typ string
+	value           func(GraphStats) int64
+}{
+	{"gq_graph_nodes", "Nodes in the graph.", "gauge",
+		func(g GraphStats) int64 { return int64(g.Nodes) }},
+	{"gq_graph_edges", "Edges in the graph.", "gauge",
+		func(g GraphStats) int64 { return int64(g.Edges) }},
+	{"gq_plan_cache_hits_total", "Plan-cache lookups answered from cache.", "counter",
+		func(g GraphStats) int64 { return g.Cache.Hits }},
+	{"gq_plan_cache_misses_total", "Plan-cache lookups that had to compile.", "counter",
+		func(g GraphStats) int64 { return g.Cache.Misses }},
+	{"gq_plan_cache_evictions_total", "Plans dropped by the LRU bound.", "counter",
+		func(g GraphStats) int64 { return g.Cache.Evictions }},
+	{"gq_plan_cache_size", "Plans currently cached.", "gauge",
+		func(g GraphStats) int64 { return int64(g.Cache.Size) }},
+	{"gq_plan_cache_capacity", "Maximum plans retained.", "gauge",
+		func(g GraphStats) int64 { return int64(g.Cache.Capacity) }},
+	{"gq_runtime_states_expanded_total", "Product states expanded by the kernel.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.StatesExpanded }},
+	{"gq_runtime_edges_scanned_total", "Graph edges scanned by the kernel.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.EdgesScanned }},
+	{"gq_runtime_frontier_peak", "Largest BFS frontier observed.", "gauge",
+		func(g GraphStats) int64 { return g.Runtime.FrontierPeak }},
+	{"gq_runtime_plan_forward_total", "Kernel sweeps under a forward plan.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.PlanForward }},
+	{"gq_runtime_plan_backward_total", "Kernel sweeps under a backward plan.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.PlanBackward }},
+	{"gq_runtime_plan_indexed_total", "Kernel sweeps using the label index.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.PlanIndexed }},
+	{"gq_runtime_plan_dense_total", "Kernel sweeps using dense scans.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.PlanDense }},
+	{"gq_runtime_plan_parallel_total", "Kernel sweeps fanned out in parallel.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.PlanParallel }},
+	{"gq_runtime_plan_sequential_total", "Kernel sweeps run sequentially.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.PlanSequential }},
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"graphquery/internal/eval"
 	"graphquery/internal/gen"
 	"graphquery/internal/graph"
+	"graphquery/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with no deadlines, no
@@ -49,6 +51,14 @@ type Config struct {
 	// MaxLen / Limit / Parallelism seed the per-graph engines
 	// (0: engine defaults).
 	MaxLen, Limit, Parallelism int
+	// SlowQuery is the slow-query log threshold: every admitted query
+	// whose wall-clock reaches it emits exactly one structured WARN record
+	// (query text, graph, plan line, span timings, budget consumption,
+	// outcome). 0 disables the log.
+	SlowQuery time.Duration
+	// Logger receives the server's structured log records (slow queries).
+	// nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 const defaultMaxConcurrent = 16
@@ -67,6 +77,10 @@ type Server struct {
 	queued atomic.Int64
 
 	stats counters
+
+	// latency observes the wall-clock of every admitted query (queue wait
+	// included), exposed as gq_query_duration_seconds on GET /metrics.
+	latency *obs.Histogram
 }
 
 // New returns an empty server with cfg's admission limiter.
@@ -79,7 +93,16 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		engines: make(map[string]*core.Engine),
 		sem:     make(chan struct{}, mc),
+		latency: obs.NewHistogram(obs.DefBuckets()),
 	}
+}
+
+// logger resolves the structured-log destination.
+func (s *Server) logger() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return slog.Default()
 }
 
 // Register adds g under name and returns its engine (already seeded with
@@ -191,4 +214,30 @@ func (s *Server) evaluate(ctx context.Context, e *core.Engine, req core.Request,
 		s.stats.rowsReturned.Add(int64(resp.Count()))
 	}
 	return resp, err
+}
+
+// logSlow emits the slow-query record when the threshold is configured and
+// elapsed reaches it — exactly one record per over-threshold query, from
+// this single call site. The trace supplies the plan line, span timings,
+// and (for errored queries, which have no Response) the budget consumption
+// the query racked up before it died.
+func (s *Server) logSlow(graphName, query, outcome string, elapsed time.Duration, tr *obs.Trace, resp *core.Response) {
+	if s.cfg.SlowQuery <= 0 || elapsed < s.cfg.SlowQuery {
+		return
+	}
+	spans := tr.Spans()
+	states, rows := obs.TotalStates(spans), obs.TotalRows(spans)
+	if resp != nil {
+		states, rows = resp.StatesVisited, resp.RowsProduced
+	}
+	s.logger().Warn("slow query",
+		"graph", graphName,
+		"query", query,
+		"elapsed_ms", float64(elapsed.Microseconds())/1000,
+		"outcome", outcome,
+		"plan", tr.Attr("plan"),
+		"spans", obs.SpansString(spans),
+		"states", states,
+		"rows", rows,
+	)
 }

@@ -396,11 +396,10 @@ func PairsMeterOpt(g *graph.Graph, e Expr, m *eval.Meter, opts Options) ([][2]in
 	kern := Kernel(g, e, opts.Counters)
 	return pg.ForEach(g.NumNodes(), pg.Workers(opts.Parallelism), kern.NewScratch,
 		func(u int, sc *pg.Scratch) ([][2]int, error) {
-			vs, err := kern.Reachable(u, sc, m)
+			// Emission-time rows accounting: the budget trips on row
+			// MaxRows+1, not after the sweep's whole batch.
+			vs, err := kern.ReachableRows(u, sc, m, false)
 			if err != nil {
-				return nil, err
-			}
-			if err := m.AddRows(int64(len(vs))); err != nil {
 				return nil, err
 			}
 			part := make([][2]int, len(vs))

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of gqserverd: build with the race detector, start on
-# a random port, exercise every endpoint and error class with curl, then
-# check graceful shutdown drains an in-flight query.
+# a random port, exercise every endpoint and error class with curl, verify
+# the observability surface (/metrics agrees with /v1/statz, the slow-query
+# log emits one structured record per admitted query, pprof answers on the
+# debug listener, no ERROR records), then check graceful shutdown drains an
+# in-flight query.
 set -euo pipefail
 
 GO=${GO:-go}
@@ -27,8 +30,11 @@ fail() {
 echo "serve-smoke: building gqserverd (race detector on)"
 $GO build -race -o "$workdir/gqserverd" ./cmd/gqserverd
 
+# -slow-query 1ns makes every query an over-threshold query, so the log
+# must carry exactly one structured record per admitted query.
 "$workdir/gqserverd" -addr 127.0.0.1:0 -graphs bank,figure5-12,clique-200,clique-300 \
   -max-concurrent 4 -max-queue 4 -default-timeout 10s -parallelism 1 \
+  -slow-query 1ns -debug-addr 127.0.0.1:0 \
   >"$logfile" 2>&1 &
 pid=$!
 
@@ -68,6 +74,37 @@ expect row-budget '"code":"budget_exceeded"' \
   "$(curl -sS "$base/v1/query" -d '{"graph":"figure5-12","query":"a*","from":"s","to":"t","max_rows":5}')"
 expect statz '"accepted"' "$(curl -fsS "$base/v1/statz")"
 
+# /metrics and /v1/statz render from the same snapshot function; with no
+# query in flight the two must agree exactly. Meta endpoints (statz,
+# metrics, graphs, healthz) touch no counters, so fetch order is free.
+metrics=$(curl -fsS "$base/metrics")
+expect metrics-counter 'gq_completed_total' "$metrics"
+expect metrics-plan-cache 'gq_plan_cache_hits_total{graph="bank"}' "$metrics"
+expect metrics-histogram 'gq_query_duration_seconds_bucket' "$metrics"
+statz=$(curl -fsS "$base/v1/statz")
+for field in accepted completed timeouts budget_exceeded errors; do
+  want=$(printf '%s' "$statz" | sed -n "s/.*\"$field\":\([0-9]*\).*/\1/p")
+  got=$(printf '%s\n' "$metrics" | sed -n "s/^gq_${field}_total \([0-9]*\)\$/\1/p")
+  [[ -n "$want" && "$got" == "$want" ]] \
+    || fail "metrics/statz drift: gq_${field}_total=$got, statz $field=$want"
+done
+echo "serve-smoke: ok: metrics agrees with statz"
+
+# The slow-query log: one WARN record per admitted query so far (the
+# un-admitted unknown-graph request must not appear), and no ERRORs ever.
+accepted=$(printf '%s' "$statz" | sed -n 's/.*"accepted":\([0-9]*\).*/\1/p')
+slow_count=$(grep -c 'msg="slow query"' "$logfile" || true)
+[[ "$slow_count" == "$accepted" ]] \
+  || fail "slow-query records ($slow_count) != admitted queries ($accepted)"
+grep -q 'msg="slow query".*outcome=ok.*plan=' "$logfile" \
+  || fail "slow-query records missing outcome/plan attributes"
+echo "serve-smoke: ok: slow-query log ($slow_count records)"
+
+# The pprof surface lives on its own listener, printed at startup.
+dbgbase=$(sed -n 's#.*debug (pprof) on \(http://[0-9.:]*\)/debug/pprof/.*#\1#p' "$logfile" | head -1)
+[[ -n "$dbgbase" ]] || fail "daemon never reported its debug (pprof) address"
+expect pprof 'pprof' "$(curl -fsS "$dbgbase/debug/pprof/")"
+
 # Graceful shutdown must drain in-flight queries: start a slow query, send
 # SIGTERM while it runs, and require both a 200 for the query and a clean
 # daemon exit.
@@ -81,4 +118,7 @@ wait "$curl_pid" || fail "in-flight query connection was dropped during drain"
 expect drain-result '"kind":"pairs"' "$(cat "$slow_out")"
 wait "$pid" || fail "daemon exited non-zero after drain"
 pid=""
+if grep -q 'level=ERROR' "$logfile"; then
+  fail "ERROR records in the server log"
+fi
 echo "serve-smoke: PASS"
