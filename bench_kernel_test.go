@@ -9,12 +9,14 @@ package graphquery
 // EXPERIMENTS.md records both sides.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"graphquery/internal/eval"
 	"graphquery/internal/gen"
 	"graphquery/internal/graph"
+	"graphquery/internal/obs"
 	"graphquery/internal/rpq"
 )
 
@@ -45,6 +47,46 @@ func BenchmarkE15_UnifiedKernel(b *testing.B) {
 				b.Fatal("no pairs")
 			}
 		})
+	}
+	// The same sweeps under a serving-layer meter, with and without a live
+	// obs.Progress attached. "metered" is what every admitted query already
+	// pays (cancelable context, amortized tick); "progress" adds the
+	// introspection mirror — the cost of being visible in GET /v1/queries.
+	// EXPERIMENTS.md records the metered→progress delta (±5% acceptance);
+	// the bare cases above keep the unmetered kernel floor comparable
+	// across PRs.
+	for _, variant := range []struct {
+		name string
+		prog bool
+	}{{"metered", false}, {"progress", true}} {
+		for _, tc := range cases {
+			nfa := rpq.Compile(rpq.MustParse(tc.query))
+			b.Run(variant.name+"/"+tc.name, func(b *testing.B) {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				want := -1
+				for i := 0; i < b.N; i++ {
+					var p *obs.Progress
+					if variant.prog {
+						p = &obs.Progress{}
+					}
+					m := eval.NewMeterProgress(ctx, eval.Budget{}, p)
+					prs, err := eval.PairsProductCtx(ctx, eval.NewProduct(tc.g, nfa),
+						eval.Options{Parallelism: 1, Meter: m})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if want == -1 {
+						want = len(prs)
+					} else if len(prs) != want {
+						b.Fatalf("got %d pairs, want %d", len(prs), want)
+					}
+				}
+				if want <= 0 {
+					b.Fatal("no pairs")
+				}
+			})
+		}
 	}
 	// The same families through the engine's unified dispatch (plan cache
 	// warm), quantifying planner + dispatch overhead on top of the kernel.

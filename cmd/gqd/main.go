@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -87,9 +88,25 @@ func fatal(err error) {
 }
 
 // traceQueries mirrors the -trace flag: runOnce prints each query's plan
-// line and span timings to stderr (stderr so piped result output stays
-// clean).
-var traceQueries bool
+// line and span timings to traceOut (stderr, so piped result output stays
+// clean) — on the error and timeout paths too, which is exactly when an
+// operator needs to see where the time went. Tests redirect traceOut.
+var (
+	traceQueries bool
+	traceOut     io.Writer = os.Stderr
+)
+
+// printTrace renders the plan line and spans recorded on tr. The trace is
+// caller-supplied to QueryCtx, so it carries the spans of errored queries
+// (timeout, exhausted budget, interrupt) that never produced a Response.
+func printTrace(tr *obs.Trace) {
+	if plan := tr.Attr("plan"); plan != "" {
+		fmt.Fprintf(traceOut, "plan:  %s\n", plan)
+	}
+	if spans := tr.Spans(); len(spans) > 0 {
+		fmt.Fprintf(traceOut, "spans: %s\n", obs.SpansString(spans))
+	}
+}
 
 func loadGraph(path, nodesCSV, edgesCSV, builtin string) (*graph.Graph, error) {
 	switch {
@@ -131,11 +148,18 @@ func runOnce(ctx context.Context, eng *core.Engine, query, from, to, modeStr str
 			return err
 		}
 	}
+	tr := obs.NewTrace()
+	if traceQueries {
+		// Deferred so the plan and spans print on every exit path —
+		// success, error, and interrupt alike.
+		defer printTrace(tr)
+	}
 	resp, err := eng.QueryCtx(ctx, core.Request{
 		Query: query,
 		From:  graph.NodeID(from),
 		To:    graph.NodeID(to),
 		Mode:  mode,
+		Trace: tr,
 	})
 	if err != nil {
 		if errors.Is(err, eval.ErrCanceled) {
@@ -156,14 +180,6 @@ func runOnce(ctx context.Context, eng *core.Engine, query, from, to, modeStr str
 			fmt.Println(r.Format(g))
 		}
 		fmt.Printf("%d result(s)\n", len(resp.Paths))
-	}
-	if traceQueries {
-		if resp.Plan != "" {
-			fmt.Fprintf(os.Stderr, "plan:  %s\n", resp.Plan)
-		}
-		if len(resp.Spans) > 0 {
-			fmt.Fprintf(os.Stderr, "spans: %s\n", obs.SpansString(resp.Spans))
-		}
 	}
 	return nil
 }

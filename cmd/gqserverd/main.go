@@ -15,8 +15,17 @@
 //
 // Observability: -slow-query 100ms logs every query at or over the
 // threshold as one structured WARN record (query, graph, plan, span
-// timings, budget consumption, outcome); -debug-addr 127.0.0.1:6060
-// serves net/http/pprof on a separate listener.
+// timings, budget consumption, outcome); -query-log query.jsonl writes the
+// same record for EVERY admitted query as one JSONL line — the structured
+// query event log; -debug-addr 127.0.0.1:6060 serves net/http/pprof on a
+// separate listener.
+//
+// Live introspection: GET /v1/queries lists in-flight queries with their
+// live progress (stage, product states, frontier), GET /v1/queries/recent
+// the last completed ones, and POST /v1/queries/{id}/cancel kills a
+// runaway query cooperatively — it ends with a "killed" outcome and no
+// partial results, without restarting the daemon. Every /v1/query reply
+// carries the query's ID in the X-Query-ID header.
 //
 // Graphs named like file paths (containing a slash or ending in .json) are
 // loaded as graph JSON; everything else resolves through the catalog:
@@ -30,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -60,11 +70,23 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker goroutines per query (0: one per CPU)")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this as structured WARN records (0: off)")
+	queryLog := flag.String("query-log", "", "append one JSONL record per admitted query to this file (empty: off)")
+	recent := flag.Int("recent", 0, "completed queries kept for GET /v1/queries/recent (0: default 64)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: off)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(logger)
+
+	var queryLogW io.Writer
+	if *queryLog != "" {
+		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		queryLogW = f
+	}
 
 	srv := server.New(server.Config{
 		DefaultTimeout: *defaultTimeout,
@@ -77,6 +99,8 @@ func main() {
 		Parallelism:    *parallelism,
 		SlowQuery:      *slowQuery,
 		Logger:         logger,
+		QueryLog:       queryLogW,
+		Recent:         *recent,
 	})
 	for _, name := range strings.Split(*graphs, ",") {
 		name = strings.TrimSpace(name)

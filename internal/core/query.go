@@ -77,6 +77,12 @@ type Request struct {
 	// line survive even when the query errs (timeout, exhausted budget)
 	// and no Response is produced. When nil, QueryCtx makes its own.
 	Trace *obs.Trace
+	// Progress, when set, receives live evaluation progress — the current
+	// stage plus product states, edges, rows, and frontier size — sampled
+	// by the serving layer's in-flight registry while the query runs. The
+	// kernel feeds it through the meter's amortized tick, so the hot loop
+	// gains no new branches. When nil, nothing is recorded.
+	Progress *obs.Progress
 }
 
 // Response is the union result of QueryCtx, discriminated by Kind.
@@ -133,11 +139,14 @@ func (e *Engine) QueryCtx(ctx context.Context, req Request) (*Response, error) {
 	if b.MaxRows <= 0 {
 		b.MaxRows = e.Budget.MaxRows
 	}
-	m := eval.NewMeter(ctx, b)
+	m := eval.NewMeterProgress(ctx, b, req.Progress)
 	tr := req.Trace
 	if tr == nil {
 		tr = obs.NewTrace()
 	}
+	// Stage sampling rides the spans the engine already records: every
+	// span opened on this trace updates req.Progress's stage.
+	tr.BindProgress(req.Progress)
 
 	resp, err := e.dispatch(req, m, tr, maxLen, limit)
 	if err != nil {

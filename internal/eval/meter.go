@@ -3,6 +3,7 @@ package eval
 import (
 	"context"
 
+	"graphquery/internal/obs"
 	"graphquery/internal/pg"
 )
 
@@ -38,3 +39,9 @@ const MeterCheckInterval = pg.CheckInterval
 
 // NewMeter builds the meter for ctx and b; see pg.NewMeter.
 func NewMeter(ctx context.Context, b Budget) *Meter { return pg.NewMeter(ctx, b) }
+
+// NewMeterProgress is NewMeter with a live-progress sink; see
+// pg.NewMeterProgress.
+func NewMeterProgress(ctx context.Context, b Budget, p *obs.Progress) *Meter {
+	return pg.NewMeterProgress(ctx, b, p)
+}

@@ -1,0 +1,105 @@
+package obs
+
+import "sync/atomic"
+
+// Progress is the live instrument of one in-flight query: a handful of
+// independent atomics the evaluation layers update as the query runs, and
+// the introspection endpoints sample without stopping it. The hot loop
+// never touches it directly — the product-graph kernel folds its updates
+// into the existing amortized meter tick (every pg.CheckInterval dequeued
+// states), so progress sampling adds no new branches to the fixpoint loop.
+//
+// All methods are nil-safe: a nil *Progress records nothing and costs one
+// predictable branch, so unregistered call paths (gqd, library use, tests)
+// pay nothing.
+type Progress struct {
+	stage    atomic.Pointer[string]
+	states   atomic.Int64
+	edges    atomic.Int64
+	rows     atomic.Int64
+	frontier atomic.Int64
+}
+
+// SetStage records the evaluation stage the query is in (parse, compile,
+// plan, kernel, enumerate). Trace.Start calls it for every span opened on a
+// progress-bound trace, so serving layers get stage sampling for free.
+func (p *Progress) SetStage(name string) {
+	if p == nil {
+		return
+	}
+	p.stage.Store(&name)
+}
+
+// AddStates records n newly expanded product states.
+func (p *Progress) AddStates(n int64) {
+	if p != nil && n > 0 {
+		p.states.Add(n)
+	}
+}
+
+// AddEdges records n scanned adjacency entries.
+func (p *Progress) AddEdges(n int64) {
+	if p != nil && n > 0 {
+		p.edges.Add(n)
+	}
+}
+
+// AddRows records n produced result rows.
+func (p *Progress) AddRows(n int64) {
+	if p != nil && n > 0 {
+		p.rows.Add(n)
+	}
+}
+
+// SetFrontier records the current BFS frontier length — a gauge, sampled at
+// the kernel's amortized tick, so readers see how the live sweep is growing
+// (or collapsing) rather than a historical peak.
+func (p *Progress) SetFrontier(n int64) {
+	if p != nil {
+		p.frontier.Store(n)
+	}
+}
+
+// ProgressSnapshot is a point-in-time copy of a Progress. Fields may be
+// mutually torn by concurrent updates but are individually exact —
+// Prometheus-style monitoring semantics, not a linearizable transaction.
+type ProgressSnapshot struct {
+	Stage    string `json:"stage"`
+	States   int64  `json:"states"`
+	Edges    int64  `json:"edges"`
+	Rows     int64  `json:"rows"`
+	Frontier int64  `json:"frontier"`
+}
+
+// Snapshot samples the progress. A nil receiver yields the zero snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	snap := ProgressSnapshot{
+		States:   p.states.Load(),
+		Edges:    p.edges.Load(),
+		Rows:     p.rows.Load(),
+		Frontier: p.frontier.Load(),
+	}
+	if s := p.stage.Load(); s != nil {
+		snap.Stage = *s
+	}
+	return snap
+}
+
+// States returns the product states recorded so far.
+func (p *Progress) States() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.states.Load()
+}
+
+// Rows returns the result rows recorded so far.
+func (p *Progress) Rows() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.rows.Load()
+}

@@ -63,6 +63,13 @@ func (m *MetricWriter) Sample(name string, value int64, labels map[string]string
 // Histogram emits the cumulative-bucket exposition of h as one family.
 func (m *MetricWriter) Histogram(name, help string, h *Histogram, labels map[string]string) {
 	m.header(name, help, "histogram")
+	m.HistogramSample(name, h, labels)
+}
+
+// HistogramSample emits h's buckets/sum/count for an already-declared
+// histogram family — use after Family("...", "...", "histogram") when one
+// family carries several label sets (e.g. one histogram per stage).
+func (m *MetricWriter) HistogramSample(name string, h *Histogram, labels map[string]string) {
 	cum := int64(0)
 	for i, le := range h.bounds {
 		cum += h.buckets[i].Load()
@@ -102,9 +109,38 @@ func renderLabels(labels map[string]string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// format 0.0.4: backslash, double-quote, and line feed become \\, \", and
+// \n; every other byte (tabs, UTF-8 runes) passes through verbatim. Go's
+// %q is NOT equivalent — it escapes tabs and non-ASCII too, which parsers
+// of the exposition format do not unescape.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
 	return b.String()
 }
 

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRenderLabelsEscaping: label values are escaped per the Prometheus
+// text exposition format 0.0.4 — backslash, double-quote, and line feed
+// become \\, \", \n, and NOTHING else is escaped (Go's %q, the previous
+// implementation, escaped tabs and non-ASCII too, which exposition parsers
+// do not unescape).
+func TestRenderLabelsEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // rendered {k="..."} payload
+	}{
+		{"plain", "bank", `{graph="bank"}`},
+		{"quote", `say "hi"`, `{graph="say \"hi\""}`},
+		{"backslash", `c:\graphs\bank`, `{graph="c:\\graphs\\bank"}`},
+		{"newline", "line1\nline2", `{graph="line1\nline2"}`},
+		{"all-three", "a\\b\"c\nd", `{graph="a\\b\"c\nd"}`},
+		{"tab-passes-raw", "a\tb", "{graph=\"a\tb\"}"},
+		{"utf8-passes-raw", "ügraph→", `{graph="ügraph→"}`},
+		{"empty", "", `{graph=""}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := renderLabels(map[string]string{"graph": tc.value})
+			if got != tc.want {
+				t.Errorf("renderLabels(%q) = %s, want %s", tc.value, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMetricWriterEscapedSample: the escaping survives the full sample
+// rendering path (the unit a scraper actually parses).
+func TestMetricWriterEscapedSample(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Counter("gq_test_total", "Help.", 1, map[string]string{"q": "a\n\"b\"\\c"})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `gq_test_total{q="a\n\"b\"\\c"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+	// The escaped line must be exactly one line: a raw newline in a label
+	// value would split the sample and corrupt the whole scrape.
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("empty line in exposition:\n%s", b.String())
+		}
+	}
+}
+
+// TestHistogramObserveRenderRace: concurrent Observe against concurrent
+// renders must be race-clean (run under -race), and after the dust settles
+// the histogram must have counted every observation with the sum intact.
+func TestHistogramObserveRenderRace(t *testing.T) {
+	h := NewHistogram(DefBuckets())
+	const (
+		writers   = 8
+		perWriter = 2000
+	)
+	values := []float64{0.0002, 0.004, 0.07, 1.5, 20} // spread across buckets + overflow
+	stop := make(chan struct{})
+	rendered := make(chan struct{})
+	// Render continuously while observations land.
+	go func() {
+		defer close(rendered)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := NewMetricWriter(io.Discard)
+			m.Histogram("gq_race_test", "Help.", h, nil)
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(values[(w+i)%len(values)])
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	<-rendered
+
+	const total = writers * perWriter
+	if got := h.Count(); got != total {
+		t.Fatalf("Count = %d, want %d", got, total)
+	}
+	var wantSum float64
+	for i := 0; i < total; i++ {
+		// Same value sequence the writers used, order-independent sum.
+		wantSum += values[(i/perWriter+i%perWriter)%len(values)]
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Fatalf("Sum = %g, want %g (±1e-6 rel)", got, wantSum)
+	}
+	// Bucket counts must also add up: cumulative +Inf == Count.
+	var buckets int64
+	for i := range h.buckets {
+		buckets += h.buckets[i].Load()
+	}
+	buckets += h.overflow.Load()
+	if buckets != total {
+		t.Fatalf("bucket total = %d, want %d", buckets, total)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryMonotonicIDs: concurrent admissions get unique, strictly
+// positive IDs, and the live view lists them in ID order.
+func TestRegistryMonotonicIDs(t *testing.T) {
+	r := NewRegistry(8)
+	const n = 64
+	ids := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids <- r.Admit("g", "q", "", nil).ID
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[uint64]bool)
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("ID 0 assigned")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+	live := r.Live()
+	if len(live) != n {
+		t.Fatalf("Live() = %d entries, want %d", len(live), n)
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i-1].ID >= live[i].ID {
+			t.Fatalf("Live() not sorted by ID: %d before %d", live[i-1].ID, live[i].ID)
+		}
+	}
+}
+
+// TestRegistryRingBuffer: Finish retires the live entry and the recent ring
+// keeps only the newest N, newest first.
+func TestRegistryRingBuffer(t *testing.T) {
+	const capacity = 4
+	r := NewRegistry(capacity)
+	for i := 0; i < 10; i++ {
+		a := r.Admit("g", fmt.Sprintf("q%d", i), "", nil)
+		r.Finish(a, CompletedQuery{Outcome: "ok"})
+	}
+	if got := r.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after finishing everything", got)
+	}
+	recent := r.Recent()
+	if len(recent) != capacity {
+		t.Fatalf("Recent() = %d entries, want %d", len(recent), capacity)
+	}
+	for i, want := range []string{"q9", "q8", "q7", "q6"} {
+		if recent[i].Query != want {
+			t.Errorf("Recent()[%d].Query = %q, want %q (newest first)", i, recent[i].Query, want)
+		}
+	}
+	// Identity fields are stamped from the admission, not the caller's rec.
+	if recent[0].ID == 0 || recent[0].Graph != "g" || recent[0].StartedAt.IsZero() {
+		t.Errorf("ring entry missing stamped identity: %+v", recent[0])
+	}
+
+	// Before wrapping, Recent is still newest-first over what exists.
+	r2 := NewRegistry(capacity)
+	r2.Finish(r2.Admit("g", "a", "", nil), CompletedQuery{})
+	r2.Finish(r2.Admit("g", "b", "", nil), CompletedQuery{})
+	got := r2.Recent()
+	if len(got) != 2 || got[0].Query != "b" || got[1].Query != "a" {
+		t.Fatalf("pre-wrap Recent() wrong: %+v", got)
+	}
+}
+
+// TestRegistryKill: Kill cancels the query's context with ErrKilled as the
+// cause, reports false for unknown or already-finished IDs, and never
+// touches other live queries.
+func TestRegistryKill(t *testing.T) {
+	r := NewRegistry(4)
+	ctx1, cancel1 := context.WithCancelCause(context.Background())
+	ctx2, cancel2 := context.WithCancelCause(context.Background())
+	a1 := r.Admit("g", "victim", "", cancel1)
+	a2 := r.Admit("g", "bystander", "", cancel2)
+
+	if r.Kill(a1.ID + a2.ID + 100) {
+		t.Fatal("Kill(unknown) = true")
+	}
+	if !r.Kill(a1.ID) {
+		t.Fatal("Kill(live) = false")
+	}
+	if ctx1.Err() == nil {
+		t.Fatal("killed query's context not canceled")
+	}
+	if cause := context.Cause(ctx1); !errors.Is(cause, ErrKilled) {
+		t.Fatalf("cause = %v, want ErrKilled", cause)
+	}
+	if ctx2.Err() != nil {
+		t.Fatal("bystander's context canceled by someone else's kill")
+	}
+
+	r.Finish(a2, CompletedQuery{Outcome: "ok"})
+	if r.Kill(a2.ID) {
+		t.Fatal("Kill(finished) = true; finished queries cannot be killed")
+	}
+	cancel2(nil)
+}
+
+// TestProgressSnapshot: updates land in the snapshot; nil is free.
+func TestProgressSnapshot(t *testing.T) {
+	var p *Progress
+	p.AddStates(5)
+	p.SetStage("kernel")
+	if snap := p.Snapshot(); snap != (ProgressSnapshot{}) {
+		t.Fatalf("nil Progress snapshot = %+v, want zero", snap)
+	}
+
+	p = &Progress{}
+	p.SetStage("kernel")
+	p.AddStates(256)
+	p.AddStates(100)
+	p.AddEdges(4096)
+	p.AddRows(7)
+	p.SetFrontier(42)
+	want := ProgressSnapshot{Stage: "kernel", States: 356, Edges: 4096, Rows: 7, Frontier: 42}
+	if snap := p.Snapshot(); snap != want {
+		t.Fatalf("Snapshot = %+v, want %+v", snap, want)
+	}
+}
+
+// TestTraceBindProgressSetsStage: spans opened on a progress-bound trace
+// update the live stage.
+func TestTraceBindProgressSetsStage(t *testing.T) {
+	tr := NewTrace()
+	p := &Progress{}
+	tr.BindProgress(p)
+	tr.Start("parse").End()
+	if got := p.Snapshot().Stage; got != "parse" {
+		t.Fatalf("stage = %q, want parse", got)
+	}
+	sp := tr.Start("kernel")
+	if got := p.Snapshot().Stage; got != "kernel" {
+		t.Fatalf("stage = %q, want kernel", got)
+	}
+	sp.End()
+
+	// Unbound or nil: no panic, nothing recorded.
+	NewTrace().Start("parse").End()
+	tr.BindProgress(nil)
+}

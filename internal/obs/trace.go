@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,6 +56,7 @@ func SpansString(spans []Span) string {
 // and costs nothing, so untraced call paths pay only a nil check.
 type Trace struct {
 	t0    time.Time
+	prog  atomic.Pointer[Progress]
 	mu    sync.Mutex
 	spans []Span
 	attrs map[string]string
@@ -63,10 +65,24 @@ type Trace struct {
 // NewTrace starts an empty trace; its clock zero is now.
 func NewTrace() *Trace { return &Trace{t0: time.Now()} }
 
+// BindProgress attaches a live Progress to the trace: every span opened
+// after the bind also sets the progress stage, so a serving layer that
+// already traces its queries gets live stage sampling with no extra calls.
+// A nil p (or nil t) is a no-op.
+func (t *Trace) BindProgress(p *Progress) {
+	if t == nil || p == nil {
+		return
+	}
+	t.prog.Store(p)
+}
+
 // Start opens a span. End it (once) to record it on the trace.
 func (t *Trace) Start(name string) *ActiveSpan {
 	if t == nil {
 		return nil
+	}
+	if p := t.prog.Load(); p != nil {
+		p.SetStage(name)
 	}
 	return &ActiveSpan{tr: t, name: name, begin: time.Now()}
 }

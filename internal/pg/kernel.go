@@ -152,7 +152,7 @@ func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, 
 		}
 	}
 	var stopErr error
-	var edgesScanned int64
+	var edgesScanned, edgesReported int64
 	peak := 0
 	ticked := 0
 	charged := 0
@@ -171,6 +171,11 @@ func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, 
 				break
 			}
 			ticked = head
+			// Live-progress sampling piggybacks on the amortized tick: the
+			// hot loop gains no new branches, and an in-flight registry sees
+			// the frontier and edge counts at CheckInterval granularity.
+			mt.SweepProgress(int64(len(sc.queue)-head), edgesScanned-edgesReported)
+			edgesReported = edgesScanned
 		}
 		if f := len(sc.queue) - head; f > peak {
 			peak = f
@@ -233,6 +238,9 @@ func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, 
 	}
 	if stopErr == nil && mt != nil && head > ticked {
 		stopErr = mt.Tick(int64(head - ticked))
+	}
+	if mt != nil {
+		mt.SweepProgress(0, edgesScanned-edgesReported) // sweep over: frontier drained
 	}
 	k.c.AddStates(int64(head))
 	k.c.AddEdges(edgesScanned)
@@ -301,7 +309,7 @@ func (k *Kernel) Distances(src int, mt *Meter) ([]int, error) {
 		queue = append(queue, id)
 	}
 	var stopErr error
-	var edgesScanned int64
+	var edgesScanned, edgesReported int64
 	peak := 0
 	ticked := 0
 	head := 0
@@ -311,6 +319,8 @@ func (k *Kernel) Distances(src int, mt *Meter) ([]int, error) {
 				break
 			}
 			ticked = head
+			mt.SweepProgress(int64(len(queue)-head), edgesScanned-edgesReported)
+			edgesReported = edgesScanned
 		}
 		if f := len(queue) - head; f > peak {
 			peak = f
@@ -342,6 +352,9 @@ func (k *Kernel) Distances(src int, mt *Meter) ([]int, error) {
 	}
 	if stopErr == nil && mt != nil && head > ticked {
 		stopErr = mt.Tick(int64(head - ticked))
+	}
+	if mt != nil {
+		mt.SweepProgress(0, edgesScanned-edgesReported)
 	}
 	k.c.AddStates(int64(head))
 	k.c.AddEdges(edgesScanned)

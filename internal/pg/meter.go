@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"graphquery/internal/obs"
 )
 
 // The serving-layer error taxonomy (Section 6.1/6.3 motivate it: evaluation
@@ -82,19 +84,33 @@ type Meter struct {
 	maxRows   int64
 	states    atomic.Int64
 	rows      atomic.Int64
+
+	// prog, when set, mirrors the meter's readings into a live Progress
+	// sampled by the serving layer's in-flight registry. Updates ride the
+	// amortized tick (every CheckInterval states), so live introspection
+	// adds no new branches to evaluation hot loops.
+	prog *obs.Progress
 }
 
 // NewMeter builds the meter for ctx and b. It returns nil — the free meter —
 // when ctx can never be canceled and b is zero, so uninstrumented callers
 // (context.Background, no budget) pay nothing.
 func NewMeter(ctx context.Context, b Budget) *Meter {
+	return NewMeterProgress(ctx, b, nil)
+}
+
+// NewMeterProgress is NewMeter with a live-progress sink: every states/rows
+// batch the meter accounts is also added to p. A non-nil p forces a non-nil
+// meter even with no deadline and no budget — progress sampling needs the
+// ticks to flow.
+func NewMeterProgress(ctx context.Context, b Budget, p *obs.Progress) *Meter {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if ctx.Done() == nil && b == (Budget{}) {
+	if p == nil && ctx.Done() == nil && b == (Budget{}) {
 		return nil
 	}
-	return &Meter{ctx: ctx, maxStates: b.MaxStates, maxRows: b.MaxRows}
+	return &Meter{ctx: ctx, maxStates: b.MaxStates, maxRows: b.MaxRows, prog: p}
 }
 
 // Tick records n newly visited product states and reports whether the query
@@ -103,6 +119,7 @@ func (m *Meter) Tick(n int64) error {
 	if m == nil {
 		return nil
 	}
+	m.prog.AddStates(n)
 	if total := m.states.Add(n); m.maxStates > 0 && total > m.maxStates {
 		return &BudgetError{Resource: "states", Limit: m.maxStates}
 	}
@@ -115,10 +132,23 @@ func (m *Meter) AddRows(n int64) error {
 	if m == nil {
 		return nil
 	}
+	m.prog.AddRows(n)
 	if total := m.rows.Add(n); m.maxRows > 0 && total > m.maxRows {
 		return &BudgetError{Resource: "rows", Limit: m.maxRows}
 	}
 	return nil
+}
+
+// SweepProgress reports a kernel sweep's live shape — the current frontier
+// length and the adjacency entries scanned since the last report — to the
+// meter's progress sink. Called only at the kernel's amortized tick sites
+// (and on sweep exit), never per state; a meter without a sink ignores it.
+func (m *Meter) SweepProgress(frontier, edges int64) {
+	if m == nil || m.prog == nil {
+		return
+	}
+	m.prog.SetFrontier(frontier)
+	m.prog.AddEdges(edges)
 }
 
 // Check polls for cancellation and an already-exhausted states budget

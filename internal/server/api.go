@@ -1,14 +1,22 @@
 // The HTTP JSON surface of the query service.
 //
-//	POST /v1/query    evaluate one query against a named graph
-//	GET  /v1/graphs   list registered graphs
-//	GET  /v1/healthz  liveness
-//	GET  /v1/statz    counters + per-graph plan-cache stats
+//	POST /v1/query                  evaluate one query against a named graph
+//	GET  /v1/graphs                 list registered graphs
+//	GET  /v1/healthz                liveness
+//	GET  /v1/statz                  counters + per-graph plan-cache stats
+//	GET  /v1/queries                in-flight queries with live progress
+//	GET  /v1/queries/recent         recently completed queries (ring buffer)
+//	POST /v1/queries/{id}/cancel    cooperatively kill one in-flight query
+//
+// Every /v1/query reply from an admitted query — success or error — carries
+// an X-Query-ID header naming the query's registry ID, the handle for the
+// introspection endpoints and the query event log.
 //
 // Errors use one envelope, {"error":{"code":..., "message":...}}, with
 // machine-readable codes: invalid_request and invalid_query (400),
-// unknown_graph (404), overloaded (429), budget_exceeded (422),
-// timeout (504), canceled (499), internal (500).
+// unknown_graph and unknown_query (404), overloaded (429),
+// budget_exceeded (422), timeout (504), canceled and killed (499),
+// internal (500).
 package server
 
 import (
@@ -16,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"graphquery/internal/core"
@@ -92,6 +101,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
+	mux.HandleFunc("GET /v1/queries", s.handleQueries)
+	mux.HandleFunc("GET /v1/queries/recent", s.handleQueriesRecent)
+	mux.HandleFunc("POST /v1/queries/{id}/cancel", s.handleQueryCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -172,47 +184,78 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.stats.inFlight.Add(1)
 	defer s.stats.inFlight.Add(-1)
 
-	start := time.Now()
+	// Register the admitted query: a fresh ID, a live Progress the kernel
+	// feeds through the meter tick, and a cancel hook an operator kill
+	// (POST /v1/queries/{id}/cancel) fires with obs.ErrKilled as the cause.
+	qctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	act := s.registry.Admit(req.Graph, req.Query, req.Lang, cancel)
+	w.Header().Set("X-Query-ID", strconv.FormatUint(act.ID, 10))
+
 	tr := obs.NewTrace()
-	resp, err := s.evaluate(r.Context(), eng, core.Request{
-		Query:  req.Query,
-		Lang:   req.Lang,
-		From:   graph.NodeID(req.From),
-		To:     graph.NodeID(req.To),
-		Mode:   mode,
-		MaxLen: req.MaxLen,
-		Limit:  req.Limit,
-		Budget: eval.Budget{MaxStates: req.MaxStates, MaxRows: req.MaxRows},
-		Trace:  tr,
+	resp, err := s.evaluate(qctx, eng, core.Request{
+		Query:    req.Query,
+		Lang:     req.Lang,
+		From:     graph.NodeID(req.From),
+		To:       graph.NodeID(req.To),
+		Mode:     mode,
+		MaxLen:   req.MaxLen,
+		Limit:    req.Limit,
+		Budget:   eval.Budget{MaxStates: req.MaxStates, MaxRows: req.MaxRows},
+		Trace:    tr,
+		Progress: act.Progress,
 	}, s.timeoutFor(time.Duration(req.TimeoutMS)*time.Millisecond))
-	elapsed := time.Since(start)
+	elapsed := time.Since(act.Started)
 	s.latency.Observe(elapsed.Seconds())
+	s.observeStages(tr.Spans())
+
+	outcome := "ok"
+	status := http.StatusOK
 	if err != nil {
-		status, code := classifyHTTP(err)
-		switch code {
-		case "timeout":
-			s.stats.timeouts.Add(1)
-		case "canceled":
-			s.stats.canceled.Add(1)
-		case "budget_exceeded":
-			s.stats.budgetExceeded.Add(1)
-		default:
-			s.stats.errors.Add(1)
+		var code string
+		status, code = classifyHTTP(err)
+		if code == "canceled" && errors.Is(err, obs.ErrKilled) {
+			// Operator kill: same ErrCanceled taxonomy and 499 class as a
+			// client abort, but reported distinctly everywhere.
+			code = "killed"
 		}
-		s.logSlow(req.Graph, req.Query, code, elapsed, tr, nil)
-		if code == "canceled" && r.Context().Err() != nil {
+		outcome = code
+	}
+	switch outcome {
+	case "ok":
+		s.stats.completed.Add(1)
+	case "timeout":
+		s.stats.timeouts.Add(1)
+	case "canceled":
+		s.stats.canceled.Add(1)
+	case "killed":
+		s.stats.killed.Add(1)
+	case "budget_exceeded":
+		s.stats.budgetExceeded.Add(1)
+	default:
+		s.stats.errors.Add(1)
+	}
+
+	// One completion record feeds the recent-queries ring, the query event
+	// log, and (over threshold) the slow-query WARN.
+	rec := buildRecord(act, outcome, err, elapsed, tr, resp)
+	s.registry.Finish(act, rec)
+	s.logQuery(rec, elapsed)
+
+	if err != nil {
+		if outcome == "canceled" && r.Context().Err() != nil {
 			// The cancellation came from the client side: its connection is
 			// closed (or closing), so any WriteHeader/Write here lands on a
 			// dead connection — at best discarded, at worst logged by
 			// net/http as a superfluous WriteHeader after a failed body
-			// write. The 499 is accounting-only; write nothing.
+			// write. The 499 is accounting-only; write nothing. (An operator
+			// kill does not take this path: the client is still connected
+			// and receives the "killed" envelope.)
 			return
 		}
-		writeError(w, status, code, err.Error())
+		writeError(w, status, outcome, err.Error())
 		return
 	}
-	s.stats.completed.Add(1)
-	s.logSlow(req.Graph, req.Query, "ok", elapsed, tr, resp)
 	writeJSON(w, http.StatusOK, renderResponse(eng, req.Graph, resp, elapsed))
 }
 

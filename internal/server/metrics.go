@@ -25,6 +25,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Counter("gq_accepted_total", "Queries admitted past the concurrency limiter.", st.Accepted, nil)
 	m.Counter("gq_completed_total", "Queries that finished with a 200.", st.Completed, nil)
 	m.Counter("gq_canceled_total", "Queries aborted by the client (499).", st.Canceled, nil)
+	m.Counter("gq_killed_total", "Queries killed via POST /v1/queries/{id}/cancel.", st.Killed, nil)
 	m.Counter("gq_timeouts_total", "Queries that exceeded their deadline (504).", st.Timeouts, nil)
 	m.Counter("gq_budget_exceeded_total", "Queries that exhausted a resource budget (422).", st.BudgetExceeded, nil)
 	m.Counter("gq_rejected_total", "Queries rejected by admission control (429).", st.Rejected, nil)
@@ -48,6 +49,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	m.Histogram("gq_query_duration_seconds",
 		"Wall-clock of admitted queries, queue wait included.", s.latency, nil)
+
+	// Per-stage latency: one family, one label set per evaluation stage.
+	// Stage durations are recorded from the same trace spans the query
+	// record carries, so sum(gq_stage_duration_seconds_sum) never exceeds
+	// gq_query_duration_seconds_sum (stages are within the wall-clock).
+	m.Family("gq_stage_duration_seconds",
+		"Duration of each evaluation stage across admitted queries.", "histogram")
+	for i, name := range stageNames {
+		m.HistogramSample("gq_stage_duration_seconds", s.stageLatency[i],
+			map[string]string{"stage": name})
+	}
 }
 
 // graphFamilies are the per-graph metric families, each one field of

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Live query introspection endpoints.
+//
+//	GET  /v1/queries              in-flight queries, sampled from Progress
+//	GET  /v1/queries/recent       ring buffer of recently completed queries
+//	POST /v1/queries/{id}/cancel  cooperative kill of one in-flight query
+//
+// The paper's complexity results (Propositions 22–24, Example 28) mean a
+// graph query can silently sweep tens of millions of product states; these
+// endpoints let an operator see that while it happens — and stop it —
+// without restarting the daemon. A kill cancels the query's context with
+// obs.ErrKilled as the cause, so it dies through the same cooperative
+// ErrCanceled path as a disconnect or deadline (no partial results), but
+// is reported with the distinct "killed" outcome everywhere: the query's
+// own error reply, /v1/queries/recent, the query event log, and statz.
+
+// handleQueries samples every in-flight query, sorted by ID.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"queries": s.registry.Live()})
+}
+
+// handleQueriesRecent returns the completed-query ring, newest first.
+func (s *Server) handleQueriesRecent(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"queries": s.registry.Recent()})
+}
+
+// handleQueryCancel kills one in-flight query by ID. 404 when no live
+// query has that ID (unknown, or already finished — finished queries
+// cannot be killed retroactively).
+func (s *Server) handleQueryCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad query id: "+r.PathValue("id"))
+		return
+	}
+	if !s.registry.Kill(id) {
+		writeError(w, http.StatusNotFound, "unknown_query",
+			"no in-flight query with id "+strconv.FormatUint(id, 10))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "killed": true})
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"sort"
 	"sync"
@@ -54,11 +55,22 @@ type Config struct {
 	// SlowQuery is the slow-query log threshold: every admitted query
 	// whose wall-clock reaches it emits exactly one structured WARN record
 	// (query text, graph, plan line, span timings, budget consumption,
-	// outcome). 0 disables the log.
+	// outcome). 0 disables the log. The record is the same obs.CompletedQuery
+	// the query event log writes — the slow log is a threshold filter over
+	// the query log's record builder, so the two cannot drift.
 	SlowQuery time.Duration
 	// Logger receives the server's structured log records (slow queries).
 	// nil uses slog.Default().
 	Logger *slog.Logger
+	// QueryLog, when non-nil, receives exactly one JSONL record
+	// (obs.CompletedQuery: id, graph, query, plan, spans, budget
+	// consumption, outcome) per admitted query — the structured query
+	// event log behind gqserverd -query-log. Writes are serialized by the
+	// server; the writer need not be concurrency-safe.
+	QueryLog io.Writer
+	// Recent bounds the completed-query ring buffer behind
+	// GET /v1/queries/recent (0: obs.DefaultRecent).
+	Recent int
 }
 
 const defaultMaxConcurrent = 16
@@ -81,7 +93,23 @@ type Server struct {
 	// latency observes the wall-clock of every admitted query (queue wait
 	// included), exposed as gq_query_duration_seconds on GET /metrics.
 	latency *obs.Histogram
+
+	// stageLatency holds one histogram per evaluation stage, indexed like
+	// stageNames and exposed as gq_stage_duration_seconds{stage=...}.
+	stageLatency [len(stageNames)]*obs.Histogram
+
+	// registry tracks in-flight queries (GET /v1/queries, cooperative kill)
+	// and the recently completed ring (GET /v1/queries/recent).
+	registry *obs.Registry
+
+	// logMu serializes JSONL writes to cfg.QueryLog.
+	logMu sync.Mutex
 }
+
+// stageNames are the engine's evaluation stages, in pipeline order — the
+// label values of gq_stage_duration_seconds. They match the span names
+// core.Engine records (see internal/core query tracing).
+var stageNames = [...]string{"parse", "compile", "plan", "kernel", "enumerate"}
 
 // New returns an empty server with cfg's admission limiter.
 func New(cfg Config) *Server {
@@ -89,13 +117,22 @@ func New(cfg Config) *Server {
 	if mc <= 0 {
 		mc = defaultMaxConcurrent
 	}
-	return &Server{
-		cfg:     cfg,
-		engines: make(map[string]*core.Engine),
-		sem:     make(chan struct{}, mc),
-		latency: obs.NewHistogram(obs.DefBuckets()),
+	s := &Server{
+		cfg:      cfg,
+		engines:  make(map[string]*core.Engine),
+		sem:      make(chan struct{}, mc),
+		latency:  obs.NewHistogram(obs.DefBuckets()),
+		registry: obs.NewRegistry(cfg.Recent),
 	}
+	for i := range s.stageLatency {
+		s.stageLatency[i] = obs.NewHistogram(obs.DefBuckets())
+	}
+	return s
 }
+
+// Registry exposes the in-flight query registry (admission, live progress,
+// cooperative kill) for embedders and tests.
+func (s *Server) Registry() *obs.Registry { return s.registry }
 
 // logger resolves the structured-log destination.
 func (s *Server) logger() *slog.Logger {
@@ -214,30 +251,4 @@ func (s *Server) evaluate(ctx context.Context, e *core.Engine, req core.Request,
 		s.stats.rowsReturned.Add(int64(resp.Count()))
 	}
 	return resp, err
-}
-
-// logSlow emits the slow-query record when the threshold is configured and
-// elapsed reaches it — exactly one record per over-threshold query, from
-// this single call site. The trace supplies the plan line, span timings,
-// and (for errored queries, which have no Response) the budget consumption
-// the query racked up before it died.
-func (s *Server) logSlow(graphName, query, outcome string, elapsed time.Duration, tr *obs.Trace, resp *core.Response) {
-	if s.cfg.SlowQuery <= 0 || elapsed < s.cfg.SlowQuery {
-		return
-	}
-	spans := tr.Spans()
-	states, rows := obs.TotalStates(spans), obs.TotalRows(spans)
-	if resp != nil {
-		states, rows = resp.StatesVisited, resp.RowsProduced
-	}
-	s.logger().Warn("slow query",
-		"graph", graphName,
-		"query", query,
-		"elapsed_ms", float64(elapsed.Microseconds())/1000,
-		"outcome", outcome,
-		"plan", tr.Attr("plan"),
-		"spans", obs.SpansString(spans),
-		"states", states,
-		"rows", rows,
-	)
 }

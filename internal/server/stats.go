@@ -15,6 +15,7 @@ type counters struct {
 	accepted       atomic.Int64 // admitted past the limiter
 	completed      atomic.Int64 // finished with a 200
 	canceled       atomic.Int64 // client went away (499)
+	killed         atomic.Int64 // killed via POST /v1/queries/{id}/cancel
 	timeouts       atomic.Int64 // deadline exceeded (504)
 	budgetExceeded atomic.Int64 // resource budget hit (422)
 	rejected       atomic.Int64 // admission control said no (429)
@@ -30,6 +31,7 @@ type ServerStats struct {
 	Accepted       int64 `json:"accepted"`
 	Completed      int64 `json:"completed"`
 	Canceled       int64 `json:"canceled"`
+	Killed         int64 `json:"killed"`
 	Timeouts       int64 `json:"timeouts"`
 	BudgetExceeded int64 `json:"budget_exceeded"`
 	Rejected       int64 `json:"rejected"`
@@ -58,6 +60,7 @@ func (s *Server) Stats() ServerStats {
 		Accepted:       s.stats.accepted.Load(),
 		Completed:      s.stats.completed.Load(),
 		Canceled:       s.stats.canceled.Load(),
+		Killed:         s.stats.killed.Load(),
 		Timeouts:       s.stats.timeouts.Load(),
 		BudgetExceeded: s.stats.budgetExceeded.Load(),
 		Rejected:       s.stats.rejected.Load(),

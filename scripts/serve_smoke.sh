@@ -31,10 +31,12 @@ echo "serve-smoke: building gqserverd (race detector on)"
 $GO build -race -o "$workdir/gqserverd" ./cmd/gqserverd
 
 # -slow-query 1ns makes every query an over-threshold query, so the log
-# must carry exactly one structured record per admitted query.
+# must carry exactly one structured record per admitted query; -query-log
+# must carry one JSONL record per admitted query regardless of threshold.
+querylog="$workdir/query.jsonl"
 "$workdir/gqserverd" -addr 127.0.0.1:0 -graphs bank,figure5-12,clique-200,clique-300 \
   -max-concurrent 4 -max-queue 4 -default-timeout 10s -parallelism 1 \
-  -slow-query 1ns -debug-addr 127.0.0.1:0 \
+  -slow-query 1ns -query-log "$querylog" -debug-addr 127.0.0.1:0 \
   >"$logfile" 2>&1 &
 pid=$!
 
@@ -99,6 +101,57 @@ slow_count=$(grep -c 'msg="slow query"' "$logfile" || true)
 grep -q 'msg="slow query".*outcome=ok.*plan=' "$logfile" \
   || fail "slow-query records missing outcome/plan attributes"
 echo "serve-smoke: ok: slow-query log ($slow_count records)"
+
+# Live introspection: a long-running query must be visible in /v1/queries
+# with nonzero swept states, killable through its cancel endpoint, and
+# reported with the distinct "killed" outcome everywhere — the query's own
+# reply, /v1/queries/recent, and the query event log.
+kill_out="$workdir/killed.json"
+kill_hdr="$workdir/killed.hdr"
+curl -sS -D "$kill_hdr" "$base/v1/query" \
+  -d '{"graph":"clique-300","query":"a* a* a*","timeout_ms":30000}' >"$kill_out" &
+kill_curl=$!
+qid=""
+states=""
+for _ in $(seq 1 100); do
+  live=$(curl -fsS "$base/v1/queries")
+  qid=$(printf '%s' "$live" | sed -n 's/.*"id":\([0-9]*\).*/\1/p' | head -1)
+  states=$(printf '%s' "$live" | sed -n 's/.*"states":\([0-9]*\).*/\1/p' | head -1)
+  [[ -n "$qid" && -n "$states" && "$states" -gt 0 ]] && break
+  qid=""
+  sleep 0.05
+done
+[[ -n "$qid" ]] || fail "slow query never appeared in /v1/queries with nonzero states"
+echo "serve-smoke: ok: live query $qid visible ($states states swept)"
+expect kill '"killed":true' "$(curl -sS -X POST "$base/v1/queries/$qid/cancel")"
+wait "$kill_curl" || fail "killed query's connection was dropped"
+expect killed-reply '"code":"killed"' "$(cat "$kill_out")"
+grep -qi "^x-query-id: $qid" "$kill_hdr" \
+  || fail "killed query's reply missing X-Query-ID $qid: $(cat "$kill_hdr")"
+expect killed-recent '"outcome":"killed"' "$(curl -fsS "$base/v1/queries/recent")"
+expect kill-unknown '"code":"unknown_query"' \
+  "$(curl -sS -X POST "$base/v1/queries/999999/cancel")"
+grep -q '"outcome":"killed"' "$querylog" \
+  || fail "query event log has no killed record"
+
+# The query event log carries exactly one JSONL record per admitted query.
+accepted=$(curl -fsS "$base/v1/statz" | sed -n 's/.*"accepted":\([0-9]*\).*/\1/p')
+qlog_count=$(wc -l <"$querylog")
+[[ "$qlog_count" == "$accepted" ]] \
+  || fail "query-log records ($qlog_count) != admitted queries ($accepted)"
+echo "serve-smoke: ok: query event log ($qlog_count records)"
+
+# Per-stage histograms: populated, and stage time never exceeds the
+# whole-query wall clock it is a breakdown of.
+metrics=$(curl -fsS "$base/metrics")
+expect metrics-stage 'gq_stage_duration_seconds_count{stage="kernel"}' "$metrics"
+stage_sum=$(printf '%s\n' "$metrics" \
+  | sed -n 's/^gq_stage_duration_seconds_sum{[^}]*} \(.*\)$/\1/p' \
+  | awk '{s+=$1} END {print s}')
+total_sum=$(printf '%s\n' "$metrics" | sed -n 's/^gq_query_duration_seconds_sum \(.*\)$/\1/p')
+awk -v s="$stage_sum" -v t="$total_sum" 'BEGIN {exit !(s <= t)}' \
+  || fail "stage duration sum ($stage_sum) exceeds query duration sum ($total_sum)"
+echo "serve-smoke: ok: stage histograms within wall clock ($stage_sum <= $total_sum)"
 
 # The pprof surface lives on its own listener, printed at startup.
 dbgbase=$(sed -n 's#.*debug (pprof) on \(http://[0-9.:]*\)/debug/pprof/.*#\1#p' "$logfile" | head -1)
