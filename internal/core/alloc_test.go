@@ -1,0 +1,37 @@
+//go:build !race
+
+package core
+
+// Allocation-count regressions are excluded from -race runs: the
+// detector's own instrumentation allocates, so the counts only mean
+// anything in a plain build.
+
+import (
+	"testing"
+
+	"graphquery/internal/gen"
+)
+
+// TestWarmQueryAllocs is the satellite alloc regression at the engine
+// level: with the plan cached and the kernel's scratch pool warm, a
+// repeated Pairs query must not reallocate the O(product-states) sweep
+// buffers — the per-run allocation count stays flat and small (result
+// assembly still allocates its output slices).
+func TestWarmQueryAllocs(t *testing.T) {
+	e := New(gen.Clique(8, "a"))
+	e.Parallelism = 1
+	warm := func() {
+		if _, err := e.Pairs("a a*"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	warm()
+	allocs := testing.AllocsPerRun(50, warm)
+	// 8 sources × a few result-slice allocations each; the bound has >2x
+	// headroom but catches per-query scratch reallocation (~3 per source:
+	// visited + emitted + queue) immediately.
+	if allocs > 60 {
+		t.Fatalf("warm cached query allocates %.0f times per run, want ≤ 60 (scratch pool not reused?)", allocs)
+	}
+}

@@ -53,14 +53,15 @@ func newPlanCache(capacity int) *planCache {
 
 // planKey normalizes a query string (collapsing all whitespace runs) and
 // namespaces it by kind and by the engine knobs that shape what gets
-// compiled: Parallelism feeds the planner's worker choice and MaxLen
-// bounds enumeration plans, so "a . b*" and "a.b *" share one plan while
-// the same query under different knob settings — or a 2RPQ with identical
-// text — does not. Without the knobs in the key, flipping e.Parallelism
-// after a query was cached would keep serving the stale worker count.
-func planKey(kind string, maxLen, parallelism int, query string) string {
-	return fmt.Sprintf("%s\x00%d\x00%d\x00%s",
-		kind, maxLen, parallelism, strings.Join(strings.Fields(query), " "))
+// compiled: Parallelism feeds the planner's worker choice, Shards its
+// kernel-sharding decision, and MaxLen bounds enumeration plans, so
+// "a . b*" and "a.b *" share one plan while the same query under different
+// knob settings — or a 2RPQ with identical text — does not. Without the
+// knobs in the key, flipping e.Parallelism or e.Shards after a query was
+// cached would keep serving the stale plan.
+func planKey(kind string, maxLen, parallelism, shards int, query string) string {
+	return fmt.Sprintf("%s\x00%d\x00%d\x00%d\x00%s",
+		kind, maxLen, parallelism, shards, strings.Join(strings.Fields(query), " "))
 }
 
 // get returns the cached plan for key and refreshes its recency.
@@ -132,7 +133,7 @@ func cached[T any](e *Engine, kind, query string, build func(string) (T, error))
 	if e.plans == nil { // zero-value Engine: cache disabled
 		return build(query)
 	}
-	key := planKey(kind, e.MaxLen, e.Parallelism, query)
+	key := planKey(kind, e.MaxLen, e.Parallelism, e.Shards, query)
 	if v, ok := e.plans.get(key); ok {
 		return v.(T), nil
 	}

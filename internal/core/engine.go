@@ -42,6 +42,12 @@ type Engine struct {
 	// (Pairs, CRPQ atom materialization); 0 means one per available CPU,
 	// 1 forces sequential evaluation.
 	Parallelism int
+	// Shards asks the planner to run heavy kernel sweeps sharded: the
+	// product state space is partitioned by graph node into this many
+	// frontier loops with cross-shard exchange at level barriers. 0 and 1
+	// both mean unsharded; the planner still ignores the knob for sweeps
+	// too light to amortize the barriers.
+	Shards int
 	// Budget is the default per-query resource budget applied by the ctx
 	// entry points (QueryCtx, PairsCtx, ...). Zero fields are unlimited;
 	// the classic non-ctx methods ignore it entirely.
@@ -165,7 +171,7 @@ func (e *Engine) planFor(nfa *automata.NFA) pg.Plan {
 	if e.g.NumNodes() < planMinNodes {
 		return pg.Plan{}
 	}
-	return e.plannerLazy().ForNFA(nfa, e.Parallelism)
+	return e.plannerLazy().ForNFA(nfa, e.Parallelism, e.Shards)
 }
 
 // RuntimeStats snapshots the unified runtime's counters: product states

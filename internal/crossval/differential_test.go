@@ -140,6 +140,16 @@ func TestKernelPlansAgreeWithRPQOracle(t *testing.T) {
 		{"backward-dense", pg.Plan{Backward: true, Dense: true}},
 		{"forward-parallel", pg.Plan{Workers: 4}},
 		{"backward-parallel", pg.Plan{Backward: true, Workers: 4}},
+		// The frontier engine's plan shapes: bitset/direction-optimizing
+		// (shards ≤ 1) and sharded ×{2, 8}, over both scan strategies and
+		// both directions.
+		{"frontier", pg.Plan{Frontier: true}},
+		{"frontier-dense", pg.Plan{Frontier: true, Dense: true}},
+		{"frontier-backward", pg.Plan{Frontier: true, Backward: true}},
+		{"sharded-2", pg.Plan{Frontier: true, Shards: 2}},
+		{"sharded-8", pg.Plan{Frontier: true, Shards: 8}},
+		{"sharded-2-dense", pg.Plan{Frontier: true, Shards: 2, Dense: true}},
+		{"sharded-8-backward", pg.Plan{Frontier: true, Shards: 8, Backward: true}},
 	}
 	for trial := 0; trial < 4; trial++ {
 		g := gen.Random(24, 90, []string{"a", "b", "c"}, int64(trial)*31+5)

@@ -542,9 +542,14 @@ func overSources(sources []int, parallelism int, p *eval.Product, m *eval.Meter,
 		if p == nil {
 			return nil
 		}
-		return p.NewScratch()
+		return p.GetScratch()
 	}
-	return pg.ForEach(len(sources), eval.Parallelism(parallelism), newScratch,
+	putScratch := func(sc *eval.Scratch) {
+		if p != nil {
+			p.PutScratch(sc)
+		}
+	}
+	return pg.ForEach(len(sources), eval.Parallelism(parallelism), newScratch, putScratch,
 		func(i int, sc *eval.Scratch) ([][]OutValue, error) {
 			if err := m.Check(); err != nil {
 				return nil, err

@@ -90,12 +90,16 @@ func pairsProductMeter(p *Product, opts Options, m *Meter) ([][2]int, error) {
 	if plan.Backward {
 		kern = p.backward()
 	}
-	kern.Counters().CountPlan(pg.Plan{Backward: plan.Backward, Dense: plan.Dense, Workers: workers})
-	pairs, err := pg.ForEach(n, workers, kern.NewScratch, func(u int, sc *Scratch) ([][2]int, error) {
-		// ReachableRows charges the rows budget at emission time, so a
-		// MaxRows budget trips on row MaxRows+1 instead of after the whole
-		// sweep's batch landed.
-		vs, err := kern.ReachableRows(u, sc, m, plan.Dense)
+	kern.Counters().CountPlan(pg.Plan{
+		Backward: plan.Backward, Dense: plan.Dense, Workers: workers,
+		Frontier: plan.Frontier, Shards: plan.Shards,
+	})
+	pairs, err := pg.ForEach(n, workers, kern.GetScratch, kern.PutScratch, func(u int, sc *Scratch) ([][2]int, error) {
+		// ReachableSweep dispatches on the plan: scalar plans run the classic
+		// queue loop with emission-time rows charging (a MaxRows budget trips
+		// on row MaxRows+1, not after the whole sweep's batch), frontier
+		// plans the level-synchronous engine with the same rows accounting.
+		vs, err := kern.ReachableSweep(u, sc, m, plan)
 		if err != nil {
 			return nil, err
 		}

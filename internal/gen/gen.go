@@ -9,6 +9,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"graphquery/internal/graph"
 )
@@ -267,6 +268,52 @@ func Random(n, m int, labels []string, seed int64) *graph.Graph {
 			graph.NodeID(fmt.Sprintf("v%d", rng.Intn(n))),
 			graph.NodeID(fmt.Sprintf("v%d", rng.Intn(n))),
 			graph.Props{"k": graph.Int(int64(rng.Intn(100)))})
+	}
+	return b.MustBuild()
+}
+
+// ScaleFree returns a seeded preferential-attachment (Barabási–Albert
+// style) multigraph: n nodes added in id order, each attaching up to m
+// edges whose far endpoint is drawn from a degree-weighted multiset (with
+// an occasional uniform pick so isolated regions stay reachable), each
+// edge's direction a fair coin flip so a giant strongly-connected core
+// emerges. Labels are "a" except every 16th edge, which is "b" — a
+// near-co-finite mix, so `(!{b})*` runs the dense-guard regime over almost
+// every edge. This is the million-node family behind the kernel
+// benchmarks, so it carries no properties and avoids fmt in the hot loop.
+func ScaleFree(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	id := func(i int) graph.NodeID { return graph.NodeID("n" + strconv.Itoa(i)) }
+	for i := 0; i < n; i++ {
+		b.AddNode(id(i), "", nil)
+	}
+	targets := make([]int32, 0, 2*n*m) // endpoint multiset weighted by degree
+	e := 0
+	for i := 1; i < n; i++ {
+		deg := m
+		if deg > i {
+			deg = i
+		}
+		for j := 0; j < deg; j++ {
+			var t int
+			if len(targets) == 0 || rng.Intn(8) == 0 {
+				t = rng.Intn(i)
+			} else {
+				t = int(targets[rng.Intn(len(targets))])
+			}
+			lab := "a"
+			if e%16 == 15 {
+				lab = "b"
+			}
+			src, tgt := i, t
+			if rng.Intn(2) == 0 {
+				src, tgt = t, i
+			}
+			b.AddEdge(graph.EdgeID("e"+strconv.Itoa(e)), lab, id(src), id(tgt), nil)
+			e++
+			targets = append(targets, int32(i), int32(t))
+		}
 	}
 	return b.MustBuild()
 }

@@ -41,6 +41,7 @@ func Named(name string) (*graph.Graph, error) {
 		{"figure5-", Figure5},
 		{"clique-", func(n int) *graph.Graph { return Clique(n, "a") }},
 		{"social-", func(n int) *graph.Graph { return Social(n, 1) }},
+		{"scalefree-", func(n int) *graph.Graph { return ScaleFree(n, 4, 42) }},
 		{"cycle-", func(n int) *graph.Graph { return Cycle(n, "a") }},
 		{"path-", func(n int) *graph.Graph { return APath(n, "a") }},
 	} {
@@ -60,7 +61,7 @@ func Named(name string) (*graph.Graph, error) {
 func CatalogNames() []string {
 	return []string{
 		"bank", "bank-property",
-		"figure5-N", "clique-N", "social-N", "cycle-N", "path-N", "grid-WxH",
+		"figure5-N", "clique-N", "social-N", "scalefree-N", "cycle-N", "path-N", "grid-WxH",
 	}
 }
 

@@ -116,6 +116,13 @@ func (g *Graph) Node(i int) Node { return g.nodes[i] }
 // Edge returns the edge with dense index i.
 func (g *Graph) Edge(i int) Edge { return g.edges[i] }
 
+// EdgeSrc returns edge i's source node index without copying the Edge
+// struct — kernel sweep loops read millions of endpoints per query.
+func (g *Graph) EdgeSrc(i int) int { return g.edges[i].Src }
+
+// EdgeTgt returns edge i's target node index, see EdgeSrc.
+func (g *Graph) EdgeTgt(i int) int { return g.edges[i].Tgt }
+
 // NodeIndex resolves an external node ID to its dense index.
 func (g *Graph) NodeIndex(id NodeID) (int, bool) {
 	i, ok := g.nodeByID[id]

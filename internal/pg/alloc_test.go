@@ -1,0 +1,46 @@
+//go:build !race
+
+package pg_test
+
+// Allocation-count regressions are excluded from -race runs: the
+// detector's own instrumentation allocates, so the counts only mean
+// anything in a plain build.
+
+import (
+	"testing"
+
+	"graphquery/internal/gen"
+	"graphquery/internal/pg"
+)
+
+// TestScratchPoolWarmSweepAllocs is the satellite alloc regression: a warm
+// GetScratch → sweep → PutScratch cycle must not allocate, on the scalar
+// path and on the unsharded frontier path (which runs inline, with no
+// goroutines).
+func TestScratchPoolWarmSweepAllocs(t *testing.T) {
+	g := gen.Clique(24, "a")
+	kern, _ := sweepKernels(t, g, "a a*")
+	for name, pl := range map[string]pg.Plan{
+		"scalar":   {},
+		"frontier": {Frontier: true, Shards: 1},
+	} {
+		// Warm the pool and every internal buffer first.
+		for i := 0; i < 3; i++ {
+			sc := kern.GetScratch()
+			if _, err := kern.ReachableSweep(0, sc, nil, pl); err != nil {
+				t.Fatal(err)
+			}
+			kern.PutScratch(sc)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			sc := kern.GetScratch()
+			if _, err := kern.ReachableSweep(0, sc, nil, pl); err != nil {
+				t.Fatal(err)
+			}
+			kern.PutScratch(sc)
+		})
+		if allocs >= 1 {
+			t.Fatalf("%s warm sweep allocates %.1f times per run, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package pg
+
+import "testing"
+
+func TestBitsetSetTestReset(t *testing.T) {
+	b := newBitset(300)
+	for _, i := range []int{0, 1, 63, 64, 127, 299} {
+		if b.test(i) {
+			t.Fatalf("bit %d set before testSet", i)
+		}
+		if !b.testSet(i) {
+			t.Fatalf("testSet(%d) on a clear bit reported already-set", i)
+		}
+		if b.testSet(i) {
+			t.Fatalf("testSet(%d) on a set bit reported newly-set", i)
+		}
+		if !b.test(i) {
+			t.Fatalf("bit %d clear after testSet", i)
+		}
+	}
+	// 0, 1, 63 share word 0 and 64, 127 share word 1; the touched list
+	// must not duplicate either.
+	if len(b.touched) != 3 {
+		t.Fatalf("touched words = %d, want 3 (words 0, 1, 4)", len(b.touched))
+	}
+	b.reset()
+	for _, w := range b.words {
+		if w != 0 {
+			t.Fatalf("nonzero word after reset")
+		}
+	}
+	if len(b.touched) != 0 {
+		t.Fatalf("touched list not cleared by reset")
+	}
+	// The bitset must be fully reusable after reset.
+	if !b.testSet(64) || b.test(63) {
+		t.Fatalf("bitset not reusable after reset")
+	}
+}
+
+func TestTestBitRawWords(t *testing.T) {
+	b := newBitset(200)
+	b.testSet(77)
+	if !testBit(b.words, 77) || testBit(b.words, 78) {
+		t.Fatalf("testBit disagrees with bitset state")
+	}
+}

@@ -19,6 +19,9 @@ type Counters struct {
 	planDense      atomic.Int64 // sweeps scanning full adjacency lists
 	planParallel   atomic.Int64 // queries fanned out over >1 worker
 	planSequential atomic.Int64 // queries evaluated by a single worker
+	planFrontier   atomic.Int64 // queries routed through the frontier engine
+	planSharded    atomic.Int64 // queries run with >1 kernel shard
+	shardSweeps    atomic.Int64 // shard sweep loops run (P per sharded sweep)
 }
 
 // AddStates records n expanded product states (or search configurations).
@@ -69,6 +72,20 @@ func (c *Counters) CountPlan(p Plan) {
 	} else {
 		c.planSequential.Add(1)
 	}
+	if p.Frontier {
+		c.planFrontier.Add(1)
+	}
+	if p.Shards > 1 {
+		c.planSharded.Add(1)
+	}
+}
+
+// addShardSweeps records n shard sweep loops (the kernel adds P per
+// sharded sweep, so the counter reads as total shard-level work units).
+func (c *Counters) addShardSweeps(n int64) {
+	if c != nil && n > 0 {
+		c.shardSweeps.Add(n)
+	}
 }
 
 // CountersSnapshot is a point-in-time copy of the counters, shaped for JSON
@@ -84,6 +101,9 @@ type CountersSnapshot struct {
 	PlanDense      int64 `json:"plan_dense"`
 	PlanParallel   int64 `json:"plan_parallel"`
 	PlanSequential int64 `json:"plan_sequential"`
+	PlanFrontier   int64 `json:"plan_frontier"`
+	PlanSharded    int64 `json:"plan_sharded"`
+	ShardSweeps    int64 `json:"shard_sweeps"`
 }
 
 // Snapshot reads the counters. A nil receiver yields the zero snapshot.
@@ -101,5 +121,8 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		PlanDense:      c.planDense.Load(),
 		PlanParallel:   c.planParallel.Load(),
 		PlanSequential: c.planSequential.Load(),
+		PlanFrontier:   c.planFrontier.Load(),
+		PlanSharded:    c.planSharded.Load(),
+		ShardSweeps:    c.shardSweeps.Load(),
 	}
 }

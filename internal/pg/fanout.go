@@ -24,10 +24,13 @@ func Workers(p int) int {
 // goroutines, one scratch). Otherwise indexes are over-partitioned into
 // 4 chunks per worker so stragglers balance; workers claim chunks off an
 // atomic cursor, each with its own scratch from newScratch (may be nil
-// when S is unused). The first error stops all workers at their next chunk
-// claim and is returned; the pool is always joined before returning, so no
-// goroutine outlives the call even on error. An empty total yields nil.
-func ForEach[T, S any](n, workers int, newScratch func() S, fn func(i int, sc S) ([]T, error)) ([]T, error) {
+// when S is unused). putScratch (may be nil) releases each worker's
+// scratch when it exits — the hook pooled scratches return through, called
+// on error paths too. The first error stops all workers at their next
+// chunk claim and is returned; the pool is always joined before returning,
+// so no goroutine outlives the call even on error. An empty total yields
+// nil.
+func ForEach[T, S any](n, workers int, newScratch func() S, putScratch func(S), fn func(i int, sc S) ([]T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
@@ -35,6 +38,9 @@ func ForEach[T, S any](n, workers int, newScratch func() S, fn func(i int, sc S)
 		var sc S
 		if newScratch != nil {
 			sc = newScratch()
+			if putScratch != nil {
+				defer putScratch(sc)
+			}
 		}
 		var out []T
 		for i := 0; i < n; i++ {
@@ -63,6 +69,9 @@ func ForEach[T, S any](n, workers int, newScratch func() S, fn func(i int, sc S)
 			var sc S
 			if newScratch != nil {
 				sc = newScratch()
+				if putScratch != nil {
+					defer putScratch(sc)
+				}
 			}
 			for {
 				c := int(atomic.AddInt64(&next, 1)) - 1

@@ -2,6 +2,7 @@ package pg
 
 import (
 	"sort"
+	"sync"
 
 	"graphquery/internal/graph"
 )
@@ -30,6 +31,16 @@ type Kernel struct {
 	starts []int
 	accept []bool
 	trans  [][]Trans
+
+	// Frontier-engine transition tables (sweep.go), compiled lazily on the
+	// first frontier-planned sweep: ft[q] are the transitions out of q with
+	// per-label match tables, rt[q] the transitions into q.
+	sweepOnce sync.Once
+	ft, rt    [][]kTrans
+
+	// pool recycles Scratch values across sweeps (GetScratch/PutScratch),
+	// so warm queries stop reallocating O(product-states) buffers.
+	pool sync.Pool
 }
 
 // NewKernel builds a kernel over g with the given semantics; c (may be
@@ -90,6 +101,9 @@ type Scratch struct {
 	// visit runs once per scanned edge and must stay under the inlining
 	// budget.
 	rows *Meter
+	// fr is the frontier engine's shard set (sweep.go), built on the first
+	// frontier-planned sweep with this scratch and reused afterwards.
+	fr *frontierState
 }
 
 // NewScratch allocates buffers sized for k.
@@ -97,6 +111,24 @@ func (k *Kernel) NewScratch() *Scratch {
 	return &Scratch{
 		visited: make([]bool, k.NumProductStates()),
 		emitted: make([]bool, k.g.NumNodes()),
+	}
+}
+
+// GetScratch returns a pooled scratch for k, allocating only when the pool
+// is empty. Pair with PutScratch when the sweep's result slice has been
+// consumed (results alias the scratch).
+func (k *Kernel) GetScratch() *Scratch {
+	if sc, ok := k.pool.Get().(*Scratch); ok {
+		return sc
+	}
+	return k.NewScratch()
+}
+
+// PutScratch returns a scratch obtained from GetScratch to the pool. The
+// scratch must not be used afterwards.
+func (k *Kernel) PutScratch(sc *Scratch) {
+	if sc != nil {
+		k.pool.Put(sc)
 	}
 }
 

@@ -99,12 +99,12 @@ func TestForEachDeterministic(t *testing.T) {
 	fn := func(i int, _ struct{}) ([]int, error) {
 		return []int{2 * i, 2*i + 1}, nil
 	}
-	want, err := pg.ForEach(100, 1, nil, fn)
+	want, err := pg.ForEach(100, 1, nil, nil, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 16} {
-		got, err := pg.ForEach(100, workers, nil, fn)
+		got, err := pg.ForEach(100, workers, nil, nil, fn)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func TestForEachDeterministic(t *testing.T) {
 func TestForEachError(t *testing.T) {
 	boom := fmt.Errorf("boom")
 	for _, workers := range []int{1, 4} {
-		_, err := pg.ForEach(64, workers, nil, func(i int, _ struct{}) ([]int, error) {
+		_, err := pg.ForEach(64, workers, nil, nil, func(i int, _ struct{}) ([]int, error) {
 			if i == 33 {
 				return nil, boom
 			}
@@ -130,7 +130,7 @@ func TestForEachError(t *testing.T) {
 }
 
 func TestForEachEmpty(t *testing.T) {
-	out, err := pg.ForEach(0, 4, nil, func(i int, _ struct{}) ([]int, error) {
+	out, err := pg.ForEach(0, 4, nil, nil, func(i int, _ struct{}) ([]int, error) {
 		return []int{i}, nil
 	})
 	if err != nil || out != nil {

@@ -20,6 +20,14 @@ type Plan struct {
 	// Workers is the per-source fan-out degree; 0 defers to
 	// Options.Parallelism, 1 forces the sequential path.
 	Workers int
+	// Frontier routes sweeps through the level-synchronous frontier engine
+	// (bitset visited sets, direction-optimizing expansion) instead of the
+	// scalar queue loop. Results are identical; only throughput differs.
+	Frontier bool
+	// Shards partitions the product state space by graph node into this
+	// many shard loops with cross-shard exchange at level barriers
+	// (meaningful only with Frontier; 0 and 1 both mean unsharded).
+	Shards int
 	// EstStates is the planner's frontier-mass estimate for the chosen
 	// direction (product states expanded per sweep) — recorded for Explain
 	// output and the plan-selection table in EXPERIMENTS.md.
@@ -27,12 +35,19 @@ type Plan struct {
 }
 
 func (p Plan) String() string {
-	dir, scan := "forward", "indexed"
+	dir, scan, sweep := "forward", "indexed", "scalar"
 	if p.Backward {
 		dir = "backward"
 	}
 	if p.Dense {
 		scan = "dense"
 	}
-	return fmt.Sprintf("dir=%s scan=%s workers=%d est=%.0f", dir, scan, p.Workers, p.EstStates)
+	if p.Frontier {
+		sweep = "frontier"
+	}
+	s := fmt.Sprintf("dir=%s scan=%s sweep=%s workers=%d", dir, scan, sweep, p.Workers)
+	if p.Shards > 1 {
+		s += fmt.Sprintf(" shards=%d", p.Shards)
+	}
+	return s + fmt.Sprintf(" est=%.0f", p.EstStates)
 }

@@ -28,6 +28,21 @@ const (
 	// (across all sources) before the fan-out is worth more than one
 	// worker.
 	parallelThreshold = 1 << 15
+	// frontierThreshold is the minimum estimated total product states
+	// before indexed-scan sweeps route through the level-synchronous
+	// frontier engine: per-label index probes already skip non-matching
+	// edges, so the engine's bitsets and direction switching only beat the
+	// scalar loop's inlined visit on very heavy sweeps.
+	frontierThreshold = 1 << 26
+	// denseFrontierThreshold is the (lower) frontier cut-over for dense
+	// plans: co-finite guards scan full adjacency per state, so the
+	// engine's per-label match tables and bottom-up early exit pay off far
+	// sooner than on indexed scans.
+	denseFrontierThreshold = 1 << 12
+	// shardFrontierThreshold is the minimum estimate before an engine-level
+	// shards knob actually shards the sweep — tiny sweeps would spend more
+	// on level barriers than on expansion.
+	shardFrontierThreshold = 1 << 12
 )
 
 // Planner chooses kernel plans for queries over one graph. It is
@@ -48,7 +63,11 @@ func (p *Planner) Stats() *cardest.Stats { return p.stats }
 // ForNFA plans the all-pairs evaluation of a compiled RPQ automaton.
 // parallelism is the caller's worker cap (0 = one per CPU); the planner
 // may lower it to 1 when the estimated work cannot amortize the pool.
-func (p *Planner) ForNFA(a *automata.NFA, parallelism int) pg.Plan {
+// shards is the engine's kernel-sharding knob: with shards > 1 and enough
+// estimated work, sweeps run sharded on the frontier engine with the
+// per-source fan-out lowered to one worker (the shards are the
+// parallelism, and two pools would oversubscribe the machine).
+func (p *Planner) ForNFA(a *automata.NFA, parallelism, shards int) pg.Plan {
 	n := p.stats.Nodes
 	if n == 0 || a.NumStates == 0 {
 		return pg.Plan{}
@@ -62,6 +81,17 @@ func (p *Planner) ForNFA(a *automata.NFA, parallelism int) pg.Plan {
 	pl.Workers = 1
 	if pl.EstStates >= parallelThreshold {
 		pl.Workers = pg.Workers(parallelism)
+	}
+	cut := float64(frontierThreshold)
+	if pl.Dense {
+		cut = denseFrontierThreshold
+	}
+	if shards > 1 && pl.EstStates >= shardFrontierThreshold {
+		pl.Frontier = true
+		pl.Shards = shards
+		pl.Workers = 1
+	} else if pl.EstStates >= cut {
+		pl.Frontier = true
 	}
 	return pl
 }

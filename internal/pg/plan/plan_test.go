@@ -48,7 +48,7 @@ func compileOn(t *testing.T, g *graph.Graph, q string) (rpq.Expr, *plan.Planner,
 		t.Fatal(err)
 	}
 	p := plan.New(g)
-	return expr, p, p.ForNFA(rpq.Compile(expr), 1)
+	return expr, p, p.ForNFA(rpq.Compile(expr), 1, 0)
 }
 
 func TestPlannerPicksBackwardForSelectiveSuffix(t *testing.T) {
@@ -87,11 +87,11 @@ func TestPlannerParallelismDegree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	small := plan.New(gen.APath(4, "a")).ForNFA(rpq.Compile(expr), 8)
+	small := plan.New(gen.APath(4, "a")).ForNFA(rpq.Compile(expr), 8, 0)
 	if small.Workers != 1 {
 		t.Fatalf("tiny graph should stay sequential, got %s", small)
 	}
-	big := plan.New(gen.Random(2000, 8000, []string{"a"}, 3)).ForNFA(rpq.Compile(expr), 8)
+	big := plan.New(gen.Random(2000, 8000, []string{"a"}, 3)).ForNFA(rpq.Compile(expr), 8, 0)
 	if big.Workers != 8 {
 		t.Fatalf("large estimate should use the full worker cap, got %s", big)
 	}
@@ -116,10 +116,10 @@ func TestPlannedEvaluationMatchesDefault(t *testing.T) {
 			nfa := rpq.Compile(expr)
 			prod := eval.NewProduct(g, nfa)
 			want := eval.PairsProduct(prod, eval.Options{})
-			got := eval.PairsProduct(prod, eval.Options{Plan: p.ForNFA(nfa, 4)})
+			got := eval.PairsProduct(prod, eval.Options{Plan: p.ForNFA(nfa, 4, 0)})
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("graph %d query %q plan %s: %v != default %v",
-					gi, q, p.ForNFA(nfa, 4), got, want)
+					gi, q, p.ForNFA(nfa, 4, 0), got, want)
 			}
 		}
 	}
@@ -130,7 +130,7 @@ func TestPlannerEmptyGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl := plan.New(graph.NewBuilder().MustBuild()).ForNFA(rpq.Compile(expr), 8)
+	pl := plan.New(graph.NewBuilder().MustBuild()).ForNFA(rpq.Compile(expr), 8, 0)
 	if pl != (pg.Plan{}) {
 		t.Fatalf("empty graph should plan the zero plan, got %s", pl)
 	}

@@ -1,0 +1,788 @@
+package pg
+
+import (
+	mathbits "math/bits"
+	"sort"
+	"sync"
+
+	"graphquery/internal/graph"
+)
+
+// This file is the frontier engine: the level-synchronous rebuild of the
+// kernel's reachability sweep around three composable optimizations —
+// word-packed bitset frontiers and visited sets (O(visited) clearing via
+// touched-word lists), direction-optimizing top-down/bottom-up expansion
+// à la Beamer (decided per level from frontier mass vs. unvisited mass,
+// running the reverse transition relation over the reverse CSR the graph
+// already maintains), and in-process sharding (product states partitioned
+// by graph node into P per-shard frontier loops with batched cross-shard
+// exchange at level barriers). Every combination computes the same node
+// set as the scalar loop in kernel.go, and both paths sort that set
+// ascending, so results are byte-identical — the crossval differential
+// suite holds the engines to that.
+//
+// The scalar loop stays untouched: its visit() function must remain under
+// the inlining budget (rows charging was once moved out of it for exactly
+// that reason), so the planner routes heavy sweeps here instead of
+// micro-optimizing there.
+
+const (
+	// frontierAlpha is the direction-switch threshold: a level expands
+	// bottom-up when alpha·|frontier| exceeds the unvisited state count.
+	// Beamer's heuristic compares edge masses; state counts are the cheap
+	// proxy available without degree sums, and the constant errs toward
+	// top-down (bottom-up only pays when most states are about to be
+	// discovered anyway).
+	frontierAlpha = 8
+	// maxFrontierStates bounds the product size the frontier engine
+	// accepts: local ids are int32 and cross-shard exchange ships global
+	// ids as uint32, so anything larger falls back to the scalar loop.
+	maxFrontierStates = 1<<31 - 1
+	// bottomUpCheckMask amortizes cancellation polls over the bottom-up
+	// scan, which examines many states that are never discovered (and so
+	// never tick the meter): one poll every 4096 examined states.
+	bottomUpCheckMask = 1<<12 - 1
+	// negIndexCut: a negated guard admitting at most this many labels runs
+	// on the label-indexed CSR instead of a dense scan. The ok table names
+	// the admitted set at compile time, so a co-finite guard like !{b} over
+	// a two-label graph becomes a plain indexed scan of the one admitted
+	// label — no per-edge label load (a cache miss on large graphs) and no
+	// wasted non-matching edges. Guards admitting many labels keep the
+	// dense scan: per-label CSR lookups would cost more than one pass over
+	// the adjacency list.
+	negIndexCut = 4
+)
+
+// kTrans is one transition compiled for the frontier engine: the guard's
+// per-label match table replaces the symbolic Guard.Matches on dense scans
+// (an array load instead of a string binary search per edge). In the
+// forward table `state` is the successor automaton state; in the reverse
+// table it is the predecessor.
+type kTrans struct {
+	state  int
+	back   bool
+	neg    bool
+	idx    bool   // always scan indexed, even under a dense plan
+	labels []int  // admitted label IDs, for indexed scans
+	ok     []bool // labelID → guard matches, for dense scans
+	// adjs[i] is the compiled neighbor CSR for labels[i] in this table's
+	// scan direction (nil when the graph is too large for int32 ids):
+	// neighbor node ids directly, so the indexed hot loops do no binary
+	// search, no per-edge label load, and no Edge-struct load.
+	adjs []*labelAdj
+}
+
+// labelAdj is one label's adjacency compiled for the sweep engine:
+// to[off[v]:off[v+1]] are v's neighbor nodes through that label (with
+// multiplicity, ascending edge order) — the endpoint already resolved for
+// the direction the table serves.
+type labelAdj struct {
+	off []int32
+	to  []int32
+}
+
+// buildLabelAdj flattens one (label, direction) adjacency. rev=false walks
+// outgoing edges to their targets, rev=true incoming edges to their
+// sources. Returns nil when edge counts do not fit int32 (the engine then
+// falls back to the CSR binary-search path).
+func buildLabelAdj(g *graph.Graph, lid int, rev bool) *labelAdj {
+	n := g.NumNodes()
+	if int64(g.NumEdges()) >= int64(maxFrontierStates) {
+		return nil
+	}
+	la := &labelAdj{off: make([]int32, n+1)}
+	total := 0
+	for v := 0; v < n; v++ {
+		la.off[v] = int32(total)
+		if rev {
+			total += len(g.InWithLabel(v, lid))
+		} else {
+			total += len(g.OutWithLabel(v, lid))
+		}
+	}
+	la.off[n] = int32(total)
+	la.to = make([]int32, total)
+	i := 0
+	for v := 0; v < n; v++ {
+		if rev {
+			for _, ei := range g.InWithLabel(v, lid) {
+				la.to[i] = int32(g.EdgeSrc(ei))
+				i++
+			}
+		} else {
+			for _, ei := range g.OutWithLabel(v, lid) {
+				la.to[i] = int32(g.EdgeTgt(ei))
+				i++
+			}
+		}
+	}
+	return la
+}
+
+// buildSweepTables compiles the forward and reverse transition tables the
+// frontier engine runs on. Called once per kernel, lazily: only sweeps
+// planned onto the frontier engine pay for it.
+func (k *Kernel) buildSweepTables() {
+	nl := k.g.NumLabels()
+	k.ft = make([][]kTrans, k.nq)
+	k.rt = make([][]kTrans, k.nq)
+	// Compiled adjacencies are shared across transitions reading the same
+	// (label, direction); the forward table scans with the transition's
+	// direction, the reverse table against it.
+	adjCache := map[[2]int]*labelAdj{}
+	adjFor := func(labels []int, rev bool) []*labelAdj {
+		adjs := make([]*labelAdj, len(labels))
+		for i, lid := range labels {
+			key := [2]int{lid, 0}
+			if rev {
+				key[1] = 1
+			}
+			la, seen := adjCache[key]
+			if !seen {
+				la = buildLabelAdj(k.g, lid, rev)
+				adjCache[key] = la
+			}
+			adjs[i] = la
+		}
+		return adjs
+	}
+	for q := 0; q < k.nq; q++ {
+		for ti := range k.trans[q] {
+			t := &k.trans[q][ti]
+			ok := make([]bool, nl)
+			for l := 0; l < nl; l++ {
+				ok[l] = t.Guard.Matches(k.g.LabelName(l))
+			}
+			labels := t.LabelIDs
+			if t.Negated {
+				labels = nil
+				for l := 0; l < nl; l++ {
+					if ok[l] {
+						labels = append(labels, l)
+					}
+				}
+			}
+			kt := kTrans{back: t.Back, neg: t.Negated, labels: labels, ok: ok}
+			kt.idx = t.Negated && len(labels) <= negIndexCut
+			kt.state = t.To
+			if kt.idx || !kt.neg {
+				// Wide negated guards only ever scan dense; building their
+				// (possibly co-finite) adjacency tables would be pure waste.
+				kt.adjs = adjFor(labels, t.Back)
+			}
+			k.ft[q] = append(k.ft[q], kt)
+			kt.state = q
+			if kt.idx || !kt.neg {
+				kt.adjs = adjFor(labels, !t.Back)
+			}
+			k.rt[t.To] = append(k.rt[t.To], kt)
+		}
+	}
+}
+
+// Shard is one partition of a sharded sweep: it owns the product states of
+// the graph nodes v with v mod P equal to its index, holding them in
+// shard-local dense bitsets (local node v/P, local product id
+// (v/P)·nq + q). The engine drives all shards level-synchronously through
+// this interface; everything that crosses the boundary is a flat payload —
+// seed ids, per-destination outboxes of global product ids, and frozen
+// frontier bitmaps for bottom-up levels — so a later PR can put a Shard
+// behind RPC without changing the driver.
+type Shard interface {
+	// Begin arms the shard for one sweep under a meter and scan strategy.
+	Begin(mt *Meter, dense bool)
+	// Seed absorbs start states owned by this shard (global product ids).
+	Seed(ids []int)
+	// ExpandTopDown scans the current frontier's outgoing transitions,
+	// visiting local discoveries and queueing remote ones into
+	// per-destination outboxes. Returns adjacency entries examined.
+	ExpandTopDown() (edges int64, err error)
+	// ExpandBottomUp scans this shard's unvisited states for a predecessor
+	// in any shard's current frontier; peers[d] is shard d's frozen
+	// frontier bitmap for the level (read-only until the next Promote, so
+	// the concurrent reads need no locks). Discoveries stop at the first
+	// frontier predecessor found.
+	ExpandBottomUp(peers [][]uint64) (edges int64, err error)
+	// TakeOutbox returns and clears the states this shard discovered for
+	// shard dst. Each (src, dst) pair is taken exactly once per level, by
+	// dst's absorber, so the exchange is race-free without locks.
+	TakeOutbox(dst int) []uint32
+	// AbsorbRemote folds remotely discovered states (global product ids)
+	// into this shard's next frontier, deduplicating against visited.
+	AbsorbRemote(ids []uint32)
+	// NextLen returns the size of the next frontier accumulated so far.
+	NextLen() int
+	// Promote seals the level: the next frontier becomes current (building
+	// the frontier bitmap when the coming level runs bottom-up) and its
+	// size is returned.
+	Promote(buildBits bool) int
+	// FrontierBits returns the current frontier as a bitmap over local
+	// product ids — valid only after a Promote(true).
+	FrontierBits() []uint64
+	// Emitted returns the graph nodes emitted so far (global, unsorted).
+	Emitted() []int
+	// Flush forces pending meter ticks out (the sub-interval tail).
+	Flush() error
+	// Reset clears all per-sweep state, keeping capacity for reuse.
+	Reset()
+}
+
+// localShard is the in-process Shard: direct slices, no copies crossing
+// the boundary.
+type localShard struct {
+	k    *Kernel
+	s, p int // shard index, shard count
+	nloc int // local node count: nodes v with v%p == s
+
+	// Power-of-two shard counts replace the /p and %p on every routed
+	// discovery and every bottom-up edge probe with a shift and a mask —
+	// integer division by a runtime value is the single most expensive
+	// instruction in those loops. pow2 is constant per sweep, so the branch
+	// predicts perfectly.
+	pow2  bool
+	shift uint
+	mask  int
+
+	vis  bitset // visited, over local product ids
+	emit bitset // emitted, over local node ids
+	frb  bitset // current frontier bitmap, rebuilt by Promote(true)
+
+	cur, next []int32    // frontier queues, local product ids
+	out       [][]uint32 // per-destination outboxes, global product ids
+	nodes     []int      // emitted graph nodes, global
+
+	dense bool
+	mt    *Meter
+	pend  int64 // discoveries since the last meter flush
+}
+
+func newLocalShard(k *Kernel, s, p int) *localShard {
+	nloc := (k.g.NumNodes() - s + p - 1) / p
+	sh := &localShard{
+		k: k, s: s, p: p, nloc: nloc,
+		vis:  newBitset(nloc * k.nq),
+		emit: newBitset(nloc),
+		frb:  newBitset(nloc * k.nq),
+		out:  make([][]uint32, p),
+	}
+	if p&(p-1) == 0 {
+		sh.pow2 = true
+		sh.shift = uint(mathbits.TrailingZeros(uint(p)))
+		sh.mask = p - 1
+	}
+	return sh
+}
+
+// owner returns the shard index owning graph node u.
+func (sh *localShard) owner(u int) int {
+	if sh.pow2 {
+		return u & sh.mask
+	}
+	return u % sh.p
+}
+
+// local returns node u's local index within its owning shard.
+func (sh *localShard) local(u int) int {
+	if sh.pow2 {
+		return u >> sh.shift
+	}
+	return u / sh.p
+}
+
+func (sh *localShard) Begin(mt *Meter, dense bool) {
+	sh.mt = mt
+	sh.dense = dense
+	sh.pend = 0
+}
+
+// visitLocal discovers product state (v, q), owned by this shard: mark
+// visited, enqueue for the next level, emit v on first accepting hit.
+func (sh *localShard) visitLocal(v, q int) {
+	lv := sh.local(v)
+	li := lv*sh.k.nq + q
+	if !sh.vis.testSet(li) {
+		return
+	}
+	sh.next = append(sh.next, int32(li))
+	sh.pend++
+	if sh.k.accept[q] && sh.emit.testSet(lv) {
+		sh.nodes = append(sh.nodes, v)
+	}
+}
+
+// route sends a discovered state to its owner: local states are visited in
+// place, remote ones batched into the owner's outbox (deduplicated there,
+// against the owner's visited set, at the level barrier).
+func (sh *localShard) route(v, q int) {
+	if d := sh.owner(v); d != sh.s {
+		sh.out[d] = append(sh.out[d], uint32(v*sh.k.nq+q))
+		return
+	}
+	sh.visitLocal(v, q)
+}
+
+func (sh *localShard) Seed(ids []int) {
+	for _, id := range ids {
+		sh.visitLocal(id/sh.k.nq, id%sh.k.nq)
+	}
+}
+
+func (sh *localShard) ExpandTopDown() (int64, error) {
+	k, g := sh.k, sh.k.g
+	nq, p, s := k.nq, sh.p, sh.s
+	var edges int64
+	for _, li := range sh.cur {
+		if sh.pend >= CheckInterval {
+			if err := sh.Flush(); err != nil {
+				return edges, err
+			}
+		}
+		v := int(li)/nq*p + s
+		q := int(li) % nq
+		ft := k.ft[q]
+		for ti := range ft {
+			t := &ft[ti]
+			if !t.idx && (t.neg || sh.dense) {
+				adj := g.Out(v)
+				if t.back {
+					adj = g.In(v)
+				}
+				edges += int64(len(adj))
+				for _, ei := range adj {
+					if !t.ok[g.EdgeLabelID(ei)] {
+						continue
+					}
+					if t.back {
+						sh.route(g.EdgeSrc(ei), t.state)
+					} else {
+						sh.route(g.EdgeTgt(ei), t.state)
+					}
+				}
+				continue
+			}
+			for li, lid := range t.labels {
+				if la := t.adjs[li]; la != nil {
+					tos := la.to[la.off[v]:la.off[v+1]]
+					edges += int64(len(tos))
+					for _, w := range tos {
+						sh.route(int(w), t.state)
+					}
+					continue
+				}
+				adj := g.OutWithLabel(v, lid)
+				if t.back {
+					adj = g.InWithLabel(v, lid)
+				}
+				edges += int64(len(adj))
+				for _, ei := range adj {
+					if t.back {
+						sh.route(g.EdgeSrc(ei), t.state)
+					} else {
+						sh.route(g.EdgeTgt(ei), t.state)
+					}
+				}
+			}
+		}
+	}
+	return edges, nil
+}
+
+// ExpandBottomUp iterates this shard's unvisited states word by word
+// (skipping all-visited words wholesale) and, per state, scans its
+// predecessor transitions for an edge from a state in the frozen level
+// frontier — stopping at the first hit, which is the asymmetry that makes
+// bottom-up cheap on the dense levels where nearly everything is about to
+// be discovered.
+func (sh *localShard) ExpandBottomUp(peers [][]uint64) (int64, error) {
+	k, g := sh.k, sh.k.g
+	nq, p, s := k.nq, sh.p, sh.s
+	maxID := sh.nloc * nq
+	var edges int64
+	var examined int
+	words := sh.vis.words
+	for wi := range words {
+		base := wi << 6
+		if base >= maxID {
+			break
+		}
+		rem := ^words[wi]
+		if rem == 0 {
+			continue
+		}
+		for rem != 0 {
+			b := mathbits.TrailingZeros64(rem)
+			rem &= rem - 1
+			li := base + b
+			if li >= maxID {
+				break
+			}
+			// Re-check against the live word: a state discovered earlier in
+			// this level (the snapshot `rem` predates it) stays discovered.
+			if words[wi]&(uint64(1)<<uint(b)) != 0 {
+				continue
+			}
+			if examined++; examined&bottomUpCheckMask == 0 {
+				if err := sh.mt.Check(); err != nil {
+					return edges, err
+				}
+			}
+			q := li % nq
+			rt := k.rt[q]
+			if len(rt) == 0 {
+				continue
+			}
+			v := li/nq*p + s
+			found := false
+			for ti := range rt {
+				t := &rt[ti]
+				if !t.idx && (t.neg || sh.dense) {
+					adj := g.In(v)
+					if t.back {
+						adj = g.Out(v)
+					}
+					for _, ei := range adj {
+						edges++
+						if !t.ok[g.EdgeLabelID(ei)] {
+							continue
+						}
+						u := g.EdgeSrc(ei)
+						if t.back {
+							u = g.EdgeTgt(ei)
+						}
+						if testBit(peers[sh.owner(u)], sh.local(u)*nq+t.state) {
+							found = true
+							break
+						}
+					}
+				} else {
+					for li, lid := range t.labels {
+						if la := t.adjs[li]; la != nil {
+							for _, u32 := range la.to[la.off[v]:la.off[v+1]] {
+								edges++
+								u := int(u32)
+								if testBit(peers[sh.owner(u)], sh.local(u)*nq+t.state) {
+									found = true
+									break
+								}
+							}
+						} else {
+							adj := g.InWithLabel(v, lid)
+							if t.back {
+								adj = g.OutWithLabel(v, lid)
+							}
+							for _, ei := range adj {
+								edges++
+								u := g.EdgeSrc(ei)
+								if t.back {
+									u = g.EdgeTgt(ei)
+								}
+								if testBit(peers[sh.owner(u)], sh.local(u)*nq+t.state) {
+									found = true
+									break
+								}
+							}
+						}
+						if found {
+							break
+						}
+					}
+				}
+				if found {
+					break
+				}
+			}
+			if found {
+				sh.visitLocal(v, q)
+				if sh.pend >= CheckInterval {
+					if err := sh.Flush(); err != nil {
+						return edges, err
+					}
+				}
+			}
+		}
+	}
+	return edges, nil
+}
+
+func (sh *localShard) TakeOutbox(dst int) []uint32 {
+	ids := sh.out[dst]
+	sh.out[dst] = sh.out[dst][:0]
+	return ids
+}
+
+func (sh *localShard) AbsorbRemote(ids []uint32) {
+	nq := sh.k.nq
+	for _, id := range ids {
+		sh.visitLocal(int(id)/nq, int(id)%nq)
+	}
+}
+
+func (sh *localShard) NextLen() int { return len(sh.next) }
+
+func (sh *localShard) Promote(buildBits bool) int {
+	sh.cur, sh.next = sh.next, sh.cur[:0]
+	if buildBits {
+		sh.frb.reset()
+		for _, li := range sh.cur {
+			sh.frb.testSet(int(li))
+		}
+	}
+	return len(sh.cur)
+}
+
+func (sh *localShard) FrontierBits() []uint64 { return sh.frb.words }
+
+func (sh *localShard) Emitted() []int { return sh.nodes }
+
+func (sh *localShard) Flush() error {
+	n := sh.pend
+	if n == 0 {
+		return nil
+	}
+	sh.pend = 0
+	return sh.mt.Tick(n)
+}
+
+func (sh *localShard) Reset() {
+	sh.vis.reset()
+	sh.emit.reset()
+	sh.frb.reset()
+	sh.cur = sh.cur[:0]
+	sh.next = sh.next[:0]
+	sh.nodes = sh.nodes[:0]
+	for d := range sh.out {
+		sh.out[d] = sh.out[d][:0]
+	}
+	sh.mt = nil
+}
+
+// frontierState is the per-scratch instance of the engine: the shard set
+// for one shard count, reused sweep to sweep (warm sweeps allocate
+// nothing).
+type frontierState struct {
+	p      int
+	shards []Shard
+	peers  [][]uint64
+	seeds  []int
+}
+
+// frontierFor returns the scratch's shard set for k with p shards,
+// building it on first use or when the shard count changes.
+func (sc *Scratch) frontierFor(k *Kernel, p int) *frontierState {
+	if sc.fr != nil && sc.fr.p == p {
+		return sc.fr
+	}
+	fr := &frontierState{p: p, shards: make([]Shard, p), peers: make([][]uint64, p)}
+	for s := 0; s < p; s++ {
+		fr.shards[s] = newLocalShard(k, s, p)
+	}
+	sc.fr = fr
+	return fr
+}
+
+// ReachableSweep is Reachable under a full kernel plan: scalar plans run
+// the classic queue loop (byte-identical to ReachableRows), frontier plans
+// run the level-synchronous engine — direction-optimizing and, with
+// pl.Shards > 1, sharded. Rows are charged on mt at emission, as in
+// ReachableRows. Products too large for the engine's 32-bit local ids fall
+// back to the scalar loop.
+func (k *Kernel) ReachableSweep(src int, sc *Scratch, mt *Meter, pl Plan) ([]int, error) {
+	if !pl.Frontier || k.NumProductStates() > maxFrontierStates {
+		return k.ReachableRows(src, sc, mt, pl.Dense)
+	}
+	sc.rows = mt
+	defer func() { sc.rows = nil }()
+	return k.reachableFrontier(src, sc, mt, pl)
+}
+
+// reachableFrontier is the frontier engine's driver: seed, then alternate
+// expand / exchange / promote level barriers until the frontier drains.
+// Determinism: each shard's expansion order is fixed by its frontier queue
+// order, outboxes are absorbed in source-shard order, and the bottom-up
+// scan runs in local-id order — so queues, emission order, and counter
+// values are independent of goroutine scheduling; the final sort makes the
+// result byte-identical to the scalar loop in any case.
+func (k *Kernel) reachableFrontier(src int, sc *Scratch, mt *Meter, pl Plan) ([]int, error) {
+	k.sweepOnce.Do(k.buildSweepTables)
+	p := pl.Shards
+	if p < 1 {
+		p = 1
+	}
+	if n := k.g.NumNodes(); p > n && n > 0 {
+		p = n // empty shards would just idle at every barrier
+	}
+	fr := sc.frontierFor(k, p)
+	shards := fr.shards
+	for _, sh := range shards {
+		sh.Begin(mt, pl.Dense)
+	}
+	if p > 1 {
+		k.c.addShardSweeps(int64(p))
+	}
+
+	fr.seeds = fr.seeds[:0]
+	for _, q := range k.starts {
+		fr.seeds = append(fr.seeds, src*k.nq+q)
+	}
+	if len(fr.seeds) > 0 {
+		shards[src%p].Seed(fr.seeds)
+	}
+
+	total := int64(k.NumProductStates())
+	visited := int64(0)
+	for _, sh := range shards {
+		visited += int64(sh.NextLen())
+	}
+	frontier := 0
+	for _, sh := range shards {
+		frontier += sh.Promote(false)
+	}
+	peak := int64(frontier)
+	charged := 0
+	bottomUp := false
+	var edges, edgesReported int64
+	var stopErr error
+	for frontier > 0 {
+		if stopErr = k.runLevel(shards, fr, bottomUp, &edges); stopErr != nil {
+			break
+		}
+		if !bottomUp && p > 1 {
+			exchange(shards)
+		}
+		discovered := 0
+		for _, sh := range shards {
+			discovered += sh.NextLen()
+		}
+		visited += int64(discovered)
+		// Direction for the coming level, decided at the barrier so every
+		// shard agrees (and frontier bitmaps are built only when needed).
+		bottomUp = int64(discovered)*frontierAlpha > total-visited
+		frontier = 0
+		for _, sh := range shards {
+			frontier += sh.Promote(bottomUp)
+		}
+		// Peak frontier is the cross-shard level sum: the level's frontier
+		// is one logical queue partitioned P ways, so per-shard maxima
+		// would under-report it (the satellite fix this PR pins by test).
+		if int64(frontier) > peak {
+			peak = int64(frontier)
+		}
+		if sc.rows != nil {
+			if charged, stopErr = chargeShardRows(sc.rows, shards, charged); stopErr != nil {
+				break
+			}
+		}
+		if mt != nil {
+			mt.SweepProgress(int64(frontier), edges-edgesReported)
+			edgesReported = edges
+		}
+	}
+	if stopErr == nil && sc.rows != nil {
+		_, stopErr = chargeShardRows(sc.rows, shards, charged) // seed emissions of a sweep with no levels
+	}
+	for _, sh := range shards {
+		if err := sh.Flush(); err != nil && stopErr == nil {
+			stopErr = err
+		}
+	}
+	if mt != nil {
+		mt.SweepProgress(0, edges-edgesReported)
+	}
+	k.c.AddStates(visited)
+	k.c.AddEdges(edges)
+	k.c.ObserveFrontier(peak)
+	sc.nodes = sc.nodes[:0]
+	for _, sh := range shards {
+		sc.nodes = append(sc.nodes, sh.Emitted()...)
+	}
+	for _, sh := range shards {
+		sh.Reset()
+	}
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	sort.Ints(sc.nodes)
+	return sc.nodes, nil
+}
+
+// runLevel expands every shard for one level — inline when unsharded, one
+// goroutine per shard otherwise (the level barrier is the WaitGroup).
+func (k *Kernel) runLevel(shards []Shard, fr *frontierState, bottomUp bool, edges *int64) error {
+	if bottomUp {
+		for i, sh := range shards {
+			fr.peers[i] = sh.FrontierBits()
+		}
+	}
+	// The unsharded path stays goroutine- and closure-free: it is the pure
+	// direction-optimizing sweep, and the warm path must not allocate.
+	if len(shards) == 1 {
+		var ed int64
+		var err error
+		if bottomUp {
+			ed, err = shards[0].ExpandBottomUp(fr.peers)
+		} else {
+			ed, err = shards[0].ExpandTopDown()
+		}
+		*edges += ed
+		return err
+	}
+	edgeParts := make([]int64, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			if bottomUp {
+				edgeParts[i], errs[i] = sh.ExpandBottomUp(fr.peers)
+			} else {
+				edgeParts[i], errs[i] = sh.ExpandTopDown()
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	for i := range shards {
+		*edges += edgeParts[i]
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}
+
+// exchange moves every outbox to its owner at the level barrier: absorber
+// d drains column d of every shard's outbox matrix, in source order, so
+// the next frontier's queue order is deterministic. Each (src, dst) cell
+// is written in the expand phase and read by exactly one absorber after
+// the barrier, so the concurrent absorbers share nothing.
+func exchange(shards []Shard) {
+	var wg sync.WaitGroup
+	for d := range shards {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for s := range shards {
+				if ids := shards[s].TakeOutbox(d); len(ids) > 0 {
+					shards[d].AbsorbRemote(ids)
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+}
+
+// chargeShardRows charges one row per node emitted since the last call
+// across all shards, stopping at the first budget error.
+func chargeShardRows(rows *Meter, shards []Shard, charged int) (int, error) {
+	emitted := 0
+	for _, sh := range shards {
+		emitted += len(sh.Emitted())
+	}
+	for charged < emitted {
+		if err := rows.AddRows(1); err != nil {
+			return charged, err
+		}
+		charged++
+	}
+	return charged, nil
+}

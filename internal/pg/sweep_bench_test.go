@@ -1,0 +1,108 @@
+package pg_test
+
+// Benchmarks for the frontier sweep engine on scale-free graphs in the
+// dense-guard regime: (!{b})* matches ~15/16 of all edges, so every plan
+// scans dense and the comparison isolates what the frontier engine buys —
+// compiled per-label ok tables, bitset visited sets, and the
+// direction-optimizing switch to bottom-up probing. The graph is built
+// once per process and shared across sub-benchmarks; parameters match the
+// gen catalog's scalefree-N entry (m=4, seed 42) so serving-layer numbers
+// line up with these.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+	"graphquery/internal/pg"
+)
+
+var scaleFreeCache sync.Map // n -> *graph.Graph
+
+func scaleFreeGraph(n int) *graph.Graph {
+	if g, ok := scaleFreeCache.Load(n); ok {
+		return g.(*graph.Graph)
+	}
+	g := gen.ScaleFree(n, 4, 42)
+	scaleFreeCache.Store(n, g)
+	return g
+}
+
+func BenchmarkKernelSweep(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		g := scaleFreeGraph(n)
+		kern, _ := sweepKernels(b, g, "(!{b})*")
+		// Fixed sources spanning the degree distribution: early nodes are
+		// the preferential-attachment hubs, late nodes are the periphery.
+		srcs := []int{0, 1, n / 2, n - 1}
+		run := func(name string, pl pg.Plan, scalar bool) {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				sc := kern.NewScratch()
+				want := -1
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					total := 0
+					for _, u := range srcs {
+						var (
+							vs  []int
+							err error
+						)
+						if scalar {
+							vs, err = kern.ReachableRows(u, sc, nil, true)
+						} else {
+							vs, err = kern.ReachableSweep(u, sc, nil, pl)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						total += len(vs)
+					}
+					if want == -1 {
+						want = total
+					} else if total != want {
+						b.Fatalf("result drifted across iterations: %d != %d", total, want)
+					}
+				}
+			})
+		}
+		run("scalar-dense", pg.Plan{}, true)
+		run("frontier", pg.Plan{Frontier: true, Dense: true}, false)
+		run("sharded-2", pg.Plan{Frontier: true, Dense: true, Shards: 2}, false)
+		run("sharded-8", pg.Plan{Frontier: true, Dense: true, Shards: 8}, false)
+	}
+}
+
+// BenchmarkKernelSweepClique is the EXPERIMENTS.md clique-300 row: the
+// all-pairs a* a* a* sweep whose scalar runtime motivated the serving
+// layer's kill/timeout machinery. The clique converges in two frontier
+// levels, so the direction-optimizing engine retires almost the whole
+// product bottom-up.
+func BenchmarkKernelSweepClique(b *testing.B) {
+	const k = 300
+	g := gen.Clique(k, "a")
+	kern, _ := sweepKernels(b, g, "a* a* a*")
+	run := func(name string, pl pg.Plan, scalar bool) {
+		b.Run(fmt.Sprintf("%s/k=%d", name, k), func(b *testing.B) {
+			sc := kern.NewScratch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for u := 0; u < k; u++ {
+					var err error
+					if scalar {
+						_, err = kern.ReachableRows(u, sc, nil, true)
+					} else {
+						_, err = kern.ReachableSweep(u, sc, nil, pl)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+	run("scalar-dense", pg.Plan{}, true)
+	run("frontier", pg.Plan{Frontier: true, Dense: true}, false)
+	run("sharded-2", pg.Plan{Frontier: true, Dense: true, Shards: 2}, false)
+}

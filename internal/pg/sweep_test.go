@@ -1,0 +1,252 @@
+package pg_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+	"graphquery/internal/pg"
+	"graphquery/internal/rpq"
+)
+
+// sweepKernels compiles q forward and backward over g.
+func sweepKernels(t testing.TB, g *graph.Graph, q string) (fwd, bwd *pg.Kernel) {
+	t.Helper()
+	expr, err := rpq.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa := rpq.Compile(expr)
+	return pg.NewKernel(g, pg.FromNFA(g, nfa), nil), pg.NewKernel(g, pg.FromNFABackward(g, nfa), nil)
+}
+
+// TestReachableSweepMatchesScalar is the frontier engine's oracle: every
+// plan shape — frontier × {1, 2, 8} shards × indexed/dense scans, forward
+// and backward automata — must produce byte-identical per-source results
+// to the scalar queue loop, on graph families covering the regimes the
+// direction switch distinguishes (dense cliques, sparse grids, scale-free
+// hubs, random multigraphs).
+func TestReachableSweepMatchesScalar(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"random":    gen.Random(60, 300, []string{"a", "b"}, 5),
+		"clique":    gen.Clique(12, "a"),
+		"grid":      gen.Grid(7, 7, "a"),
+		"scalefree": gen.ScaleFree(400, 3, 7),
+	}
+	queries := []string{"a*", "a b* a", "(!{b})*", "(a | b)+"}
+	for gname, g := range graphs {
+		for _, q := range queries {
+			fwd, bwd := sweepKernels(t, g, q)
+			for kname, kern := range map[string]*pg.Kernel{"fwd": fwd, "bwd": bwd} {
+				for _, dense := range []bool{false, true} {
+					sc := kern.NewScratch()
+					want := make([][]int, g.NumNodes())
+					for u := 0; u < g.NumNodes(); u++ {
+						vs, err := kern.ReachableRows(u, sc, nil, dense)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want[u] = append([]int(nil), vs...)
+					}
+					for _, shards := range []int{1, 2, 8} {
+						pl := pg.Plan{Frontier: true, Dense: dense, Shards: shards}
+						fsc := kern.NewScratch()
+						for u := 0; u < g.NumNodes(); u++ {
+							got, err := kern.ReachableSweep(u, fsc, nil, pl)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(got, want[u]) {
+								if len(got) != 0 || len(want[u]) != 0 {
+									t.Fatalf("%s %s %s dense=%v shards=%d src=%d:\nfrontier %v\nscalar   %v",
+										gname, q, kname, dense, shards, u, got, want[u])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReachableSweepScalarFallback: a non-frontier plan through
+// ReachableSweep is exactly ReachableRows.
+func TestReachableSweepScalarFallback(t *testing.T) {
+	g := gen.Clique(6, "a")
+	kern, _ := sweepKernels(t, g, "a a*")
+	sc := kern.NewScratch()
+	got, err := kern.ReachableSweep(0, sc, nil, pg.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := kern.ReachableRows(0, kern.NewScratch(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scalar fallback: %v != %v", got, want)
+	}
+}
+
+// TestFrontierPeakIsCrossShardSum pins the satellite fix: the peak
+// frontier a sharded sweep reports is the cross-shard level sum — the
+// logical frontier is one queue partitioned P ways — not the largest
+// single shard's slice. From node 0 of a 4-clique under a*, level 1 holds
+// exactly the three other nodes, so every shard count must report 3.
+func TestFrontierPeakIsCrossShardSum(t *testing.T) {
+	g := gen.Clique(4, "a")
+	expr, err := rpq.Parse("a*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa := rpq.Compile(expr)
+	for _, shards := range []int{1, 2, 4} {
+		c := &pg.Counters{}
+		kern := pg.NewKernel(g, pg.FromNFA(g, nfa), c)
+		sc := kern.NewScratch()
+		if _, err := kern.ReachableSweep(0, sc, nil, pg.Plan{Frontier: true, Shards: shards}); err != nil {
+			t.Fatal(err)
+		}
+		if peak := c.Snapshot().FrontierPeak; peak != 3 {
+			t.Fatalf("shards=%d: frontier peak %d, want 3 (cross-shard level sum)", shards, peak)
+		}
+	}
+}
+
+// TestFrontierShardCounters: sharded sweeps count one sharded-plan unit of
+// P shard loops; unsharded frontier sweeps count none.
+func TestFrontierShardCounters(t *testing.T) {
+	g := gen.Clique(5, "a")
+	expr, err := rpq.Parse("a*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa := rpq.Compile(expr)
+	c := &pg.Counters{}
+	kern := pg.NewKernel(g, pg.FromNFA(g, nfa), c)
+	sc := kern.NewScratch()
+	if _, err := kern.ReachableSweep(0, sc, nil, pg.Plan{Frontier: true, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().ShardSweeps; got != 0 {
+		t.Fatalf("unsharded sweep recorded %d shard sweeps", got)
+	}
+	if _, err := kern.ReachableSweep(0, sc, nil, pg.Plan{Frontier: true, Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().ShardSweeps; got != 3 {
+		t.Fatalf("sharded sweep recorded %d shard sweeps, want 3", got)
+	}
+}
+
+// TestFrontierBudgetsAndCancel: budgets and cooperative cancellation keep
+// working mid-sweep on the frontier path, sharded or not.
+func TestFrontierBudgetsAndCancel(t *testing.T) {
+	g := gen.Clique(40, "a")
+	kern, _ := sweepKernels(t, g, "a* a*")
+	for _, shards := range []int{1, 4} {
+		pl := pg.Plan{Frontier: true, Shards: shards}
+		sc := kern.NewScratch()
+
+		m := pg.NewMeter(context.Background(), pg.Budget{MaxStates: 10})
+		if _, err := kern.ReachableSweep(0, sc, m, pl); !errors.Is(err, pg.ErrBudgetExceeded) {
+			t.Fatalf("shards=%d states budget: got %v, want ErrBudgetExceeded", shards, err)
+		}
+
+		m = pg.NewMeter(context.Background(), pg.Budget{MaxRows: 5})
+		if _, err := kern.ReachableSweep(0, sc, m, pl); !errors.Is(err, pg.ErrBudgetExceeded) {
+			t.Fatalf("shards=%d rows budget: got %v, want ErrBudgetExceeded", shards, err)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		m = pg.NewMeter(ctx, pg.Budget{})
+		if _, err := kern.ReachableSweep(0, sc, m, pl); !errors.Is(err, pg.ErrCanceled) {
+			t.Fatalf("shards=%d cancel: got %v, want ErrCanceled", shards, err)
+		}
+
+		// The scratch must be reusable after every error path.
+		got, err := kern.ReachableSweep(0, sc, nil, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := kern.ReachableRows(0, kern.NewScratch(), nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: scratch poisoned by error paths: %v != %v", shards, got, want)
+		}
+	}
+}
+
+// TestFrontierScratchSurvivesShardChange: one scratch driven at different
+// shard counts rebuilds its shard set and stays correct.
+func TestFrontierScratchSurvivesShardChange(t *testing.T) {
+	g := gen.Random(50, 250, []string{"a", "b"}, 9)
+	kern, _ := sweepKernels(t, g, "(a | b)*")
+	sc := kern.NewScratch()
+	want, err := kern.ReachableRows(3, kern.NewScratch(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append([]int(nil), want...)
+	for _, shards := range []int{1, 4, 2, 8, 1} {
+		got, err := kern.ReachableSweep(3, sc, nil, pg.Plan{Frontier: true, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d after resize: %v != %v", shards, got, want)
+		}
+	}
+}
+
+// TestFrontierShardsExceedNodes: more shards than graph nodes must clamp,
+// not break (every node still owned by exactly one shard).
+func TestFrontierShardsExceedNodes(t *testing.T) {
+	g := gen.APath(3, "a")
+	kern, _ := sweepKernels(t, g, "a*")
+	sc := kern.NewScratch()
+	got, err := kern.ReachableSweep(0, sc, nil, pg.Plan{Frontier: true, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := kern.ReachableRows(0, kern.NewScratch(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clamped shards: %v != %v", got, want)
+	}
+}
+
+// TestFrontierRowsBudgetExact: the frontier path charges rows at emission
+// (per level), so a MaxRows budget trips with the meter reading exactly
+// MaxRows+1 — the same exactness contract the scalar path keeps.
+func TestFrontierRowsBudgetExact(t *testing.T) {
+	g := gen.Clique(30, "a")
+	kern, _ := sweepKernels(t, g, "a*")
+	m := pg.NewMeter(context.Background(), pg.Budget{MaxRows: 7})
+	sc := kern.NewScratch()
+	_, err := kern.ReachableSweep(0, sc, m, pg.Plan{Frontier: true})
+	if !errors.Is(err, pg.ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	if rows := m.Rows(); rows != 8 {
+		t.Fatalf("meter read %d rows at trip, want exactly MaxRows+1 = 8", rows)
+	}
+}
+
+func ExamplePlan_String() {
+	fmt.Println(pg.Plan{Frontier: true, Shards: 4, Workers: 1, EstStates: 1e6})
+	fmt.Println(pg.Plan{Dense: true, Workers: 2})
+	// Output:
+	// dir=forward scan=indexed sweep=frontier workers=1 shards=4 est=1000000
+	// dir=forward scan=dense sweep=scalar workers=2 est=0
+}

@@ -100,4 +100,10 @@ var graphFamilies = []struct {
 		func(g GraphStats) int64 { return g.Runtime.PlanParallel }},
 	{"gq_runtime_plan_sequential_total", "Kernel sweeps run sequentially.", "counter",
 		func(g GraphStats) int64 { return g.Runtime.PlanSequential }},
+	{"gq_runtime_plan_frontier_total", "Queries routed through the frontier engine.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.PlanFrontier }},
+	{"gq_runtime_plan_sharded_total", "Queries run with more than one kernel shard.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.PlanSharded }},
+	{"gq_runtime_shard_sweeps_total", "Shard sweep loops run by the kernel.", "counter",
+		func(g GraphStats) int64 { return g.Runtime.ShardSweeps }},
 }

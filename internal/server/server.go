@@ -49,9 +49,9 @@ type Config struct {
 	// DefaultBudget is the per-query resource budget; requests may
 	// override it field-by-field. Zero fields are unlimited.
 	DefaultBudget eval.Budget
-	// MaxLen / Limit / Parallelism seed the per-graph engines
-	// (0: engine defaults).
-	MaxLen, Limit, Parallelism int
+	// MaxLen / Limit / Parallelism / Shards seed the per-graph engines
+	// (0: engine defaults; Shards 0 or 1 keeps kernel sweeps unsharded).
+	MaxLen, Limit, Parallelism, Shards int
 	// SlowQuery is the slow-query log threshold: every admitted query
 	// whose wall-clock reaches it emits exactly one structured WARN record
 	// (query text, graph, plan line, span timings, budget consumption,
@@ -152,6 +152,7 @@ func (s *Server) Register(name string, g *graph.Graph) *core.Engine {
 	}
 	e.Limit = s.cfg.Limit
 	e.Parallelism = s.cfg.Parallelism
+	e.Shards = s.cfg.Shards
 	e.Budget = s.cfg.DefaultBudget
 	s.mu.Lock()
 	s.engines[name] = e

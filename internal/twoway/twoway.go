@@ -394,7 +394,7 @@ func PairsMeter(g *graph.Graph, e Expr, m *eval.Meter) ([][2]int, error) {
 // merge, so output is identical at any parallelism) and runtime counters.
 func PairsMeterOpt(g *graph.Graph, e Expr, m *eval.Meter, opts Options) ([][2]int, error) {
 	kern := Kernel(g, e, opts.Counters)
-	return pg.ForEach(g.NumNodes(), pg.Workers(opts.Parallelism), kern.NewScratch,
+	return pg.ForEach(g.NumNodes(), pg.Workers(opts.Parallelism), kern.GetScratch, kern.PutScratch,
 		func(u int, sc *pg.Scratch) ([][2]int, error) {
 			// Emission-time rows accounting: the budget trips on row
 			// MaxRows+1, not after the sweep's whole batch.

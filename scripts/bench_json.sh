@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Emit BENCH_kernel.json: a machine-readable snapshot of the kernel
+# benchmarks (BenchmarkKernelScan, BenchmarkKernelSweep — including the
+# 1M-node scale-free dense-guard cases — and the root E15 suite), so
+# pre/post comparisons across PRs diff a file instead of scraping logs.
+# BENCHTIME defaults to 1x: enough for the coarse regressions the file
+# guards (the sweep cases run seconds per iteration); raise it for stable
+# micro-numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_kernel.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+"$GO" test -run '^$' -bench 'BenchmarkKernel' -benchtime "$BENCHTIME" ./internal/pg/ | tee "$TMP"
+"$GO" test -run '^$' -bench 'BenchmarkE15_UnifiedKernel' -benchtime "$BENCHTIME" . | tee -a "$TMP"
+
+{
+  echo '{'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$("$GO" version)"
+  printf '  "benchtime": "%s",\n' "$BENCHTIME"
+  echo '  "benchmarks": ['
+  awk '/^Benchmark/ {
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", sep, $1, $2, $3
+    sep = ",\n"
+  } END { print "" }' "$TMP"
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+echo "wrote $OUT"

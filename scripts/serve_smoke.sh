@@ -33,9 +33,12 @@ $GO build -race -o "$workdir/gqserverd" ./cmd/gqserverd
 # -slow-query 1ns makes every query an over-threshold query, so the log
 # must carry exactly one structured record per admitted query; -query-log
 # must carry one JSONL record per admitted query regardless of threshold.
+# -shards 2 routes heavy sweeps onto the sharded frontier engine, so the
+# kill/cancel flow below exercises cross-shard cancellation and the shard
+# counters must surface in /metrics and /v1/statz.
 querylog="$workdir/query.jsonl"
-"$workdir/gqserverd" -addr 127.0.0.1:0 -graphs bank,figure5-12,clique-200,clique-300 \
-  -max-concurrent 4 -max-queue 4 -default-timeout 10s -parallelism 1 \
+"$workdir/gqserverd" -addr 127.0.0.1:0 -graphs bank,figure5-12,clique-200,clique-300,grid-50x50 \
+  -max-concurrent 4 -max-queue 4 -default-timeout 10s -parallelism 1 -shards 2 \
   -slow-query 1ns -query-log "$querylog" -debug-addr 127.0.0.1:0 \
   >"$logfile" 2>&1 &
 pid=$!
@@ -105,11 +108,13 @@ echo "serve-smoke: ok: slow-query log ($slow_count records)"
 # Live introspection: a long-running query must be visible in /v1/queries
 # with nonzero swept states, killable through its cancel endpoint, and
 # reported with the distinct "killed" outcome everywhere — the query's own
-# reply, /v1/queries/recent, and the query event log.
+# reply, /v1/queries/recent, and the query event log. The grid's all-pairs
+# a* plans onto the sharded frontier engine under -shards 2 (large product,
+# long diameter), so the kill lands mid-sweep across shard goroutines.
 kill_out="$workdir/killed.json"
 kill_hdr="$workdir/killed.hdr"
 curl -sS -D "$kill_hdr" "$base/v1/query" \
-  -d '{"graph":"clique-300","query":"a* a* a*","timeout_ms":30000}' >"$kill_out" &
+  -d '{"graph":"grid-50x50","query":"a*","timeout_ms":30000}' >"$kill_out" &
 kill_curl=$!
 qid=""
 states=""
@@ -133,6 +138,22 @@ expect kill-unknown '"code":"unknown_query"' \
   "$(curl -sS -X POST "$base/v1/queries/999999/cancel")"
 grep -q '"outcome":"killed"' "$querylog" \
   || fail "query event log has no killed record"
+
+# The killed query ran on the sharded frontier engine, so the shard
+# counters must be nonzero in /metrics and present in /v1/statz.
+metrics=$(curl -fsS "$base/metrics")
+expect metrics-plan-sharded 'gq_runtime_plan_sharded_total{graph="grid-50x50"}' "$metrics"
+expect metrics-shard-sweeps 'gq_runtime_shard_sweeps_total{graph="grid-50x50"}' "$metrics"
+sharded_total=$(printf '%s\n' "$metrics" \
+  | sed -n 's/^gq_runtime_plan_sharded_total{graph="grid-50x50"} \([0-9]*\)$/\1/p')
+sweeps_total=$(printf '%s\n' "$metrics" \
+  | sed -n 's/^gq_runtime_shard_sweeps_total{graph="grid-50x50"} \([0-9]*\)$/\1/p')
+[[ -n "$sharded_total" && "$sharded_total" -gt 0 ]] \
+  || fail "killed sharded query left gq_runtime_plan_sharded_total at '$sharded_total'"
+[[ -n "$sweeps_total" && "$sweeps_total" -gt 0 ]] \
+  || fail "killed sharded query left gq_runtime_shard_sweeps_total at '$sweeps_total'"
+expect statz-shard-sweeps '"shard_sweeps"' "$(curl -fsS "$base/v1/statz")"
+echo "serve-smoke: ok: shard counters ($sharded_total sharded plans, $sweeps_total shard sweeps)"
 
 # The query event log carries exactly one JSONL record per admitted query.
 accepted=$(curl -fsS "$base/v1/statz" | sed -n 's/.*"accepted":\([0-9]*\).*/\1/p')
