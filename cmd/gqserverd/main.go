@@ -13,6 +13,15 @@
 //	curl -s localhost:8080/v1/statz
 //	curl -s localhost:8080/metrics                    # Prometheus text format
 //
+// Live graph store: -mutable enables the write surface — POST /v1/graphs
+// bulk-loads a graph (JSON or CSV payload, bounded by -max-load-bytes),
+// POST /v1/graphs/{name}/mutate applies one atomic mutation batch (optionally
+// preconditioned on if_version), DELETE /v1/graphs/{name} drops a graph, and
+// GET /v1/graphs/{name}/export streams it back out. Writes land as deltas
+// over the immutable base CSR; a background compactor folds the delta log
+// into a fresh CSR past -compact-threshold ops. In-flight queries keep the
+// snapshot they started on (MVCC); graphs given via -graphs stay read-only.
+//
 // Observability: -slow-query 100ms logs every query at or over the
 // threshold as one structured WARN record (query, graph, plan, span
 // timings, budget consumption, outcome); -query-log query.jsonl writes the
@@ -74,6 +83,9 @@ func main() {
 	queryLog := flag.String("query-log", "", "append one JSONL record per admitted query to this file (empty: off)")
 	recent := flag.Int("recent", 0, "completed queries kept for GET /v1/queries/recent (0: default 64)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: off)")
+	mutable := flag.Bool("mutable", false, "enable the write surface: POST /v1/graphs, mutate, delete")
+	compactThreshold := flag.Int("compact-threshold", 0, "delta-log depth that triggers background compaction (0: default; negative: never)")
+	maxLoadBytes := flag.Int64("max-load-bytes", 0, "largest POST /v1/graphs body accepted (0: default 32MiB)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -90,20 +102,24 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueue:       *maxQueue,
-		DefaultBudget:  eval.Budget{MaxStates: *maxStates, MaxRows: *maxRows},
-		MaxLen:         *maxLen,
-		Limit:          *limit,
-		Parallelism:    *parallelism,
-		Shards:         *shards,
-		SlowQuery:      *slowQuery,
-		Logger:         logger,
-		QueryLog:       queryLogW,
-		Recent:         *recent,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		DefaultBudget:    eval.Budget{MaxStates: *maxStates, MaxRows: *maxRows},
+		MaxLen:           *maxLen,
+		Limit:            *limit,
+		Parallelism:      *parallelism,
+		Shards:           *shards,
+		SlowQuery:        *slowQuery,
+		Logger:           logger,
+		QueryLog:         queryLogW,
+		Recent:           *recent,
+		Mutable:          *mutable,
+		CompactThreshold: *compactThreshold,
+		MaxLoadBytes:     *maxLoadBytes,
 	})
+	defer srv.Close()
 	for _, name := range strings.Split(*graphs, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

@@ -39,7 +39,7 @@ type Stats struct {
 // Collect scans the graph once and builds the statistics.
 func Collect(g *graph.Graph) *Stats {
 	s := &Stats{
-		Nodes:       g.NumNodes(),
+		Nodes:       g.NumLiveNodes(),
 		EdgeCount:   map[string]int{},
 		DistinctSrc: map[string]int{},
 		DistinctTgt: map[string]int{},
@@ -47,6 +47,9 @@ func Collect(g *graph.Graph) *Stats {
 	srcs := map[string]map[int]struct{}{}
 	tgts := map[string]map[int]struct{}{}
 	for i := 0; i < g.NumEdges(); i++ {
+		if !g.EdgeAlive(i) { // tombstoned under a mutation overlay
+			continue
+		}
 		e := g.Edge(i)
 		s.EdgeCount[e.Label]++
 		s.TotalEdges++

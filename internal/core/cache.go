@@ -52,16 +52,19 @@ func newPlanCache(capacity int) *planCache {
 }
 
 // planKey normalizes a query string (collapsing all whitespace runs) and
-// namespaces it by kind and by the engine knobs that shape what gets
-// compiled: Parallelism feeds the planner's worker choice, Shards its
-// kernel-sharding decision, and MaxLen bounds enumeration plans, so
-// "a . b*" and "a.b *" share one plan while the same query under different
-// knob settings — or a 2RPQ with identical text — does not. Without the
-// knobs in the key, flipping e.Parallelism or e.Shards after a query was
-// cached would keep serving the stale plan.
-func planKey(kind string, maxLen, parallelism, shards int, query string) string {
-	return fmt.Sprintf("%s\x00%d\x00%d\x00%d\x00%s",
-		kind, maxLen, parallelism, shards, strings.Join(strings.Fields(query), " "))
+// namespaces it by kind, by the graph revision, and by the engine knobs
+// that shape what gets compiled: Parallelism feeds the planner's worker
+// choice, Shards its kernel-sharding decision, and MaxLen bounds
+// enumeration plans, so "a . b*" and "a.b *" share one plan while the same
+// query under different knob settings — or a 2RPQ with identical text —
+// does not. The revision matters because compiled RPQ products bind the
+// graph they were resolved against: after a live store commits a mutation
+// and swaps the engine's graph, plans for the old revision must not serve
+// the new one (they'd answer from the stale snapshot). Old-revision
+// entries age out through the LRU bound.
+func planKey(kind string, rev uint64, maxLen, parallelism, shards int, query string) string {
+	return fmt.Sprintf("%s\x00%d\x00%d\x00%d\x00%d\x00%s",
+		kind, rev, maxLen, parallelism, shards, strings.Join(strings.Fields(query), " "))
 }
 
 // get returns the cached plan for key and refreshes its recency.
@@ -125,15 +128,16 @@ func (c *planCache) stats() CacheStats {
 	}
 }
 
-// cached returns the plan for query in the given kind namespace, building
-// and caching it on a miss. Cached plans are immutable after construction
-// (parsed ASTs and compiled NFAs are never mutated by evaluation), so one
-// plan may serve concurrent queries.
-func cached[T any](e *Engine, kind, query string, build func(string) (T, error)) (T, error) {
+// cached returns the plan for query in the given kind namespace, keyed by
+// the graph state the caller loaded, building and caching it on a miss.
+// Cached plans are immutable after construction (parsed ASTs and compiled
+// NFAs are never mutated by evaluation), so one plan may serve concurrent
+// queries.
+func cached[T any](e *Engine, gs *graphState, kind, query string, build func(string) (T, error)) (T, error) {
 	if e.plans == nil { // zero-value Engine: cache disabled
 		return build(query)
 	}
-	key := planKey(kind, e.MaxLen, e.Parallelism, e.Shards, query)
+	key := planKey(kind, gs.rev, e.MaxLen, e.Parallelism, e.Shards, query)
 	if v, ok := e.plans.get(key); ok {
 		return v.(T), nil
 	}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"graphquery/internal/automata"
 	"graphquery/internal/cardest"
@@ -30,9 +31,48 @@ import (
 	"graphquery/internal/twoway"
 )
 
-// Engine evaluates queries over a fixed graph.
+// graphState is one immutable (graph, revision) pair the engine serves
+// queries against. SetGraph replaces the whole state atomically, so a query
+// that loaded it once sees a consistent graph + planner + revision for its
+// entire run — snapshot isolation at the engine boundary even while a live
+// store commits new versions underneath. The cost-based planner is built
+// lazily per state (its statistics collection scans the graph once) and
+// cached here, so each revision plans at most once.
+type graphState struct {
+	g   *graph.Graph
+	rev uint64
+
+	// pin, when set by SetGraphPinned, refcounts the backing store snapshot
+	// for the duration of one query: acquire() takes a reference and returns
+	// its release. It lets a live store account for in-flight readers of a
+	// superseded snapshot.
+	pin func() func()
+
+	// planner holds the cost-based planner for g, built lazily on the first
+	// RPQ compilation against this state.
+	plannerOnce sync.Once
+	planner     *pgplan.Planner
+}
+
+// acquire pins the state's backing snapshot and returns the release; a
+// state without a pin hook returns a no-op.
+func (gs *graphState) acquire() func() {
+	if gs.pin == nil {
+		return func() {}
+	}
+	return gs.pin()
+}
+
+func (gs *graphState) plannerLazy() *pgplan.Planner {
+	gs.plannerOnce.Do(func() { gs.planner = pgplan.New(gs.g) })
+	return gs.planner
+}
+
+// Engine evaluates queries over a graph. The graph is swappable (SetGraph):
+// each query atomically loads the current graphState once on entry, so it
+// runs start-to-finish against one consistent snapshot.
 type Engine struct {
-	g *graph.Graph
+	cur atomic.Pointer[graphState]
 
 	// MaxLen bounds mode-all enumerations (0: require finite modes).
 	MaxLen int
@@ -61,21 +101,35 @@ type Engine struct {
 	// statistics across every query this engine evaluates; RuntimeStats
 	// snapshots it for /v1/statz.
 	counters pg.Counters
-
-	// planner holds the cost-based planner, built lazily on the first RPQ
-	// compilation (its statistics collection scans the graph once).
-	plannerOnce sync.Once
-	planner     *pgplan.Planner
 }
 
 // New returns an engine over g with a default enumeration bound and plan
 // cache.
 func New(g *graph.Graph) *Engine {
-	return &Engine{g: g, MaxLen: 16, plans: newPlanCache(defaultPlanCacheCap)}
+	e := &Engine{MaxLen: 16, plans: newPlanCache(defaultPlanCacheCap)}
+	e.cur.Store(&graphState{g: g, rev: 1})
+	return e
 }
 
-// Graph returns the underlying graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the graph the engine currently serves.
+func (e *Engine) Graph() *graph.Graph { return e.cur.Load().g }
+
+// GraphRev returns the revision the current graph was installed under.
+func (e *Engine) GraphRev() uint64 { return e.cur.Load().rev }
+
+// SetGraph atomically replaces the graph the engine serves. rev must be
+// monotonic per engine (a live store's Rev): it namespaces the plan cache,
+// so plans compiled against an older revision — whose products hold the old
+// graph — are never replayed against the new one. In-flight queries keep
+// the state they loaded on entry and finish on the old snapshot.
+func (e *Engine) SetGraph(g *graph.Graph, rev uint64) { e.SetGraphPinned(g, rev, nil) }
+
+// SetGraphPinned is SetGraph with a pin hook: every query acquires pin() on
+// entry and calls the returned release when it finishes, letting the
+// snapshot's owner refcount in-flight readers across swaps.
+func (e *Engine) SetGraphPinned(g *graph.Graph, rev uint64, pin func() func()) {
+	e.cur.Store(&graphState{g: g, rev: rev, pin: pin})
+}
 
 // CacheStats returns a snapshot of the compiled-plan cache counters.
 func (e *Engine) CacheStats() CacheStats {
@@ -152,26 +206,19 @@ type rpqPlan struct {
 	plan    pg.Plan
 }
 
-// plannerLazy builds the cost-based planner on first use (statistics
-// collection is one O(|E|) scan, amortized over the engine's lifetime).
-func (e *Engine) plannerLazy() *pgplan.Planner {
-	e.plannerOnce.Do(func() { e.planner = pgplan.New(e.g) })
-	return e.planner
-}
-
 // planMinNodes gates the planner: below this graph size every plan's
 // worst case is microseconds, so the cost model — O(|δ|) per compiled
 // automaton — would cost more than any choice it could save. Tiny graphs
 // keep the zero (forward, indexed, sequential) plan.
 const planMinNodes = 32
 
-// planFor plans one compiled automaton, or returns the default plan when
-// the graph is too small for planning to pay for itself.
-func (e *Engine) planFor(nfa *automata.NFA) pg.Plan {
-	if e.g.NumNodes() < planMinNodes {
+// planFor plans one compiled automaton against gs, or returns the default
+// plan when the graph is too small for planning to pay for itself.
+func (e *Engine) planFor(gs *graphState, nfa *automata.NFA) pg.Plan {
+	if gs.g.NumNodes() < planMinNodes {
 		return pg.Plan{}
 	}
-	return e.plannerLazy().ForNFA(nfa, e.Parallelism, e.Shards)
+	return gs.plannerLazy().ForNFA(nfa, e.Parallelism, e.Shards)
 }
 
 // RuntimeStats snapshots the unified runtime's counters: product states
@@ -179,16 +226,18 @@ func (e *Engine) planFor(nfa *automata.NFA) pg.Plan {
 // over every query this engine has evaluated.
 func (e *Engine) RuntimeStats() pg.CountersSnapshot { return e.counters.Snapshot() }
 
-func (e *Engine) compileRPQ(q string) (rpqPlan, error) {
-	return e.compileRPQTraced(nil)(q)
+func (e *Engine) compileRPQ(gs *graphState) func(string) (rpqPlan, error) {
+	return e.compileRPQTraced(gs, nil)
 }
 
 // compileRPQTraced returns the compileRPQ build function with each stage —
 // parse, Glushkov compilation + product resolution, cost-based planning —
 // recorded as a span on tr (nil: untraced, identical behavior). The spans
 // appear only on plan-cache misses, which is accurate: on a hit none of
-// this work happens.
-func (e *Engine) compileRPQTraced(tr *obs.Trace) func(string) (rpqPlan, error) {
+// this work happens. The product binds gs.g, so the cache key's revision
+// component must (and does, via cached) route each graph revision to its
+// own entry.
+func (e *Engine) compileRPQTraced(gs *graphState, tr *obs.Trace) func(string) (rpqPlan, error) {
 	return func(q string) (rpqPlan, error) {
 		sp := tr.Start("parse")
 		expr, err := rpq.Parse(q)
@@ -198,10 +247,10 @@ func (e *Engine) compileRPQTraced(tr *obs.Trace) func(string) (rpqPlan, error) {
 		}
 		sp = tr.Start("compile")
 		nfa := rpq.Compile(expr)
-		product := eval.NewProductInstrumented(e.g, nfa, &e.counters)
+		product := eval.NewProductInstrumented(gs.g, nfa, &e.counters)
 		sp.End()
 		sp = tr.Start("plan")
-		plan := e.planFor(nfa)
+		plan := e.planFor(gs, nfa)
 		sp.End()
 		return rpqPlan{expr: expr, nfa: nfa, product: product, plan: plan}, nil
 	}
@@ -209,24 +258,28 @@ func (e *Engine) compileRPQTraced(tr *obs.Trace) func(string) (rpqPlan, error) {
 
 // Pairs evaluates a plain RPQ to its endpoint-pair semantics ⟦R⟧_G.
 func (e *Engine) Pairs(query string) ([][2]graph.NodeID, error) {
-	plan, err := cached(e, "rpq", query, e.compileRPQ)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	plan, err := cached(e, gs, "rpq", query, e.compileRPQ(gs))
 	if err != nil {
 		return nil, err
 	}
 	var out [][2]graph.NodeID
 	for _, pr := range eval.PairsProduct(plan.product, eval.Options{Parallelism: e.Parallelism, Plan: plan.plan}) {
-		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
+		out = append(out, [2]graph.NodeID{gs.g.Node(pr[0]).ID, gs.g.Node(pr[1]).ID})
 	}
 	return out, nil
 }
 
 // Paths evaluates an (ℓ-)RPQ or dl-RPQ between two nodes under a mode.
 func (e *Engine) Paths(query string, src, dst graph.NodeID, mode eval.Mode) ([]PathResult, error) {
-	u, ok := e.g.NodeIndex(src)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	u, ok := gs.g.NodeIndex(src)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown node %q", src)
 	}
-	v, ok := e.g.NodeIndex(dst)
+	v, ok := gs.g.NodeIndex(dst)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown node %q", dst)
 	}
@@ -234,21 +287,21 @@ func (e *Engine) Paths(query string, src, dst graph.NodeID, mode eval.Mode) ([]P
 	case KindCRPQ:
 		return nil, errors.New("core: CRPQ queries return rows; use Rows")
 	case KindDLRPQ:
-		expr, err := cached(e, "dlrpq", query, dlrpq.Parse)
+		expr, err := cached(e, gs, "dlrpq", query, dlrpq.Parse)
 		if err != nil {
 			return nil, err
 		}
-		pbs, err := dlrpq.EvalBetween(e.g, expr, u, v, mode, dlrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit, Counters: &e.counters})
+		pbs, err := dlrpq.EvalBetween(gs.g, expr, u, v, mode, dlrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit, Counters: &e.counters})
 		if err != nil {
 			return nil, err
 		}
 		return toResults(pbs), nil
 	default:
-		expr, err := cached(e, "lrpq", query, lrpq.Parse)
+		expr, err := cached(e, gs, "lrpq", query, lrpq.Parse)
 		if err != nil {
 			return nil, err
 		}
-		pbs, err := lrpq.EvalBetween(e.g, expr, u, v, mode, lrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit, Counters: &e.counters})
+		pbs, err := lrpq.EvalBetween(gs.g, expr, u, v, mode, lrpq.Options{MaxLen: e.MaxLen, Limit: e.Limit, Counters: &e.counters})
 		if err != nil {
 			return nil, err
 		}
@@ -266,34 +319,38 @@ func toResults(pbs []gpath.PathBinding) []PathResult {
 
 // Rows evaluates a (dl-)CRPQ and renders its output tuples.
 func (e *Engine) Rows(query string) (*crpq.Result, error) {
-	q, err := cached(e, "crpq", query, crpq.Parse)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	q, err := cached(e, gs, "crpq", query, crpq.Parse)
 	if err != nil {
 		return nil, err
 	}
-	return crpq.Eval(e.g, q, crpq.Options{AtomMaxLen: e.MaxLen, Parallelism: e.Parallelism})
+	return crpq.Eval(gs.g, q, crpq.Options{AtomMaxLen: e.MaxLen, Parallelism: e.Parallelism})
 }
 
 // Representation builds a PMR for the matching paths of a plain RPQ
 // between two nodes — the compact intermediate representation of Section
 // 6.4 — without enumerating them.
 func (e *Engine) Representation(query string, src, dst graph.NodeID, shortestOnly bool) (*pmr.PMR, error) {
-	plan, err := cached(e, "rpq", query, e.compileRPQ)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	plan, err := cached(e, gs, "rpq", query, e.compileRPQ(gs))
 	if err != nil {
 		return nil, err
 	}
 	expr := plan.expr
-	u, ok := e.g.NodeIndex(src)
+	u, ok := gs.g.NodeIndex(src)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown node %q", src)
 	}
-	v, ok := e.g.NodeIndex(dst)
+	v, ok := gs.g.NodeIndex(dst)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown node %q", dst)
 	}
 	if shortestOnly {
-		return pmr.ShortestFromProduct(e.g, expr, u, v), nil
+		return pmr.ShortestFromProduct(gs.g, expr, u, v), nil
 	}
-	return pmr.FromProduct(e.g, expr, u, v), nil
+	return pmr.FromProduct(gs.g, expr, u, v), nil
 }
 
 // Explain reports the compiled automaton's size and ambiguity for an RPQ —
@@ -301,8 +358,10 @@ func (e *Engine) Representation(query string, src, dst graph.NodeID, shortestOnl
 // when this call compiled the query (a plan-cache miss), the compilation
 // trace spans with their timings.
 func (e *Engine) Explain(query string) (string, error) {
+	gs := e.cur.Load()
+	defer gs.acquire()()
 	tr := obs.NewTrace()
-	plan, err := cached(e, "rpq", query, e.compileRPQTraced(tr))
+	plan, err := cached(e, gs, "rpq", query, e.compileRPQTraced(gs, tr))
 	if err != nil {
 		return "", err
 	}
@@ -329,28 +388,32 @@ func (e *Engine) Explain(query string) (string, error) {
 // but the last defines a virtual edge label; the last line is the final
 // query (Section 3.1.3, Example 15).
 func (e *Engine) ProgramRows(program string) (*crpq.Result, error) {
-	p, err := cached(e, "prog", program, regular.Parse)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	p, err := cached(e, gs, "prog", program, regular.Parse)
 	if err != nil {
 		return nil, err
 	}
-	return regular.Eval(e.g, p, crpq.Options{AtomMaxLen: e.MaxLen, Parallelism: e.Parallelism})
+	return regular.Eval(gs.g, p, crpq.Options{AtomMaxLen: e.MaxLen, Parallelism: e.Parallelism})
 }
 
 // TwoWayPairs evaluates a two-way RPQ (inverse atoms written ~a, Remark 9)
 // to its endpoint-pair semantics.
 func (e *Engine) TwoWayPairs(query string) ([][2]graph.NodeID, error) {
-	expr, err := cached(e, "2rpq", query, twoway.Parse)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	expr, err := cached(e, gs, "2rpq", query, twoway.Parse)
 	if err != nil {
 		return nil, err
 	}
-	prs, err := twoway.PairsMeterOpt(e.g, expr, nil,
+	prs, err := twoway.PairsMeterOpt(gs.g, expr, nil,
 		twoway.Options{Parallelism: 1, Counters: &e.counters})
 	if err != nil {
 		return nil, err // unreachable with a nil meter
 	}
 	var out [][2]graph.NodeID
 	for _, pr := range prs {
-		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
+		out = append(out, [2]graph.NodeID{gs.g.Node(pr[0]).ID, gs.g.Node(pr[1]).ID})
 	}
 	return out, nil
 }
@@ -358,11 +421,13 @@ func (e *Engine) TwoWayPairs(query string) ([][2]graph.NodeID, error) {
 // Estimate returns the predicted and actual answer counts of an RPQ (the
 // Section 7.1 cardinality-estimation direction, package cardest).
 func (e *Engine) Estimate(query string) (estimate float64, actual int, err error) {
-	plan, err := cached(e, "rpq", query, e.compileRPQ)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	plan, err := cached(e, gs, "rpq", query, e.compileRPQ(gs))
 	if err != nil {
 		return 0, 0, err
 	}
-	stats := cardest.Collect(e.g)
+	stats := cardest.Collect(gs.g)
 	actual = len(eval.PairsProduct(plan.product, eval.Options{Parallelism: e.Parallelism, Plan: plan.plan}))
 	return stats.Estimate(plan.expr, 0), actual, nil
 }
@@ -371,11 +436,13 @@ func (e *Engine) Estimate(query string) (estimate float64, actual int, err error
 // partial bindings — the practice-side semantics of Examples 1 and 2) and
 // renders its matches.
 func (e *Engine) GQLMatch(pattern string) ([]string, error) {
-	p, err := cached(e, "gql", pattern, gql.ParsePattern)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	p, err := cached(e, gs, "gql", pattern, gql.ParsePattern)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := gql.EvalPattern(e.g, p, gql.Options{MaxLen: e.MaxLen})
+	ms, err := gql.EvalPattern(gs.g, p, gql.Options{MaxLen: e.MaxLen})
 	if err != nil {
 		return nil, err
 	}
@@ -384,14 +451,14 @@ func (e *Engine) GQLMatch(pattern string) ([]string, error) {
 	}
 	out := make([]string, len(ms))
 	for i, m := range ms {
-		line := m.Path.Format(e.g)
+		line := m.Path.Format(gs.g)
 		vars := make([]string, 0, len(m.B))
 		for v := range m.B {
 			vars = append(vars, v)
 		}
 		sort.Strings(vars)
 		for _, v := range vars {
-			line += "  " + v + "=" + m.B[v].Format(e.g)
+			line += "  " + v + "=" + m.B[v].Format(gs.g)
 		}
 		out[i] = line
 	}

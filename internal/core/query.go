@@ -102,6 +102,15 @@ type Response struct {
 	// nanosecond timings and per-stage meter deltas.
 	Plan  string
 	Spans []obs.Span
+
+	// G is the graph snapshot this query evaluated against. Serving layers
+	// must render internal indexes (paths, row values) against it, not
+	// against the engine's current graph, which may have advanced under a
+	// live store while the query ran. GraphRev is that snapshot's revision,
+	// stamped into query records so slow queries and crossval reruns can be
+	// pinned to the exact store state they saw.
+	G        *graph.Graph
+	GraphRev uint64
 }
 
 // Count returns the number of results regardless of kind.
@@ -148,7 +157,12 @@ func (e *Engine) QueryCtx(ctx context.Context, req Request) (*Response, error) {
 	// span opened on this trace updates req.Progress's stage.
 	tr.BindProgress(req.Progress)
 
-	resp, err := e.dispatch(req, m, tr, maxLen, limit)
+	// One atomic load fixes the graph snapshot for the whole query; the pin
+	// (if the graph came from a live store) keeps that snapshot accounted
+	// for until evaluation finishes, even if writers commit meanwhile.
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	resp, err := e.dispatch(gs, req, m, tr, maxLen, limit)
 	if err != nil {
 		return nil, classify(err)
 	}
@@ -156,6 +170,8 @@ func (e *Engine) QueryCtx(ctx context.Context, req Request) (*Response, error) {
 	resp.RowsProduced = m.Rows()
 	resp.Plan = tr.Attr("plan")
 	resp.Spans = tr.Spans()
+	resp.G = gs.g
+	resp.GraphRev = gs.rev
 	return resp, nil
 }
 
@@ -165,9 +181,9 @@ func (e *Engine) Query(req Request) (*Response, error) {
 	return e.QueryCtx(context.Background(), req)
 }
 
-func (e *Engine) dispatch(req Request, m *eval.Meter, tr *obs.Trace, maxLen, limit int) (*Response, error) {
+func (e *Engine) dispatch(gs *graphState, req Request, m *eval.Meter, tr *obs.Trace, maxLen, limit int) (*Response, error) {
 	if req.Lang == "2rpq" {
-		pairs, err := e.twoWayPairsMeter(req.Query, m, tr)
+		pairs, err := e.twoWayPairsMeter(gs, req.Query, m, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -179,7 +195,7 @@ func (e *Engine) dispatch(req Request, m *eval.Meter, tr *obs.Trace, maxLen, lim
 		if anchored {
 			return nil, badQuery(errors.New("core: CRPQ queries return rows; do not anchor them with from/to"))
 		}
-		rows, err := e.rowsMeter(req.Query, m, tr, maxLen)
+		rows, err := e.rowsMeter(gs, req.Query, m, tr, maxLen)
 		if err != nil {
 			return nil, err
 		}
@@ -194,13 +210,13 @@ func (e *Engine) dispatch(req Request, m *eval.Meter, tr *obs.Trace, maxLen, lim
 			if req.From == "" || req.To == "" {
 				return nil, badQuery(errors.New("core: path queries need both from and to"))
 			}
-			paths, err := e.pathsMeter(req.Query, req.From, req.To, req.Mode, m, tr, maxLen, limit)
+			paths, err := e.pathsMeter(gs, req.Query, req.From, req.To, req.Mode, m, tr, maxLen, limit)
 			if err != nil {
 				return nil, err
 			}
 			return &Response{Kind: "paths", Paths: paths}, nil
 		}
-		pairs, err := e.pairsMeter(req.Query, m, tr)
+		pairs, err := e.pairsMeter(gs, req.Query, m, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -210,12 +226,14 @@ func (e *Engine) dispatch(req Request, m *eval.Meter, tr *obs.Trace, maxLen, lim
 
 // PairsCtx is Pairs under ctx and the engine's budget.
 func (e *Engine) PairsCtx(ctx context.Context, query string) ([][2]graph.NodeID, error) {
-	pairs, err := e.pairsMeter(query, eval.NewMeter(ctx, e.Budget), nil)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	pairs, err := e.pairsMeter(gs, query, eval.NewMeter(ctx, e.Budget), nil)
 	return pairs, classify(err)
 }
 
-func (e *Engine) pairsMeter(query string, m *eval.Meter, tr *obs.Trace) ([][2]graph.NodeID, error) {
-	plan, err := cached(e, "rpq", query, e.compileRPQTraced(tr))
+func (e *Engine) pairsMeter(gs *graphState, query string, m *eval.Meter, tr *obs.Trace) ([][2]graph.NodeID, error) {
+	plan, err := cached(e, gs, "rpq", query, e.compileRPQTraced(gs, tr))
 	if err != nil {
 		return nil, badQuery(err)
 	}
@@ -232,20 +250,22 @@ func (e *Engine) pairsMeter(query string, m *eval.Meter, tr *obs.Trace) ([][2]gr
 	defer sp.End()
 	var out [][2]graph.NodeID
 	for _, pr := range prs {
-		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
+		out = append(out, [2]graph.NodeID{gs.g.Node(pr[0]).ID, gs.g.Node(pr[1]).ID})
 	}
 	return out, nil
 }
 
 // RowsCtx is Rows under ctx and the engine's budget.
 func (e *Engine) RowsCtx(ctx context.Context, query string) (*crpq.Result, error) {
-	rows, err := e.rowsMeter(query, eval.NewMeter(ctx, e.Budget), nil, e.MaxLen)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	rows, err := e.rowsMeter(gs, query, eval.NewMeter(ctx, e.Budget), nil, e.MaxLen)
 	return rows, classify(err)
 }
 
-func (e *Engine) rowsMeter(query string, m *eval.Meter, tr *obs.Trace, maxLen int) (*crpq.Result, error) {
+func (e *Engine) rowsMeter(gs *graphState, query string, m *eval.Meter, tr *obs.Trace, maxLen int) (*crpq.Result, error) {
 	sp := tr.Start("parse")
-	q, err := cached(e, "crpq", query, crpq.Parse)
+	q, err := cached(e, gs, "crpq", query, crpq.Parse)
 	sp.End()
 	if err != nil {
 		return nil, badQuery(err)
@@ -253,22 +273,24 @@ func (e *Engine) rowsMeter(query string, m *eval.Meter, tr *obs.Trace, maxLen in
 	s0, r0 := m.States(), m.Rows()
 	sp = tr.Start("kernel")
 	defer func() { sp.Counts(m.States()-s0, m.Rows()-r0).End() }()
-	return crpq.EvalCtx(context.Background(), e.g, q,
+	return crpq.EvalCtx(context.Background(), gs.g, q,
 		crpq.Options{AtomMaxLen: maxLen, Parallelism: e.Parallelism, Meter: m})
 }
 
 // PathsCtx is Paths under ctx and the engine's budget.
 func (e *Engine) PathsCtx(ctx context.Context, query string, src, dst graph.NodeID, mode eval.Mode) ([]PathResult, error) {
-	res, err := e.pathsMeter(query, src, dst, mode, eval.NewMeter(ctx, e.Budget), nil, e.MaxLen, e.Limit)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	res, err := e.pathsMeter(gs, query, src, dst, mode, eval.NewMeter(ctx, e.Budget), nil, e.MaxLen, e.Limit)
 	return res, classify(err)
 }
 
-func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode, m *eval.Meter, tr *obs.Trace, maxLen, limit int) ([]PathResult, error) {
-	u, ok := e.g.NodeIndex(src)
+func (e *Engine) pathsMeter(gs *graphState, query string, src, dst graph.NodeID, mode eval.Mode, m *eval.Meter, tr *obs.Trace, maxLen, limit int) ([]PathResult, error) {
+	u, ok := gs.g.NodeIndex(src)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, src)
 	}
-	v, ok := e.g.NodeIndex(dst)
+	v, ok := gs.g.NodeIndex(dst)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, dst)
 	}
@@ -290,24 +312,24 @@ func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode,
 		return nil, badQuery(errors.New("core: CRPQ queries return rows; use Rows"))
 	case KindDLRPQ:
 		sp := tr.Start("parse")
-		expr, err := cached(e, "dlrpq", query, dlrpq.Parse)
+		expr, err := cached(e, gs, "dlrpq", query, dlrpq.Parse)
 		sp.End()
 		if err != nil {
 			return nil, badQuery(err)
 		}
 		return enumerate(func() ([]gpath.PathBinding, error) {
-			return dlrpq.EvalBetween(e.g, expr, u, v, mode,
+			return dlrpq.EvalBetween(gs.g, expr, u, v, mode,
 				dlrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m, Counters: &e.counters})
 		})
 	default:
 		sp := tr.Start("parse")
-		expr, err := cached(e, "lrpq", query, lrpq.Parse)
+		expr, err := cached(e, gs, "lrpq", query, lrpq.Parse)
 		sp.End()
 		if err != nil {
 			return nil, badQuery(err)
 		}
 		return enumerate(func() ([]gpath.PathBinding, error) {
-			return lrpq.EvalBetween(e.g, expr, u, v, mode,
+			return lrpq.EvalBetween(gs.g, expr, u, v, mode,
 				lrpq.Options{MaxLen: maxLen, Limit: limit, Meter: m, Counters: &e.counters})
 		})
 	}
@@ -315,20 +337,22 @@ func (e *Engine) pathsMeter(query string, src, dst graph.NodeID, mode eval.Mode,
 
 // TwoWayPairsCtx is TwoWayPairs under ctx and the engine's budget.
 func (e *Engine) TwoWayPairsCtx(ctx context.Context, query string) ([][2]graph.NodeID, error) {
-	pairs, err := e.twoWayPairsMeter(query, eval.NewMeter(ctx, e.Budget), nil)
+	gs := e.cur.Load()
+	defer gs.acquire()()
+	pairs, err := e.twoWayPairsMeter(gs, query, eval.NewMeter(ctx, e.Budget), nil)
 	return pairs, classify(err)
 }
 
-func (e *Engine) twoWayPairsMeter(query string, m *eval.Meter, tr *obs.Trace) ([][2]graph.NodeID, error) {
+func (e *Engine) twoWayPairsMeter(gs *graphState, query string, m *eval.Meter, tr *obs.Trace) ([][2]graph.NodeID, error) {
 	sp := tr.Start("parse")
-	expr, err := cached(e, "2rpq", query, twoway.Parse)
+	expr, err := cached(e, gs, "2rpq", query, twoway.Parse)
 	sp.End()
 	if err != nil {
 		return nil, badQuery(err)
 	}
 	s0, r0 := m.States(), m.Rows()
 	sp = tr.Start("kernel")
-	prs, err := twoway.PairsMeterOpt(e.g, expr, m,
+	prs, err := twoway.PairsMeterOpt(gs.g, expr, m,
 		twoway.Options{Parallelism: 1, Counters: &e.counters})
 	sp.Counts(m.States()-s0, m.Rows()-r0).End()
 	if err != nil {
@@ -338,7 +362,7 @@ func (e *Engine) twoWayPairsMeter(query string, m *eval.Meter, tr *obs.Trace) ([
 	defer sp.End()
 	var out [][2]graph.NodeID
 	for _, pr := range prs {
-		out = append(out, [2]graph.NodeID{e.g.Node(pr[0]).ID, e.g.Node(pr[1]).ID})
+		out = append(out, [2]graph.NodeID{gs.g.Node(pr[0]).ID, gs.g.Node(pr[1]).ID})
 	}
 	return out, nil
 }

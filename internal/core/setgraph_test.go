@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"graphquery/internal/gen"
+)
+
+// TestSetGraphInvalidatesPlans swaps the engine's graph and checks the same
+// query text re-resolves against the new revision: compiled RPQ products
+// bind the graph, so a stale cache hit would silently answer from the old
+// snapshot.
+func TestSetGraphInvalidatesPlans(t *testing.T) {
+	e := New(gen.Cycle(3, "a"))
+	pairs, err := e.Pairs("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("cycle-3: %d pairs, want 3", len(pairs))
+	}
+	if rev := e.GraphRev(); rev != 1 {
+		t.Fatalf("initial rev = %d", rev)
+	}
+
+	e.SetGraph(gen.Cycle(5, "a"), 2)
+	pairs, err = e.Pairs("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 5 {
+		t.Fatalf("after SetGraph: %d pairs, want 5 (stale plan served?)", len(pairs))
+	}
+	if rev := e.GraphRev(); rev != 2 {
+		t.Fatalf("rev after SetGraph = %d", rev)
+	}
+}
+
+// TestSetGraphPinnedAcquiresPerQuery checks every query entry point takes
+// and releases exactly one pin on the installed state.
+func TestSetGraphPinnedAcquiresPerQuery(t *testing.T) {
+	e := New(gen.Cycle(3, "a"))
+	var acquires, releases int
+	e.SetGraphPinned(gen.Cycle(4, "a"), 2, func() func() {
+		acquires++
+		return func() { releases++ }
+	})
+	if _, err := e.Pairs("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(Request{Query: "a", From: "v0", To: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if acquires != 2 || releases != 2 {
+		t.Fatalf("pin acquires/releases = %d/%d, want 2/2", acquires, releases)
+	}
+}
+
+// TestGraphReturnsCurrent pins Graph() to the swapped-in value.
+func TestGraphReturnsCurrent(t *testing.T) {
+	g1 := gen.Cycle(3, "a")
+	g2 := gen.Cycle(4, "a")
+	e := New(g1)
+	if e.Graph() != g1 {
+		t.Fatal("Graph() != initial graph")
+	}
+	e.SetGraph(g2, 2)
+	if e.Graph() != g2 {
+		t.Fatal("Graph() != swapped graph")
+	}
+}

@@ -73,6 +73,9 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) []Match {
 	case NodePat:
 		out := make([]Match, 0, g.NumNodes())
 		for i := 0; i < g.NumNodes(); i++ {
+			if !g.NodeAlive(i) {
+				continue
+			}
 			b := map[string]graph.Object{}
 			if n.Var != "" {
 				b[n.Var] = graph.MakeNodeObject(i)
@@ -83,6 +86,9 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) []Match {
 	case EdgePat:
 		out := make([]Match, 0, g.NumEdges())
 		for e := 0; e < g.NumEdges(); e++ {
+			if !g.EdgeAlive(e) {
+				continue
+			}
 			b := map[string]graph.Object{}
 			if n.Var != "" {
 				b[n.Var] = graph.MakeEdgeObject(e)
@@ -163,6 +169,9 @@ func evalRepeat(g *graph.Graph, n RepeatPat, opts Options) []Match {
 	// ⟦π⟧⁰: single-node paths.
 	level := make([]Match, 0, g.NumNodes())
 	for i := 0; i < g.NumNodes(); i++ {
+		if !g.NodeAlive(i) {
+			continue
+		}
 		level = append(level, Match{Path: gpath.OfNode(i), Binding: map[string]graph.Object{}})
 	}
 	var out []Match

@@ -643,9 +643,11 @@ func termCandidates(g *graph.Graph, t Term) ([]int, error) {
 		}
 		return []int{n}, nil
 	}
-	out := make([]int, g.NumNodes())
-	for i := range out {
-		out[i] = i
+	out := make([]int, 0, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.NodeAlive(i) { // skip tombstones under a mutation overlay
+			out = append(out, i)
+		}
 	}
 	return out, nil
 }

@@ -207,7 +207,9 @@ func successors(g *graph.Graph, mach *anfaMachine, cfg config, anchor int) []mov
 					candidates = []int{anchor}
 				} else {
 					for n := 0; n < g.NumNodes(); n++ {
-						candidates = append(candidates, n)
+						if g.NodeAlive(n) { // skip tombstones under a mutation overlay
+							candidates = append(candidates, n)
+						}
 					}
 				}
 			case cfg.obj.IsNode():

@@ -95,6 +95,9 @@ func pairsProductMeter(p *Product, opts Options, m *Meter) ([][2]int, error) {
 		Frontier: plan.Frontier, Shards: plan.Shards,
 	})
 	pairs, err := pg.ForEach(n, workers, kern.GetScratch, kern.PutScratch, func(u int, sc *Scratch) ([][2]int, error) {
+		if !p.G.NodeAlive(u) { // tombstoned under a mutation overlay
+			return nil, nil
+		}
 		// ReachableSweep dispatches on the plan: scalar plans run the classic
 		// queue loop with emission-time rows charging (a MaxRows budget trips
 		// on row MaxRows+1, not after the whole sweep's batch), frontier

@@ -275,6 +275,9 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) ([]Match, error) {
 	case NodeP:
 		var out []Match
 		for i := 0; i < g.NumNodes(); i++ {
+			if !g.NodeAlive(i) {
+				continue
+			}
 			if n.Label != "" && g.Node(i).Label != n.Label {
 				continue
 			}
@@ -288,6 +291,9 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) ([]Match, error) {
 	case EdgeP:
 		var out []Match
 		for e := 0; e < g.NumEdges(); e++ {
+			if !g.EdgeAlive(e) {
+				continue
+			}
 			if n.Label != "" && g.Edge(e).Label != n.Label {
 				continue
 			}
@@ -441,6 +447,9 @@ func evalRepeat(g *graph.Graph, n RepeatP, opts Options) ([]Match, error) {
 
 	level := make([]Match, 0, g.NumNodes())
 	for i := 0; i < g.NumNodes(); i++ {
+		if !g.NodeAlive(i) {
+			continue
+		}
 		level = append(level, Match{Path: gpath.OfNode(i), B: map[string]BindVal{}})
 	}
 	var out []Match

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -114,4 +115,116 @@ func parseCSVValue(s string) Value {
 		return Bool(false)
 	}
 	return Str(s)
+}
+
+// WriteCSV serializes g in ReadCSV's two-stream bulk shape: one header plus
+// one row per live element, property names as the extra columns (the sorted
+// union over all elements of the stream), empty cells where ρ is undefined.
+//
+// Values are rendered to reparse with the same shape ReadCSV infers:
+// integers bare, floats always with a '.' or exponent (so 1.0 does not come
+// back as the integer 1), bools as true/false. String values that LOOK like
+// numbers or bools, and empty strings, are inherently lossy in this format;
+// use the JSON codec for exact round-trips.
+func WriteCSV(nodes, edges io.Writer, g *Graph) error {
+	nprops := collectPropNames(g, false)
+	nw := csv.NewWriter(nodes)
+	_ = nw.Write(append([]string{"id", "label"}, nprops...))
+	for i := 0; i < g.NumNodes(); i++ {
+		if !g.NodeAlive(i) {
+			continue
+		}
+		n := g.Node(i)
+		row := append(make([]string, 0, 2+len(nprops)), string(n.ID), n.Label)
+		for _, p := range nprops {
+			row = append(row, formatCSVCell(n.Props, p))
+		}
+		_ = nw.Write(row)
+	}
+	nw.Flush()
+	if err := nw.Error(); err != nil {
+		return fmt.Errorf("graph: nodes CSV: %w", err)
+	}
+
+	eprops := collectPropNames(g, true)
+	ew := csv.NewWriter(edges)
+	_ = ew.Write(append([]string{"id", "label", "src", "tgt"}, eprops...))
+	for i := 0; i < g.NumEdges(); i++ {
+		if !g.EdgeAlive(i) {
+			continue
+		}
+		e := g.Edge(i)
+		row := append(make([]string, 0, 4+len(eprops)),
+			string(e.ID), e.Label, string(g.Node(e.Src).ID), string(g.Node(e.Tgt).ID))
+		for _, p := range eprops {
+			row = append(row, formatCSVCell(e.Props, p))
+		}
+		_ = ew.Write(row)
+	}
+	ew.Flush()
+	if err := ew.Error(); err != nil {
+		return fmt.Errorf("graph: edges CSV: %w", err)
+	}
+	return nil
+}
+
+// collectPropNames returns the sorted union of property names over the live
+// nodes (or edges) of g — the extra header columns of one CSV stream.
+func collectPropNames(g *Graph, edges bool) []string {
+	set := map[string]struct{}{}
+	if edges {
+		for i := 0; i < g.NumEdges(); i++ {
+			if !g.EdgeAlive(i) {
+				continue
+			}
+			for name := range g.Edge(i).Props {
+				set[name] = struct{}{}
+			}
+		}
+	} else {
+		for i := 0; i < g.NumNodes(); i++ {
+			if !g.NodeAlive(i) {
+				continue
+			}
+			for name := range g.Node(i).Props {
+				set[name] = struct{}{}
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// formatCSVCell renders one property cell; absent (and Null) values become
+// the empty cell ReadCSV skips.
+func formatCSVCell(props Props, name string) string {
+	v, ok := props[name]
+	if !ok {
+		return ""
+	}
+	switch v.Kind() {
+	case KindBool:
+		b, _ := v.AsBool()
+		return strconv.FormatBool(b)
+	case KindInt:
+		i, _ := v.AsInt()
+		return strconv.FormatInt(i, 10)
+	case KindFloat:
+		f, _ := v.AsFloat()
+		s := strconv.FormatFloat(f, 'g', -1, 64)
+		// An integral float renders bare ("2"), which would reparse as an
+		// int; force the float shape.
+		if !strings.ContainsAny(s, ".eEnI") {
+			s += ".0"
+		}
+		return s
+	case KindString:
+		s, _ := v.AsString()
+		return s
+	}
+	return ""
 }

@@ -85,6 +85,13 @@ type Graph struct {
 	// delimits label l's group.
 	labelEdges []int
 	labelStart []int
+
+	// ov, when non-nil, layers a mutation delta over the materialized base
+	// of this graph's version chain (see overlay.go): the dense slices above
+	// are extended past the base's length, the maps and CSR indexes remain
+	// the base's and are consulted through the overlay's overrides. A graph
+	// built by Builder has ov == nil and pays no overlay cost on reads.
+	ov *overlay
 }
 
 // csr is a flat compressed-sparse-row adjacency index: edges holds edge
@@ -111,10 +118,26 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // Node returns the node with dense index i.
-func (g *Graph) Node(i int) Node { return g.nodes[i] }
+func (g *Graph) Node(i int) Node {
+	n := g.nodes[i]
+	if g.ov != nil {
+		if p, ok := g.ov.nodeProps[i]; ok {
+			n.Props = p
+		}
+	}
+	return n
+}
 
 // Edge returns the edge with dense index i.
-func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+func (g *Graph) Edge(i int) Edge {
+	e := g.edges[i]
+	if g.ov != nil {
+		if p, ok := g.ov.edgeProps[i]; ok {
+			e.Props = p
+		}
+	}
+	return e
+}
 
 // EdgeSrc returns edge i's source node index without copying the Edge
 // struct — kernel sweep loops read millions of endpoints per query.
@@ -125,12 +148,22 @@ func (g *Graph) EdgeTgt(i int) int { return g.edges[i].Tgt }
 
 // NodeIndex resolves an external node ID to its dense index.
 func (g *Graph) NodeIndex(id NodeID) (int, bool) {
+	if g.ov != nil {
+		if i, ok := g.ov.nodeIDs[id]; ok {
+			return i, i >= 0
+		}
+	}
 	i, ok := g.nodeByID[id]
 	return i, ok
 }
 
 // EdgeIndex resolves an external edge ID to its dense index.
 func (g *Graph) EdgeIndex(id EdgeID) (int, bool) {
+	if g.ov != nil {
+		if i, ok := g.ov.edgeIDs[id]; ok {
+			return i, i >= 0
+		}
+	}
 	i, ok := g.edgeByID[id]
 	return i, ok
 }
@@ -138,7 +171,7 @@ func (g *Graph) EdgeIndex(id EdgeID) (int, bool) {
 // MustNode resolves id or panics; intended for tests and examples where the
 // node is known to exist.
 func (g *Graph) MustNode(id NodeID) int {
-	i, ok := g.nodeByID[id]
+	i, ok := g.NodeIndex(id)
 	if !ok {
 		panic(fmt.Sprintf("graph: no node %q", id))
 	}
@@ -147,7 +180,7 @@ func (g *Graph) MustNode(id NodeID) int {
 
 // MustEdge resolves id or panics; intended for tests and examples.
 func (g *Graph) MustEdge(id EdgeID) int {
-	i, ok := g.edgeByID[id]
+	i, ok := g.EdgeIndex(id)
 	if !ok {
 		panic(fmt.Sprintf("graph: no edge %q", id))
 	}
@@ -155,18 +188,34 @@ func (g *Graph) MustEdge(id EdgeID) int {
 }
 
 // Out returns the indexes of edges leaving node n. The returned slice must
-// not be modified.
-func (g *Graph) Out(n int) []int { return g.out[n] }
+// not be modified. On an overlay graph, rows of touched nodes come back in
+// (label ID, edge index) order — the CSR region order — rather than pure
+// ascending edge order.
+func (g *Graph) Out(n int) []int {
+	if g.ov != nil {
+		if r, ok := g.ov.outRows[n]; ok {
+			return r
+		}
+	}
+	return g.out[n]
+}
 
 // In returns the indexes of edges entering node n. The returned slice must
-// not be modified.
-func (g *Graph) In(n int) []int { return g.in[n] }
+// not be modified; see Out on ordering.
+func (g *Graph) In(n int) []int {
+	if g.ov != nil {
+		if r, ok := g.ov.inRows[n]; ok {
+			return r
+		}
+	}
+	return g.in[n]
+}
 
 // OutDegree returns the number of edges leaving node n.
-func (g *Graph) OutDegree(n int) int { return len(g.out[n]) }
+func (g *Graph) OutDegree(n int) int { return len(g.Out(n)) }
 
 // InDegree returns the number of edges entering node n.
-func (g *Graph) InDegree(n int) int { return len(g.in[n]) }
+func (g *Graph) InDegree(n int) int { return len(g.In(n)) }
 
 // EdgeLabels returns the sorted set of distinct edge labels in the graph.
 // The slice index of a label is its dense label ID (see LabelID).
@@ -176,9 +225,16 @@ func (g *Graph) EdgeLabels() []string { return g.labels }
 func (g *Graph) NumLabels() int { return len(g.labels) }
 
 // LabelID resolves an edge label to its dense ID; ok is false when no edge
-// of the graph carries the label. IDs are assigned in sorted label order, so
-// they are stable across serialization round-trips of the same graph.
+// of the graph carries the label. IDs are assigned in sorted label order
+// (labels first seen by a mutation extend the numbering at the end), so
+// they are stable across serialization round-trips of the same graph and
+// across every version of one chain.
 func (g *Graph) LabelID(lab string) (int, bool) {
+	if g.ov != nil {
+		if id, ok := g.ov.labelIDs[lab]; ok {
+			return id, true
+		}
+	}
 	id, ok := g.labelID[lab]
 	return id, ok
 }
@@ -191,28 +247,67 @@ func (g *Graph) EdgeLabelID(ei int) int { return g.edgeLabel[ei] }
 
 // OutWithLabel returns the indexes of edges leaving node n whose label has
 // the given ID, in ascending edge-index order. The returned slice aliases
-// the graph's CSR index and must not be modified.
+// the graph's CSR index (or the overlay's row) and must not be modified.
 func (g *Graph) OutWithLabel(n, labelID int) []int {
+	if g.ov != nil {
+		if row, ok := g.ov.outRows[n]; ok {
+			run := labelRun(row, g.edgeLabel, labelID)
+			return row[run[0]:run[1]]
+		}
+	}
 	return g.outCSR.withLabel(g.edgeLabel, n, labelID)
 }
 
 // InWithLabel returns the indexes of edges entering node n whose label has
 // the given ID, in ascending edge-index order. The returned slice aliases
-// the graph's CSR index and must not be modified.
+// the graph's CSR index (or the overlay's row) and must not be modified.
 func (g *Graph) InWithLabel(n, labelID int) []int {
+	if g.ov != nil {
+		if row, ok := g.ov.inRows[n]; ok {
+			run := labelRun(row, g.edgeLabel, labelID)
+			return row[run[0]:run[1]]
+		}
+	}
 	return g.inCSR.withLabel(g.edgeLabel, n, labelID)
 }
 
 // EdgesWithLabelID returns all edge indexes carrying the label with the
 // given ID, ascending. The returned slice aliases the graph's index and must
-// not be modified.
+// not be modified — except on an overlay graph, where it is freshly built
+// from the base index minus tombstones plus the overlay's additions.
 func (g *Graph) EdgesWithLabelID(labelID int) []int {
-	return g.labelEdges[g.labelStart[labelID]:g.labelStart[labelID+1]]
+	if g.ov == nil {
+		return g.labelEdges[g.labelStart[labelID]:g.labelStart[labelID+1]]
+	}
+	var out []int
+	if labelID < len(g.labelStart)-1 {
+		base := g.labelEdges[g.labelStart[labelID]:g.labelStart[labelID+1]]
+		out = make([]int, 0, len(base)+len(g.ov.labelAdds[labelID]))
+		for _, ei := range base {
+			if g.EdgeAlive(ei) {
+				out = append(out, ei)
+			}
+		}
+	}
+	// Added edges have indexes past every base edge, so appending keeps the
+	// ascending order.
+	for _, ei := range g.ov.labelAdds[labelID] {
+		if g.EdgeAlive(ei) {
+			out = append(out, ei)
+		}
+	}
+	return out
 }
 
 // NodeProp returns ρ(node i, name); the ok result is false when the partial
 // function ρ is undefined there.
 func (g *Graph) NodeProp(i int, name string) (Value, bool) {
+	if g.ov != nil {
+		if p, ok := g.ov.nodeProps[i]; ok {
+			v, ok := p[name]
+			return v, ok
+		}
+	}
 	v, ok := g.nodes[i].Props[name]
 	return v, ok
 }
@@ -220,34 +315,42 @@ func (g *Graph) NodeProp(i int, name string) (Value, bool) {
 // EdgeProp returns ρ(edge i, name); the ok result is false when ρ is
 // undefined there.
 func (g *Graph) EdgeProp(i int, name string) (Value, bool) {
+	if g.ov != nil {
+		if p, ok := g.ov.edgeProps[i]; ok {
+			v, ok := p[name]
+			return v, ok
+		}
+	}
 	v, ok := g.edges[i].Props[name]
 	return v, ok
 }
 
-// Nodes returns all node indexes 0..NumNodes-1 whose label is lab; lab == ""
-// matches every node.
+// Nodes returns all live node indexes whose label is lab; lab == "" matches
+// every node.
 func (g *Graph) NodesWithLabel(lab string) []int {
 	var out []int
 	for i := range g.nodes {
-		if lab == "" || g.nodes[i].Label == lab {
+		if (lab == "" || g.nodes[i].Label == lab) && g.NodeAlive(i) {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-// EdgesWithLabel returns all edge indexes whose label is lab; lab == ""
+// EdgesWithLabel returns all live edge indexes whose label is lab; lab == ""
 // matches every edge. Known labels are answered from the per-label index in
-// O(1); the returned slice must not be modified.
+// O(1) on a materialized graph; the returned slice must not be modified.
 func (g *Graph) EdgesWithLabel(lab string) []int {
 	if lab == "" {
-		out := make([]int, len(g.edges))
-		for i := range out {
-			out[i] = i
+		out := make([]int, 0, len(g.edges))
+		for i := range g.edges {
+			if g.EdgeAlive(i) {
+				out = append(out, i)
+			}
 		}
 		return out
 	}
-	id, ok := g.labelID[lab]
+	id, ok := g.LabelID(lab)
 	if !ok {
 		return nil
 	}

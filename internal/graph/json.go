@@ -6,8 +6,9 @@ import (
 	"io"
 )
 
-// jsonValue is the wire form of a Value.
-type jsonValue struct {
+// ValueJSON is the JSON wire form of a Value, shared by the graph JSON
+// codec and the server's mutation API.
+type ValueJSON struct {
 	Kind string `json:"kind"`
 	// Exactly one of the following is meaningful, per Kind.
 	Bool   bool    `json:"bool,omitempty"`
@@ -16,26 +17,28 @@ type jsonValue struct {
 	String string  `json:"string,omitempty"`
 }
 
-func toJSONValue(v Value) jsonValue {
+// valueToJSON renders a Value in its wire form.
+func valueToJSON(v Value) ValueJSON {
 	switch v.Kind() {
 	case KindBool:
 		b, _ := v.AsBool()
-		return jsonValue{Kind: "bool", Bool: b}
+		return ValueJSON{Kind: "bool", Bool: b}
 	case KindInt:
 		i, _ := v.AsInt()
-		return jsonValue{Kind: "int", Int: i}
+		return ValueJSON{Kind: "int", Int: i}
 	case KindFloat:
 		f, _ := v.AsFloat()
-		return jsonValue{Kind: "float", Float: f}
+		return ValueJSON{Kind: "float", Float: f}
 	case KindString:
 		s, _ := v.AsString()
-		return jsonValue{Kind: "string", String: s}
+		return ValueJSON{Kind: "string", String: s}
 	default:
-		return jsonValue{Kind: "null"}
+		return ValueJSON{Kind: "null"}
 	}
 }
 
-func fromJSONValue(jv jsonValue) (Value, error) {
+// ValueFromJSON parses a wire-form value; an empty kind means Null.
+func ValueFromJSON(jv ValueJSON) (Value, error) {
 	switch jv.Kind {
 	case "null", "":
 		return Null(), nil
@@ -55,7 +58,7 @@ func fromJSONValue(jv jsonValue) (Value, error) {
 type jsonNode struct {
 	ID    string               `json:"id"`
 	Label string               `json:"label,omitempty"`
-	Props map[string]jsonValue `json:"props,omitempty"`
+	Props map[string]ValueJSON `json:"props,omitempty"`
 }
 
 type jsonEdge struct {
@@ -63,7 +66,7 @@ type jsonEdge struct {
 	Label string               `json:"label,omitempty"`
 	Src   string               `json:"src"`
 	Tgt   string               `json:"tgt"`
-	Props map[string]jsonValue `json:"props,omitempty"`
+	Props map[string]ValueJSON `json:"props,omitempty"`
 }
 
 type jsonGraph struct {
@@ -71,21 +74,29 @@ type jsonGraph struct {
 	Edges []jsonEdge `json:"edges"`
 }
 
-// WriteJSON serializes g as JSON.
+// WriteJSON serializes g as JSON. Only live elements are written, so
+// exporting an overlay graph and reading the result back yields its
+// materialized state.
 func WriteJSON(w io.Writer, g *Graph) error {
 	jg := jsonGraph{}
 	for i := 0; i < g.NumNodes(); i++ {
+		if !g.NodeAlive(i) {
+			continue
+		}
 		n := g.Node(i)
 		jn := jsonNode{ID: string(n.ID), Label: n.Label}
 		if len(n.Props) > 0 {
-			jn.Props = make(map[string]jsonValue, len(n.Props))
+			jn.Props = make(map[string]ValueJSON, len(n.Props))
 			for k, v := range n.Props {
-				jn.Props[k] = toJSONValue(v)
+				jn.Props[k] = valueToJSON(v)
 			}
 		}
 		jg.Nodes = append(jg.Nodes, jn)
 	}
 	for i := 0; i < g.NumEdges(); i++ {
+		if !g.EdgeAlive(i) {
+			continue
+		}
 		e := g.Edge(i)
 		je := jsonEdge{
 			ID:    string(e.ID),
@@ -94,9 +105,9 @@ func WriteJSON(w io.Writer, g *Graph) error {
 			Tgt:   string(g.Node(e.Tgt).ID),
 		}
 		if len(e.Props) > 0 {
-			je.Props = make(map[string]jsonValue, len(e.Props))
+			je.Props = make(map[string]ValueJSON, len(e.Props))
 			for k, v := range e.Props {
-				je.Props[k] = toJSONValue(v)
+				je.Props[k] = valueToJSON(v)
 			}
 		}
 		jg.Edges = append(jg.Edges, je)
@@ -118,7 +129,7 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		if len(jn.Props) > 0 {
 			props = make(Props, len(jn.Props))
 			for k, jv := range jn.Props {
-				v, err := fromJSONValue(jv)
+				v, err := ValueFromJSON(jv)
 				if err != nil {
 					return nil, fmt.Errorf("graph: node %q property %q: %w", jn.ID, k, err)
 				}
@@ -132,7 +143,7 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		if len(je.Props) > 0 {
 			props = make(Props, len(je.Props))
 			for k, jv := range je.Props {
-				v, err := fromJSONValue(jv)
+				v, err := ValueFromJSON(jv)
 				if err != nil {
 					return nil, fmt.Errorf("graph: edge %q property %q: %w", je.ID, k, err)
 				}

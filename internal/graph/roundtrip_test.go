@@ -1,0 +1,169 @@
+// Read→write→read round-trip tests over generated graphs: the JSON codec
+// must be exact, the CSV codec exact for shape-stable values, and both must
+// export the LIVE state of a mutated (overlay) graph.
+package graph_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+)
+
+// jsonDump serializes g; WriteJSON is deterministic (index order, sorted
+// map keys), so byte equality is state equality for graphs built in the
+// same element order.
+func jsonDump(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteJSON(&buf, g); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestJSONRoundTripRandomGraphs(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := gen.Random(40, 120, []string{"a", "b", "c"}, seed)
+		first := jsonDump(t, g)
+		back, err := graph.ReadJSON(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("seed %d: ReadJSON: %v", seed, err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("seed %d: round-trip size %d/%d, want %d/%d",
+				seed, back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		if second := jsonDump(t, back); !bytes.Equal(first, second) {
+			t.Fatalf("seed %d: JSON round-trip is not a fixpoint", seed)
+		}
+	}
+}
+
+func TestCSVRoundTripRandomGraphs(t *testing.T) {
+	// gen.Random carries int-valued properties only — shape-stable under
+	// the CSV type inference, so the round-trip must be exact.
+	for _, seed := range []int64{1, 2} {
+		g := gen.Random(30, 90, []string{"x", "y"}, seed)
+		var nodes, edges bytes.Buffer
+		if err := graph.WriteCSV(&nodes, &edges, g); err != nil {
+			t.Fatalf("seed %d: WriteCSV: %v", seed, err)
+		}
+		back, err := graph.ReadCSV(bytes.NewReader(nodes.Bytes()), bytes.NewReader(edges.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: ReadCSV: %v", seed, err)
+		}
+		if got, want := jsonDump(t, back), jsonDump(t, g); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: CSV round-trip changed the graph:\n%s\nvs\n%s", seed, got, want)
+		}
+	}
+}
+
+func TestCSVRoundTripValueShapes(t *testing.T) {
+	g, err := graph.NewBuilder().
+		AddNode("n1", "L", graph.Props{
+			"i": graph.Int(-42),
+			"f": graph.Float(2), // integral float must not come back as int
+			"g": graph.Float(2.5),
+			"b": graph.Bool(true),
+			"s": graph.Str("plain text"),
+		}).
+		AddNode("n2", "L", nil).
+		AddEdge("e1", "rel", "n1", "n2", graph.Props{"w": graph.Float(1e300)}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, edges bytes.Buffer
+	if err := graph.WriteCSV(&nodes, &edges, g); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := graph.ReadCSV(bytes.NewReader(nodes.Bytes()), bytes.NewReader(edges.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	n := back.MustNode("n1")
+	for name, want := range map[string]graph.Value{
+		"i": graph.Int(-42),
+		"f": graph.Float(2),
+		"g": graph.Float(2.5),
+		"b": graph.Bool(true),
+		"s": graph.Str("plain text"),
+	} {
+		if v, ok := back.NodeProp(n, name); !ok || v != want {
+			t.Errorf("n1.%s = %v (ok=%v), want %v", name, v, ok, want)
+		}
+	}
+	if v, ok := back.EdgeProp(back.MustEdge("e1"), "w"); !ok || v != graph.Float(1e300) {
+		t.Errorf("e1.w = %v (ok=%v), want 1e300", v, ok)
+	}
+}
+
+// TestExportMutatedGraph checks that both codecs export the live state of
+// an overlay graph: reading the export back equals the materialized chain.
+func TestExportMutatedGraph(t *testing.T) {
+	g := gen.Random(25, 60, []string{"a", "b"}, 9)
+	g2, err := g.Apply([]graph.Mutation{
+		{Op: graph.MutRemoveNode, ID: "v3"},
+		{Op: graph.MutAddNode, ID: "w0", Label: "New", Props: graph.Props{"k": graph.Int(5)}},
+		{Op: graph.MutAddEdge, ID: "f0", Label: "z", Src: "w0", Tgt: "v1"},
+		{Op: graph.MutSetNodeProp, ID: "v1", Prop: "k", Value: graph.Int(999)},
+		{Op: graph.MutRemoveEdge, ID: "e5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := g2.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := graph.ReadJSON(bytes.NewReader(jsonDump(t, g2)))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got, want := jsonDump(t, back), jsonDump(t, mat); !bytes.Equal(got, want) {
+		t.Fatal("JSON export of overlay graph differs from materialized state")
+	}
+
+	var nodes, edges bytes.Buffer
+	if err := graph.WriteCSV(&nodes, &edges, g2); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	csvBack, err := graph.ReadCSV(bytes.NewReader(nodes.Bytes()), bytes.NewReader(edges.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got, want := jsonDump(t, csvBack), jsonDump(t, mat); !bytes.Equal(got, want) {
+		t.Fatal("CSV export of overlay graph differs from materialized state")
+	}
+}
+
+func TestJSONRoundTripAfterManyMutations(t *testing.T) {
+	g := gen.Grid(6, 6, "step")
+	cur := g
+	for i := 0; i < 10; i++ {
+		var err error
+		cur, err = cur.Apply([]graph.Mutation{
+			{Op: graph.MutAddNode, ID: fmt.Sprintf("x%d", i), Label: "X"},
+			{Op: graph.MutAddEdge, ID: fmt.Sprintf("xe%d", i), Label: "hop",
+				Src: fmt.Sprintf("x%d", i), Tgt: "g0_0"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mat, err := cur.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.ReadJSON(bytes.NewReader(jsonDump(t, cur)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := jsonDump(t, back), jsonDump(t, mat); !bytes.Equal(got, want) {
+		t.Fatal("mutated-chain JSON export is not the materialized state")
+	}
+}

@@ -91,6 +91,9 @@ func Eval(g *graph.Graph, e Expr, opts Options) ([]gpath.PathBinding, error) {
 	a := Compile(e)
 	var out []gpath.PathBinding
 	for src := 0; src < g.NumNodes(); src++ {
+		if !g.NodeAlive(src) { // tombstoned under a mutation overlay
+			continue
+		}
 		res, err := runSearchCompiled(g, a, src, -1, opts, nil, nil)
 		if err != nil {
 			return nil, err

@@ -47,8 +47,12 @@ type LiveQuery struct {
 // for GET /v1/queries/recent — one builder, three sinks, so they can't
 // drift.
 type CompletedQuery struct {
-	ID        uint64    `json:"id"`
-	Graph     string    `json:"graph"`
+	ID    uint64 `json:"id"`
+	Graph string `json:"graph"`
+	// GraphRev is the store revision of the snapshot the query evaluated
+	// against (0 when the engine serves a plain static graph) — the handle
+	// for pinning a slow query to the exact live-store state it saw.
+	GraphRev  uint64    `json:"graph_rev,omitempty"`
 	Query     string    `json:"query"`
 	Lang      string    `json:"lang,omitempty"`
 	Outcome   string    `json:"outcome"`

@@ -92,7 +92,7 @@ func (rg *ResolvedGuard) InEdges(g *graph.Graph, node int, visit func(ei int)) {
 func (rg *ResolvedGuard) Edges(g *graph.Graph, visit func(ei int)) {
 	if rg.Negated {
 		for ei := 0; ei < g.NumEdges(); ei++ {
-			if rg.Guard.Matches(g.Edge(ei).Label) {
+			if g.EdgeAlive(ei) && rg.Guard.Matches(g.Edge(ei).Label) {
 				visit(ei)
 			}
 		}

@@ -8,6 +8,9 @@
 //	GET  /v1/queries/recent         recently completed queries (ring buffer)
 //	POST /v1/queries/{id}/cancel    cooperatively kill one in-flight query
 //
+// The live-store write surface (POST /v1/graphs, mutate, delete, export)
+// is documented in store_api.go.
+//
 // Every /v1/query reply from an admitted query — success or error — carries
 // an X-Query-ID header naming the query's registry ID, the handle for the
 // introspection endpoints and the query event log.
@@ -99,6 +102,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("POST /v1/graphs", s.handleGraphLoad)
+	mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.handleGraphMutate)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
+	mux.HandleFunc("GET /v1/graphs/{name}/export", s.handleGraphExport)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
 	mux.HandleFunc("GET /v1/queries", s.handleQueries)
@@ -277,7 +284,12 @@ func classifyHTTP(err error) (int, string) {
 }
 
 func renderResponse(eng *core.Engine, graphName string, resp *core.Response, elapsed time.Duration) *QueryResponse {
-	g := eng.Graph()
+	// Render against the snapshot the query evaluated on: under a live
+	// store the engine's current graph may already be a later version.
+	g := resp.G
+	if g == nil {
+		g = eng.Graph()
+	}
 	out := &QueryResponse{
 		Graph:         graphName,
 		Kind:          resp.Kind,

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphquery/internal/core"
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+)
+
+// renderPairs turns a pairs response into one canonical string, so two
+// evaluations of the same query on the same snapshot compare byte-identical.
+func renderPairs(resp *core.Response) string {
+	out := make([]string, len(resp.Pairs))
+	for i, p := range resp.Pairs {
+		out[i] = string(p[0]) + "\x00" + string(p[1])
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+// TestMutateDuringQueryCrossval is the snapshot-isolation crossval: a writer
+// commits mutation batches while readers evaluate concurrently; every
+// in-flight result must be byte-identical to a rerun of the same query on
+// the pinned snapshot it evaluated against (core.Response.G), post-commit
+// queries must see the new version, and the write path must perform zero
+// full-CSR rebuilds (compaction counter stays 0 below threshold).
+func TestMutateDuringQueryCrossval(t *testing.T) {
+	for _, tc := range []struct {
+		name                string
+		parallelism, shards int
+	}{
+		{"sequential", 1, 0},
+		{"sharded-2", 1, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{
+				Mutable:          true,
+				Parallelism:      tc.parallelism,
+				Shards:           tc.shards,
+				CompactThreshold: 1 << 20, // never compact: proves no rebuilds on the write path
+			})
+			defer s.Close()
+			base := gen.Random(80, 300, []string{"a", "b"}, 7)
+			if _, err := s.register("g", base, false, false); err != nil {
+				t.Fatal(err)
+			}
+			eng := s.Engine("g")
+			h, _ := s.Store().Get("g")
+
+			const batches = 60
+			ctx := context.Background()
+			req := core.Request{Query: "a.b*"}
+
+			first, err := eng.QueryCtx(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			firstRendered := renderPairs(first)
+
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // writer: one commit per batch, adds and removals mixed
+				defer wg.Done()
+				for i := 0; i < batches; i++ {
+					muts := []graph.Mutation{{
+						Op:    graph.MutAddEdge,
+						ID:    fmt.Sprintf("w%d", i),
+						Label: "a",
+						Src:   string(base.Node(i % base.NumNodes()).ID),
+						Tgt:   string(base.Node((i*13 + 7) % base.NumNodes()).ID),
+					}}
+					if i >= 10 && i%3 == 0 {
+						muts = append(muts, graph.Mutation{
+							Op: graph.MutRemoveEdge, ID: fmt.Sprintf("w%d", i-10),
+						})
+					}
+					if _, err := h.Mutate(muts, 0); err != nil {
+						t.Errorf("mutate %d: %v", i, err)
+						return
+					}
+				}
+			}()
+
+			// Readers race the writer. Each query evaluates against whatever
+			// snapshot the engine held when it started (Response.G); the
+			// crossval reruns the query on exactly that pinned graph through
+			// a fresh engine and demands byte-identical output.
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 30; i++ {
+						resp, err := eng.QueryCtx(ctx, req)
+						if err != nil {
+							t.Errorf("query: %v", err)
+							return
+						}
+						pinned := core.New(resp.G)
+						pinned.Parallelism = tc.parallelism
+						pinned.Shards = tc.shards
+						again, err := pinned.QueryCtx(ctx, req)
+						if err != nil {
+							t.Errorf("rerun on pinned snapshot: %v", err)
+							return
+						}
+						if got, want := renderPairs(resp), renderPairs(again); got != want {
+							t.Errorf("in-flight result diverges from pinned snapshot rerun (%d vs %d pairs)",
+								len(resp.Pairs), len(again.Pairs))
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			// Post-commit: the engine tracks the final version and its result
+			// matches a rerun on the final snapshot.
+			snap := h.Snapshot()
+			if snap.Version != uint64(1+batches) {
+				t.Fatalf("final version %d, want %d", snap.Version, 1+batches)
+			}
+			if eng.GraphRev() != snap.Rev {
+				t.Fatalf("engine rev %d lags store rev %d", eng.GraphRev(), snap.Rev)
+			}
+			final, err := eng.QueryCtx(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if renderPairs(final) == firstRendered {
+				t.Fatal("post-commit query still returns the pre-mutation result")
+			}
+			finalEng := core.New(snap.G)
+			finalEng.Parallelism = tc.parallelism
+			finalEng.Shards = tc.shards
+			again, err := finalEng.QueryCtx(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if renderPairs(final) != renderPairs(again) {
+				t.Fatal("post-commit result diverges from final snapshot")
+			}
+
+			// Zero full-CSR rebuilds on the write path: nothing compacted,
+			// every committed op still sits in the delta log.
+			st := h.Status()
+			if st.Compactions != 0 {
+				t.Fatalf("write path triggered %d compactions, want 0", st.Compactions)
+			}
+			if st.DeltaOps == 0 {
+				t.Fatal("delta log empty: writes were not applied as deltas")
+			}
+			// All pins released once the queries drained.
+			if st.Pins != 0 {
+				t.Fatalf("leaked snapshot pins: %d", st.Pins)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"graphquery/internal/obs"
+	"graphquery/internal/store"
 )
 
 // GET /metrics: the Prometheus text-format view of the server. Every value
@@ -44,6 +45,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.Family(fam.name, fam.help, fam.typ)
 		for _, name := range names {
 			m.Sample(fam.name, fam.value(st.Graphs[name]), map[string]string{"graph": name})
+		}
+	}
+
+	// Live-store families: the aggregate counters, then per-graph status
+	// under a graph label — all from the same Stats() snapshot, so they
+	// match /v1/statz's "store" object exactly.
+	m.Gauge("gq_store_graphs", "Graphs owned by the live store.", int64(st.Store.Graphs), nil)
+	m.Counter("gq_store_loads_total", "Graphs bulk-loaded into the store.", st.Store.Loads, nil)
+	m.Counter("gq_store_deletes_total", "Graphs deleted from the store.", st.Store.Deletes, nil)
+	m.Counter("gq_store_mutation_batches_total", "Mutation batches committed.", st.Store.MutationBatches, nil)
+	m.Counter("gq_store_mutation_ops_total", "Individual mutation operations committed.", st.Store.MutationOps, nil)
+	m.Counter("gq_store_compactions_total", "Background delta-log compactions completed.", st.Store.Compactions, nil)
+	for _, fam := range storeGraphFamilies {
+		m.Family(fam.name, fam.help, fam.typ)
+		for _, gs := range st.Store.PerGraph {
+			m.Sample(fam.name, fam.value(gs), map[string]string{"graph": gs.Name})
 		}
 	}
 
@@ -106,4 +123,26 @@ var graphFamilies = []struct {
 		func(g GraphStats) int64 { return g.Runtime.PlanSharded }},
 	{"gq_runtime_shard_sweeps_total", "Shard sweep loops run by the kernel.", "counter",
 		func(g GraphStats) int64 { return g.Runtime.ShardSweeps }},
+}
+
+// storeGraphFamilies are the per-graph live-store families, each one field
+// of store.GraphStatus under a graph label.
+var storeGraphFamilies = []struct {
+	name, help, typ string
+	value           func(store.GraphStatus) int64
+}{
+	{"gq_store_graph_version", "Client-visible commit counter of the graph.", "gauge",
+		func(g store.GraphStatus) int64 { return int64(g.Version) }},
+	{"gq_store_graph_rev", "Snapshot revision (bumps on commits and compactions).", "gauge",
+		func(g store.GraphStatus) int64 { return int64(g.Rev) }},
+	{"gq_store_graph_delta_ops", "Mutations in the delta log awaiting compaction.", "gauge",
+		func(g store.GraphStatus) int64 { return int64(g.DeltaOps) }},
+	{"gq_store_graph_compactions_total", "Delta-log compactions folded into this graph.", "counter",
+		func(g store.GraphStatus) int64 { return g.Compactions }},
+	{"gq_store_graph_pins", "Snapshots pinned by in-flight queries.", "gauge",
+		func(g store.GraphStatus) int64 { return g.Pins }},
+	{"gq_store_graph_live_nodes", "Live (non-tombstoned) nodes.", "gauge",
+		func(g store.GraphStatus) int64 { return int64(g.LiveNodes) }},
+	{"gq_store_graph_live_edges", "Live (non-tombstoned) edges.", "gauge",
+		func(g store.GraphStatus) int64 { return int64(g.LiveEdges) }},
 }

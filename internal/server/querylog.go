@@ -23,12 +23,15 @@ import (
 func buildRecord(act *obs.Active, outcome string, err error, elapsed time.Duration, tr *obs.Trace, resp *core.Response) obs.CompletedQuery {
 	spans := tr.Spans()
 	states, rows := obs.TotalStates(spans), obs.TotalRows(spans)
+	var graphRev uint64
 	if resp != nil {
 		states, rows = resp.StatesVisited, resp.RowsProduced
+		graphRev = resp.GraphRev
 	}
 	rec := obs.CompletedQuery{
 		ID:        act.ID,
 		Graph:     act.Graph,
+		GraphRev:  graphRev,
 		Query:     act.Query,
 		Lang:      act.Lang,
 		Outcome:   outcome,

@@ -28,6 +28,7 @@ import (
 	"graphquery/internal/gen"
 	"graphquery/internal/graph"
 	"graphquery/internal/obs"
+	"graphquery/internal/store"
 )
 
 // Config tunes a Server. The zero value serves with no deadlines, no
@@ -71,9 +72,26 @@ type Config struct {
 	// Recent bounds the completed-query ring buffer behind
 	// GET /v1/queries/recent (0: obs.DefaultRecent).
 	Recent int
+	// Mutable enables the write surface: POST /v1/graphs, POST
+	// /v1/graphs/{name}/mutate, DELETE /v1/graphs/{name}. When false those
+	// endpoints answer 405 read_only. Graphs registered by the embedder
+	// (Register, LoadNamed) are read-only catalog graphs either way.
+	Mutable bool
+	// CompactThreshold is the live store's delta depth that triggers
+	// background compaction (0: store.DefaultCompactThreshold; negative
+	// disables compaction).
+	CompactThreshold int
+	// MaxLoadBytes bounds the POST /v1/graphs request body; larger loads
+	// are rejected with 413 too_large (0: defaultMaxLoadBytes).
+	MaxLoadBytes int64
 }
 
 const defaultMaxConcurrent = 16
+
+// defaultMaxLoadBytes bounds bulk graph loads when the config leaves
+// MaxLoadBytes zero: big enough for generous test fixtures, small enough
+// that one request cannot balloon the heap.
+const defaultMaxLoadBytes = 32 << 20
 
 // Server is a query service over named graphs. Create with New, populate
 // with Register / LoadNamed, then serve Handler.
@@ -82,6 +100,13 @@ type Server struct {
 
 	mu      sync.RWMutex
 	engines map[string]*core.Engine
+
+	// store owns every served graph's MVCC version chain. Engines are kept
+	// pointed at the latest snapshot through the store's OnSwap hook; the
+	// lock-order rule is: never call a store write operation while holding
+	// s.mu (OnSwap fires under the store's per-graph write lock and takes
+	// s.mu.RLock).
+	store *store.Store
 
 	// sem holds one token per in-flight query; queued counts admissions
 	// blocked waiting for a token, checked against cfg.MaxQueue.
@@ -124,10 +149,41 @@ func New(cfg Config) *Server {
 		latency:  obs.NewHistogram(obs.DefBuckets()),
 		registry: obs.NewRegistry(cfg.Recent),
 	}
+	s.store = store.New(store.Config{
+		CompactThreshold: cfg.CompactThreshold,
+		OnSwap:           s.onStoreSwap,
+	})
 	for i := range s.stageLatency {
 		s.stageLatency[i] = obs.NewHistogram(obs.DefBuckets())
 	}
 	return s
+}
+
+// Store exposes the live graph store (tests, embedders). Prefer the HTTP
+// surface for client writes: it keeps the error taxonomy.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Close waits for the store's background compactions to finish.
+func (s *Server) Close() { s.store.Close() }
+
+// onStoreSwap points a graph's engine at a freshly published snapshot. It
+// runs under the store's per-graph write lock, in commit order, so engines
+// never observe version chains out of order. The pin hook refcounts the
+// snapshot per query (engine queries acquire on entry, release when done).
+func (s *Server) onStoreSwap(name string, snap *store.Snapshot) {
+	s.mu.RLock()
+	e := s.engines[name]
+	s.mu.RUnlock()
+	if e == nil {
+		return // registration in progress; register installs the snapshot itself
+	}
+	if snap.Rev < e.GraphRev() {
+		return // stale double-install from the registration handshake
+	}
+	e.SetGraphPinned(snap.G, snap.Rev, func() func() {
+		snap.Acquire()
+		return snap.Release
+	})
 }
 
 // Registry exposes the in-flight query registry (admission, live progress,
@@ -142,10 +198,27 @@ func (s *Server) logger() *slog.Logger {
 	return slog.Default()
 }
 
-// Register adds g under name and returns its engine (already seeded with
-// the server's MaxLen/Limit/Parallelism/DefaultBudget) for further
-// customization before serving starts. Re-registering a name replaces it.
+// Register adds g under name as a read-only catalog graph and returns its
+// engine (already seeded with the server's MaxLen/Limit/Parallelism/
+// DefaultBudget) for further customization before serving starts.
+// Re-registering a name replaces it.
 func (s *Server) Register(name string, g *graph.Graph) *core.Engine {
+	e, _ := s.register(name, g, true, true)
+	return e
+}
+
+// register adopts g into the live store under name and wires its engine to
+// track snapshot swaps. replace drops any existing chain first (embedder
+// Register semantics); the HTTP load path passes replace=false and maps
+// store.ErrExists to 409.
+func (s *Server) register(name string, g *graph.Graph, readOnly, replace bool) (*core.Engine, error) {
+	if replace {
+		s.store.Drop(name)
+	}
+	h, err := s.store.Load(name, g, readOnly)
+	if err != nil {
+		return nil, err
+	}
 	e := core.New(g)
 	if s.cfg.MaxLen > 0 {
 		e.MaxLen = s.cfg.MaxLen
@@ -157,7 +230,11 @@ func (s *Server) Register(name string, g *graph.Graph) *core.Engine {
 	s.mu.Lock()
 	s.engines[name] = e
 	s.mu.Unlock()
-	return e
+	// The Load-time OnSwap fired before the engine was registered (no-op);
+	// install the current snapshot now. Any commit that raced in between
+	// re-fires OnSwap after us with a higher Rev, so the engine converges.
+	s.onStoreSwap(name, h.Snapshot())
+	return e, nil
 }
 
 // LoadNamed registers graphs from the built-in catalog (gen.Named) under

@@ -5,6 +5,7 @@ import (
 
 	"graphquery/internal/core"
 	"graphquery/internal/pg"
+	"graphquery/internal/store"
 )
 
 // counters is the server's hot-path instrumentation: every field is an
@@ -42,6 +43,7 @@ type ServerStats struct {
 	RowsReturned   int64 `json:"rows_returned"`
 
 	Graphs map[string]GraphStats `json:"graphs"`
+	Store  store.Stats           `json:"store"`
 }
 
 // GraphStats describes one registered graph: its size, plan cache, and
@@ -82,5 +84,6 @@ func (s *Server) Stats() ServerStats {
 		}
 	}
 	s.mu.RUnlock()
+	st.Store = s.store.Stats()
 	return st
 }

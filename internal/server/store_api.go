@@ -1,0 +1,306 @@
+// The write surface of the query service — the live graph store's HTTP API.
+//
+//	POST   /v1/graphs                    bulk-load a graph (JSON or CSV payload)
+//	POST   /v1/graphs/{name}/mutate      apply one batched mutation atomically
+//	DELETE /v1/graphs/{name}             drop a graph
+//	GET    /v1/graphs/{name}/export      export a graph (JSON, or CSV by part)
+//
+// The write endpoints extend the error envelope taxonomy:
+//
+//	graph_exists     409  load names a graph that already exists
+//	version_mismatch 409  mutate if_version precondition failed
+//	read_only        405  server not -mutable, or the graph is a catalog graph
+//	too_large        413  load body exceeds the configured size limit
+//
+// Export is a read and works on any graph, mutable server or not.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"graphquery/internal/graph"
+	"graphquery/internal/store"
+)
+
+// LoadRequest is the POST /v1/graphs body. Exactly one payload shape is
+// used: format "json" (default) takes the graph codec's document under
+// "graph"; format "csv" takes the two CSV files inline.
+type LoadRequest struct {
+	Name   string `json:"name"`
+	Format string `json:"format,omitempty"` // "json" (default) or "csv"
+	// Graph is the {"nodes":[...],"edges":[...]} document (format json).
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// NodesCSV / EdgesCSV carry the two CSV files (format csv).
+	NodesCSV string `json:"nodes_csv,omitempty"`
+	EdgesCSV string `json:"edges_csv,omitempty"`
+}
+
+// MutationJSON is one operation of a POST /v1/graphs/{name}/mutate batch,
+// the wire form of graph.Mutation.
+type MutationJSON struct {
+	Op    string                     `json:"op"` // add_node, remove_node, add_edge, remove_edge, set_node_prop, set_edge_prop
+	ID    string                     `json:"id"`
+	Label string                     `json:"label,omitempty"`
+	Src   string                     `json:"src,omitempty"`
+	Tgt   string                     `json:"tgt,omitempty"`
+	Props map[string]graph.ValueJSON `json:"props,omitempty"`
+	Prop  string                     `json:"prop,omitempty"`
+	Value *graph.ValueJSON           `json:"value,omitempty"`
+}
+
+// MutateRequest is the POST /v1/graphs/{name}/mutate body. IfVersion,
+// when nonzero, is an optimistic-concurrency precondition on the graph's
+// current version.
+type MutateRequest struct {
+	IfVersion uint64         `json:"if_version,omitempty"`
+	Ops       []MutationJSON `json:"ops"`
+}
+
+// GraphVersion is the success body of load and mutate: where the chain
+// landed.
+type GraphVersion struct {
+	Graph   string `json:"graph"`
+	Version uint64 `json:"version"`
+	Rev     uint64 `json:"rev"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Applied int    `json:"applied,omitempty"`
+}
+
+func (s *Server) maxLoadBytes() int64 {
+	if s.cfg.MaxLoadBytes > 0 {
+		return s.cfg.MaxLoadBytes
+	}
+	return defaultMaxLoadBytes
+}
+
+// requireMutable gates a write endpoint on the server's -mutable flag.
+func (s *Server) requireMutable(w http.ResponseWriter) bool {
+	if s.cfg.Mutable {
+		return true
+	}
+	s.stats.errors.Add(1)
+	writeError(w, http.StatusMethodNotAllowed, "read_only",
+		"server is read-only; start it with -mutable to enable graph writes")
+	return false
+}
+
+// writeStoreError maps the store's error taxonomy onto the envelope.
+func (s *Server) writeStoreError(w http.ResponseWriter, err error) {
+	s.stats.errors.Add(1)
+	switch {
+	case errors.Is(err, store.ErrExists):
+		writeError(w, http.StatusConflict, "graph_exists", err.Error())
+	case errors.Is(err, store.ErrVersionMismatch):
+		writeError(w, http.StatusConflict, "version_mismatch", err.Error())
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "unknown_graph", err.Error())
+	case errors.Is(err, store.ErrReadOnly):
+		writeError(w, http.StatusMethodNotAllowed, "read_only", err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+	}
+}
+
+func (s *Server) handleGraphLoad(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMutable(w) {
+		return
+	}
+	var req LoadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxLoadBytes()))
+	if err := dec.Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("load body exceeds the %d-byte limit", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
+		return
+	}
+	if req.Name == "" {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request", "missing graph name")
+		return
+	}
+	var g *graph.Graph
+	var err error
+	switch req.Format {
+	case "", "json":
+		if len(req.Graph) == 0 {
+			s.stats.errors.Add(1)
+			writeError(w, http.StatusBadRequest, "invalid_request", `missing "graph" document`)
+			return
+		}
+		g, err = graph.ReadJSON(bytes.NewReader(req.Graph))
+	case "csv":
+		g, err = graph.ReadCSV(strings.NewReader(req.NodesCSV), strings.NewReader(req.EdgesCSV))
+	default:
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			fmt.Sprintf("unknown load format %q (want json or csv)", req.Format))
+		return
+	}
+	if err != nil {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad graph payload: "+err.Error())
+		return
+	}
+	if _, err := s.register(req.Name, g, false, false); err != nil {
+		s.writeStoreError(w, err)
+		return
+	}
+	h, _ := s.store.Get(req.Name)
+	snap := h.Snapshot()
+	writeJSON(w, http.StatusCreated, GraphVersion{
+		Graph:   req.Name,
+		Version: snap.Version,
+		Rev:     snap.Rev,
+		Nodes:   snap.G.NumLiveNodes(),
+		Edges:   snap.G.NumLiveEdges(),
+	})
+}
+
+func (s *Server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMutable(w) {
+		return
+	}
+	name := r.PathValue("name")
+	h, ok := s.store.Get(name)
+	if !ok {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(name))
+		return
+	}
+	var req MutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Ops) == 0 {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request", "empty mutation batch")
+		return
+	}
+	muts := make([]graph.Mutation, len(req.Ops))
+	for i, op := range req.Ops {
+		m, err := decodeMutation(op)
+		if err != nil {
+			s.stats.errors.Add(1)
+			writeError(w, http.StatusBadRequest, "invalid_request",
+				fmt.Sprintf("op %d: %v", i, err))
+			return
+		}
+		muts[i] = m
+	}
+	snap, err := h.Mutate(muts, req.IfVersion)
+	if err != nil {
+		s.writeStoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, GraphVersion{
+		Graph:   name,
+		Version: snap.Version,
+		Rev:     snap.Rev,
+		Nodes:   snap.G.NumLiveNodes(),
+		Edges:   snap.G.NumLiveEdges(),
+		Applied: len(muts),
+	})
+}
+
+func decodeMutation(op MutationJSON) (graph.Mutation, error) {
+	kind, err := graph.ParseMutOp(op.Op)
+	if err != nil {
+		return graph.Mutation{}, err
+	}
+	m := graph.Mutation{
+		Op:    kind,
+		ID:    op.ID,
+		Label: op.Label,
+		Src:   op.Src,
+		Tgt:   op.Tgt,
+		Prop:  op.Prop,
+	}
+	if len(op.Props) > 0 {
+		m.Props = make(graph.Props, len(op.Props))
+		for k, jv := range op.Props {
+			v, err := graph.ValueFromJSON(jv)
+			if err != nil {
+				return graph.Mutation{}, fmt.Errorf("prop %q: %w", k, err)
+			}
+			m.Props[k] = v
+		}
+	}
+	if op.Value != nil {
+		v, err := graph.ValueFromJSON(*op.Value)
+		if err != nil {
+			return graph.Mutation{}, fmt.Errorf("value: %w", err)
+		}
+		m.Value = v
+	}
+	return m, nil
+}
+
+func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMutable(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.store.Delete(name); err != nil {
+		s.writeStoreError(w, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.engines, name)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleGraphExport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	h, ok := s.store.Get(name)
+	if !ok {
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(name))
+		return
+	}
+	g := h.Snapshot().G
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := graph.WriteJSON(w, g); err != nil {
+			// Headers are gone; the truncated body is the best signal left.
+			s.stats.errors.Add(1)
+		}
+	case "csv":
+		var nodes, edges io.Writer = io.Discard, io.Discard
+		switch part := r.URL.Query().Get("part"); part {
+		case "nodes":
+			nodes = w
+		case "edges":
+			edges = w
+		default:
+			s.stats.errors.Add(1)
+			writeError(w, http.StatusBadRequest, "invalid_request",
+				fmt.Sprintf("csv export needs part=nodes or part=edges, got %q", part))
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := graph.WriteCSV(nodes, edges, g); err != nil {
+			s.stats.errors.Add(1)
+		}
+	default:
+		s.stats.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			fmt.Sprintf("unknown export format %q (want json or csv)", format))
+	}
+}

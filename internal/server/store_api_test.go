@@ -1,0 +1,312 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// doJSON sends one request with a JSON body and decodes the JSON reply
+// (success or error envelope) into a generic map.
+func doJSON(t *testing.T, ts *httptest.Server, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("%s %s: response %d is not JSON: %v\n%s", method, path, resp.StatusCode, err, raw)
+	}
+	return resp.StatusCode, m
+}
+
+// triangleDoc is a 3-node a-labeled cycle in the bulk-load wire format.
+const triangleDoc = `{
+	"nodes": [{"id":"v0","label":"person"},{"id":"v1","label":"person"},{"id":"v2","label":"person"}],
+	"edges": [
+		{"id":"e0","label":"a","src":"v0","tgt":"v1"},
+		{"id":"e1","label":"a","src":"v1","tgt":"v2"},
+		{"id":"e2","label":"a","src":"v2","tgt":"v0"}
+	]
+}`
+
+func TestStoreLoadMutateExport(t *testing.T) {
+	_, ts := newTestServer(t, Config{Mutable: true})
+
+	// Load.
+	status, m := doJSON(t, ts, "POST", "/v1/graphs",
+		`{"name":"tri","graph":`+triangleDoc+`}`)
+	if status != http.StatusCreated {
+		t.Fatalf("load: status %d: %v", status, m)
+	}
+	if m["version"].(float64) != 1 || m["nodes"].(float64) != 3 || m["edges"].(float64) != 3 {
+		t.Fatalf("load reply: %v", m)
+	}
+
+	// The loaded graph serves queries.
+	status, m = post(t, ts, `{"graph":"tri","query":"a.a.a"}`)
+	if status != http.StatusOK || m["count"].(float64) != 3 {
+		t.Fatalf("query pre-mutate: status %d, %v", status, m)
+	}
+
+	// Mutate: break the cycle, add a reroute through a new node.
+	status, m = doJSON(t, ts, "POST", "/v1/graphs/tri/mutate", `{
+		"if_version": 1,
+		"ops": [
+			{"op":"remove_edge","id":"e2"},
+			{"op":"add_node","id":"v3","label":"person","props":{"name":{"kind":"string","string":"dana"}}},
+			{"op":"add_edge","id":"e3","label":"a","src":"v2","tgt":"v3"},
+			{"op":"add_edge","id":"e4","label":"a","src":"v3","tgt":"v0"}
+		]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("mutate: status %d: %v", status, m)
+	}
+	if m["version"].(float64) != 2 || m["applied"].(float64) != 4 ||
+		m["nodes"].(float64) != 4 || m["edges"].(float64) != 4 {
+		t.Fatalf("mutate reply: %v", m)
+	}
+
+	// Post-commit queries see the new version: the cycle is now length 4.
+	status, m = post(t, ts, `{"graph":"tri","query":"a.a.a"}`)
+	if status != http.StatusOK || m["count"].(float64) != 4 {
+		t.Fatalf("query post-mutate: status %d, %v", status, m)
+	}
+
+	// Export round-trips the mutated state: live elements only.
+	resp, err := http.Get(ts.URL + "/v1/graphs/tri/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: status %d: %s", resp.StatusCode, raw)
+	}
+	var doc struct {
+		Nodes []map[string]any `json:"nodes"`
+		Edges []map[string]any `json:"edges"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export not JSON: %v\n%s", err, raw)
+	}
+	if len(doc.Nodes) != 4 || len(doc.Edges) != 4 {
+		t.Fatalf("export sizes: %d nodes, %d edges\n%s", len(doc.Nodes), len(doc.Edges), raw)
+	}
+	for _, e := range doc.Edges {
+		if e["id"] == "e2" {
+			t.Fatalf("export contains removed edge e2: %s", raw)
+		}
+	}
+
+	// CSV export by part.
+	for part, wantLines := range map[string]int{"nodes": 5, "edges": 5} { // header + 4
+		resp, err := http.Get(ts.URL + "/v1/graphs/tri/export?format=csv&part=" + part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("csv export %s: status %d: %s", part, resp.StatusCode, raw)
+		}
+		if got := strings.Count(strings.TrimRight(string(raw), "\n"), "\n") + 1; got != wantLines {
+			t.Fatalf("csv export %s: %d lines, want %d:\n%s", part, got, wantLines, raw)
+		}
+	}
+
+	// Delete; the graph is gone from both surfaces.
+	status, m = doJSON(t, ts, "DELETE", "/v1/graphs/tri", "")
+	if status != http.StatusOK {
+		t.Fatalf("delete: status %d: %v", status, m)
+	}
+	status, m = post(t, ts, `{"graph":"tri","query":"a"}`)
+	if status != http.StatusNotFound || errorCode(t, m) != "unknown_graph" {
+		t.Fatalf("query after delete: status %d, %v", status, m)
+	}
+}
+
+func TestStoreCSVLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{Mutable: true})
+	body := `{"name":"csvg","format":"csv",
+		"nodes_csv":"id,label\nn0,x\nn1,x\n",
+		"edges_csv":"id,label,src,tgt\ne0,a,n0,n1\n"}`
+	status, m := doJSON(t, ts, "POST", "/v1/graphs", body)
+	if status != http.StatusCreated || m["nodes"].(float64) != 2 || m["edges"].(float64) != 1 {
+		t.Fatalf("csv load: status %d: %v", status, m)
+	}
+	status, m = post(t, ts, `{"graph":"csvg","query":"a"}`)
+	if status != http.StatusOK || m["count"].(float64) != 1 {
+		t.Fatalf("query: status %d, %v", status, m)
+	}
+}
+
+// TestStoreWriteTaxonomy pins the write-surface error envelope: every
+// failure class answers its documented status and machine-readable code.
+func TestStoreWriteTaxonomy(t *testing.T) {
+	t.Run("read_only_server", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{}, "bank") // not Mutable
+		for _, c := range []struct{ method, path string }{
+			{"POST", "/v1/graphs"},
+			{"POST", "/v1/graphs/bank/mutate"},
+			{"DELETE", "/v1/graphs/bank"},
+		} {
+			status, m := doJSON(t, ts, c.method, c.path, `{}`)
+			if status != http.StatusMethodNotAllowed || errorCode(t, m) != "read_only" {
+				t.Fatalf("%s %s: status %d, %v", c.method, c.path, status, m)
+			}
+		}
+		// Export is a read: allowed on a read-only server.
+		resp, err := http.Get(ts.URL + "/v1/graphs/bank/export")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("export on read-only server: status %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("graph_exists", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Mutable: true})
+		body := `{"name":"dup","graph":` + triangleDoc + `}`
+		if status, m := doJSON(t, ts, "POST", "/v1/graphs", body); status != http.StatusCreated {
+			t.Fatalf("first load: status %d: %v", status, m)
+		}
+		status, m := doJSON(t, ts, "POST", "/v1/graphs", body)
+		if status != http.StatusConflict || errorCode(t, m) != "graph_exists" {
+			t.Fatalf("duplicate load: status %d, %v", status, m)
+		}
+	})
+
+	t.Run("version_mismatch", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Mutable: true})
+		doJSON(t, ts, "POST", "/v1/graphs", `{"name":"v","graph":`+triangleDoc+`}`)
+		status, m := doJSON(t, ts, "POST", "/v1/graphs/v/mutate",
+			`{"if_version":99,"ops":[{"op":"remove_edge","id":"e0"}]}`)
+		if status != http.StatusConflict || errorCode(t, m) != "version_mismatch" {
+			t.Fatalf("stale precondition: status %d, %v", status, m)
+		}
+	})
+
+	t.Run("read_only_catalog_graph", func(t *testing.T) {
+		// A mutable server still refuses writes to embedder-registered graphs.
+		_, ts := newTestServer(t, Config{Mutable: true}, "bank")
+		status, m := doJSON(t, ts, "POST", "/v1/graphs/bank/mutate",
+			`{"ops":[{"op":"add_node","id":"z"}]}`)
+		if status != http.StatusMethodNotAllowed || errorCode(t, m) != "read_only" {
+			t.Fatalf("mutate catalog graph: status %d, %v", status, m)
+		}
+		status, m = doJSON(t, ts, "DELETE", "/v1/graphs/bank", "")
+		if status != http.StatusMethodNotAllowed || errorCode(t, m) != "read_only" {
+			t.Fatalf("delete catalog graph: status %d, %v", status, m)
+		}
+	})
+
+	t.Run("too_large", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Mutable: true, MaxLoadBytes: 256})
+		big := fmt.Sprintf(`{"name":"big","graph":{"nodes":[{"id":%q}],"edges":[]}}`,
+			strings.Repeat("x", 512))
+		status, m := doJSON(t, ts, "POST", "/v1/graphs", big)
+		if status != http.StatusRequestEntityTooLarge || errorCode(t, m) != "too_large" {
+			t.Fatalf("oversized load: status %d, %v", status, m)
+		}
+	})
+
+	t.Run("unknown_graph", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Mutable: true})
+		status, m := doJSON(t, ts, "POST", "/v1/graphs/none/mutate",
+			`{"ops":[{"op":"add_node","id":"z"}]}`)
+		if status != http.StatusNotFound || errorCode(t, m) != "unknown_graph" {
+			t.Fatalf("mutate unknown: status %d, %v", status, m)
+		}
+		status, m = doJSON(t, ts, "DELETE", "/v1/graphs/none", "")
+		if status != http.StatusNotFound || errorCode(t, m) != "unknown_graph" {
+			t.Fatalf("delete unknown: status %d, %v", status, m)
+		}
+	})
+
+	t.Run("invalid_requests", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Mutable: true})
+		doJSON(t, ts, "POST", "/v1/graphs", `{"name":"g","graph":`+triangleDoc+`}`)
+		for name, c := range map[string]struct{ path, body string }{
+			"missing name":   {"/v1/graphs", `{"graph":{"nodes":[],"edges":[]}}`},
+			"missing graph":  {"/v1/graphs", `{"name":"x"}`},
+			"bad format":     {"/v1/graphs", `{"name":"x","format":"xml","graph":{}}`},
+			"empty batch":    {"/v1/graphs/g/mutate", `{"ops":[]}`},
+			"unknown op":     {"/v1/graphs/g/mutate", `{"ops":[{"op":"frobnicate","id":"z"}]}`},
+			"dangling edge":  {"/v1/graphs/g/mutate", `{"ops":[{"op":"add_edge","id":"z","label":"a","src":"v0","tgt":"nope"}]}`},
+			"duplicate node": {"/v1/graphs/g/mutate", `{"ops":[{"op":"add_node","id":"v0"}]}`},
+		} {
+			status, m := doJSON(t, ts, "POST", c.path, c.body)
+			if status != http.StatusBadRequest || errorCode(t, m) != "invalid_request" {
+				t.Fatalf("%s: status %d, %v", name, status, m)
+			}
+		}
+	})
+}
+
+// TestStoreStatsAndMetrics asserts the /v1/statz store object and the
+// gq_store_* metric families agree, straight from the same snapshot.
+func TestStoreStatsAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{Mutable: true})
+	doJSON(t, ts, "POST", "/v1/graphs", `{"name":"m","graph":`+triangleDoc+`}`)
+	doJSON(t, ts, "POST", "/v1/graphs/m/mutate", `{"ops":[{"op":"remove_edge","id":"e0"}]}`)
+	doJSON(t, ts, "POST", "/v1/graphs/m/mutate", `{"ops":[{"op":"add_edge","id":"e9","label":"b","src":"v0","tgt":"v1"}]}`)
+
+	st := s.Stats()
+	if st.Store.Graphs != 1 || st.Store.Loads != 1 ||
+		st.Store.MutationBatches != 2 || st.Store.MutationOps != 2 {
+		t.Fatalf("store stats: %+v", st.Store)
+	}
+	if len(st.Store.PerGraph) != 1 || st.Store.PerGraph[0].Version != 3 ||
+		st.Store.PerGraph[0].LiveEdges != 3 {
+		t.Fatalf("per-graph status: %+v", st.Store.PerGraph)
+	}
+
+	// A query against the mutated graph stamps the snapshot's revision into
+	// its completion record (rev 3: load + two commits).
+	if status, m := post(t, ts, `{"graph":"m","query":"b"}`); status != http.StatusOK {
+		t.Fatalf("query: status %d, %v", status, m)
+	}
+	recent := s.Registry().Recent()
+	if len(recent) == 0 || recent[0].GraphRev != 3 {
+		t.Fatalf("recent record graph_rev: %+v", recent)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		"gq_store_graphs 1",
+		"gq_store_loads_total 1",
+		"gq_store_mutation_batches_total 2",
+		"gq_store_mutation_ops_total 2",
+		`gq_store_graph_version{graph="m"} 3`,
+		`gq_store_graph_live_edges{graph="m"} 3`,
+		`gq_store_graph_compactions_total{graph="m"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

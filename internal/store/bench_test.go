@@ -1,0 +1,127 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"graphquery/internal/gen"
+	"graphquery/internal/graph"
+)
+
+// BenchmarkStoreMutate measures single-edge commit latency on a live graph:
+// each iteration is one Mutate batch (add one edge) over a ScaleFree base,
+// with the default compaction threshold so background folds happen at a
+// realistic cadence. Reported ns/op is the full MVCC write path: overlay
+// clone, CSR-row splice, snapshot publication.
+func BenchmarkStoreMutate(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	base := gen.ScaleFree(2000, 4, 42)
+	h, err := s.Load("bench", base, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := base.NumNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		muts := []graph.Mutation{{
+			Op:    graph.MutAddEdge,
+			ID:    fmt.Sprintf("bm%d", i),
+			Label: "a",
+			Src:   string(base.Node(i % n).ID),
+			Tgt:   string(base.Node((i*7 + 1) % n).ID),
+		}}
+		if _, err := h.Mutate(muts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// scanSnapshot is the read workload for the latency benchmarks: a full
+// out-adjacency sweep of one snapshot (every live node's out rows), the
+// access pattern of a kernel sweep without the automaton around it.
+func scanSnapshot(g *graph.Graph) int {
+	sum := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if !g.NodeAlive(u) {
+			continue
+		}
+		sum += len(g.Out(u))
+	}
+	return sum
+}
+
+// BenchmarkStoreReadQuiescent is the baseline for ReadDuringCompaction:
+// the same snapshot sweep with no writer.
+func BenchmarkStoreReadQuiescent(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	base := gen.ScaleFree(20000, 4, 42)
+	h, err := s.Load("bench", base, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		snap := h.Snapshot()
+		snap.Acquire()
+		sum += scanSnapshot(snap.G)
+		snap.Release()
+	}
+	if sum == 0 {
+		b.Fatal("empty sweep")
+	}
+}
+
+// BenchmarkStoreReadDuringCompaction measures snapshot-read latency while a
+// writer commits continuously against a low compaction threshold, so reads
+// overlap both overlay chains and background CSR folds — the
+// read-latency-during-compaction number in EXPERIMENTS.md.
+func BenchmarkStoreReadDuringCompaction(b *testing.B) {
+	s := New(Config{CompactThreshold: 64})
+	defer s.Close()
+	base := gen.ScaleFree(20000, 4, 42)
+	h, err := s.Load("bench", base, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := base.NumNodes()
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; !stop.Load(); i++ {
+			muts := []graph.Mutation{{
+				Op:    graph.MutAddEdge,
+				ID:    fmt.Sprintf("rc%d", i),
+				Label: "a",
+				Src:   string(base.Node(i % n).ID),
+				Tgt:   string(base.Node((i*7 + 1) % n).ID),
+			}}
+			if _, err := h.Mutate(muts, 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		snap := h.Snapshot()
+		snap.Acquire()
+		sum += scanSnapshot(snap.G)
+		snap.Release()
+	}
+	b.StopTimer()
+	stop.Store(true)
+	<-done
+	if sum == 0 {
+		b.Fatal("empty sweep")
+	}
+	if h.Status().Compactions == 0 && b.N > 200 {
+		b.Fatal("writer never triggered a compaction")
+	}
+}

@@ -396,6 +396,9 @@ func PairsMeterOpt(g *graph.Graph, e Expr, m *eval.Meter, opts Options) ([][2]in
 	kern := Kernel(g, e, opts.Counters)
 	return pg.ForEach(g.NumNodes(), pg.Workers(opts.Parallelism), kern.GetScratch, kern.PutScratch,
 		func(u int, sc *pg.Scratch) ([][2]int, error) {
+			if !g.NodeAlive(u) { // tombstoned under a mutation overlay
+				return nil, nil
+			}
 			// Emission-time rows accounting: the budget trips on row
 			// MaxRows+1, not after the sweep's whole batch.
 			vs, err := kern.ReachableRows(u, sc, m, false)

@@ -39,7 +39,7 @@ $GO build -race -o "$workdir/gqserverd" ./cmd/gqserverd
 querylog="$workdir/query.jsonl"
 "$workdir/gqserverd" -addr 127.0.0.1:0 -graphs bank,figure5-12,clique-200,clique-300,grid-50x50 \
   -max-concurrent 4 -max-queue 4 -default-timeout 10s -parallelism 1 -shards 2 \
-  -slow-query 1ns -query-log "$querylog" -debug-addr 127.0.0.1:0 \
+  -slow-query 1ns -query-log "$querylog" -debug-addr 127.0.0.1:0 -mutable \
   >"$logfile" 2>&1 &
 pid=$!
 
@@ -173,6 +173,47 @@ total_sum=$(printf '%s\n' "$metrics" | sed -n 's/^gq_query_duration_seconds_sum 
 awk -v s="$stage_sum" -v t="$total_sum" 'BEGIN {exit !(s <= t)}' \
   || fail "stage duration sum ($stage_sum) exceeds query duration sum ($total_sum)"
 echo "serve-smoke: ok: stage histograms within wall clock ($stage_sum <= $total_sum)"
+
+# Live graph store: bulk-load a graph over the write surface and query it.
+load_out=$(curl -sS "$base/v1/graphs" -d '{"name":"live","graph":{
+  "nodes":[{"id":"n0"},{"id":"n1"},{"id":"n2"}],
+  "edges":[{"id":"e0","label":"a","src":"n0","tgt":"n1"},
+           {"id":"e1","label":"a","src":"n1","tgt":"n2"}]}}')
+expect store-load '"version":1' "$load_out"
+expect store-query-v1 '"count":1' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"live","query":"a.a"}')"
+
+# Mutate while a heavy clique query is in flight: the write must land on a
+# new version without disturbing the in-flight read (MVCC snapshots).
+inflight_out="$workdir/inflight.json"
+curl -sS "$base/v1/query" \
+  -d '{"graph":"clique-200","query":"a* a*","timeout_ms":8000}' >"$inflight_out" &
+inflight_pid=$!
+sleep 0.1
+expect store-mutate '"version":2' "$(curl -sS "$base/v1/graphs/live/mutate" \
+  -d '{"if_version":1,"ops":[{"op":"add_edge","id":"e2","label":"a","src":"n2","tgt":"n0"}]}')"
+wait "$inflight_pid" || fail "in-flight query dropped while a mutation committed"
+expect store-inflight '"kind":"pairs"' "$(cat "$inflight_out")"
+expect store-query-v2 '"count":3' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"live","query":"a.a"}')"
+expect store-export '"e2"' "$(curl -fsS "$base/v1/graphs/live/export")"
+expect store-read-only '"code":"read_only"' \
+  "$(curl -sS "$base/v1/graphs/bank/mutate" -d '{"ops":[{"op":"add_node","id":"z"}]}')"
+expect store-version-mismatch '"code":"version_mismatch"' \
+  "$(curl -sS "$base/v1/graphs/live/mutate" -d '{"if_version":1,"ops":[{"op":"remove_edge","id":"e0"}]}')"
+
+# The store counters in /metrics must match the /v1/statz store object
+# exactly (both render from the same snapshot).
+metrics=$(curl -fsS "$base/metrics")
+statz=$(curl -fsS "$base/v1/statz")
+for field in loads deletes mutation_batches mutation_ops; do
+  want=$(printf '%s' "$statz" | sed -n "s/.*\"$field\":\([0-9]*\).*/\1/p")
+  got=$(printf '%s\n' "$metrics" | sed -n "s/^gq_store_${field}_total \([0-9]*\)\$/\1/p")
+  [[ -n "$want" && "$got" == "$want" ]] \
+    || fail "store metrics/statz drift: gq_store_${field}_total=$got, statz $field=$want"
+done
+expect store-metrics-version 'gq_store_graph_version{graph="live"} 2' "$metrics"
+echo "serve-smoke: ok: live store (load, mutate mid-flight, export, counters)"
 
 # The pprof surface lives on its own listener, printed at startup.
 dbgbase=$(sed -n 's#.*debug (pprof) on \(http://[0-9.:]*\)/debug/pprof/.*#\1#p' "$logfile" | head -1)
