@@ -9,13 +9,16 @@ package graphquery
 // evaluation).
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"testing"
 
 	"graphquery/internal/bag"
 	"graphquery/internal/cardest"
 	"graphquery/internal/coregql"
 	"graphquery/internal/crpq"
+	"graphquery/internal/cypherfrag"
 	"graphquery/internal/dlrpq"
 	"graphquery/internal/eval"
 	"graphquery/internal/gen"
@@ -23,8 +26,10 @@ import (
 	"graphquery/internal/gql"
 	"graphquery/internal/graph"
 	"graphquery/internal/lrpq"
+	"graphquery/internal/pg"
 	"graphquery/internal/pmr"
 	"graphquery/internal/regular"
+	"graphquery/internal/relalg"
 	"graphquery/internal/rpq"
 	"graphquery/internal/spanner"
 	"graphquery/internal/twoway"
@@ -182,6 +187,123 @@ func BenchmarkE16_ProductEval(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE16_UnifiedTiers measures each upper language tier through its
+// kernel-unified ctx entry point on one shared workload per tier — the
+// pre/post-unification comparison rows of EXPERIMENTS.md and the
+// regression guard of scripts/bench_json.sh.
+func BenchmarkE16_UnifiedTiers(b *testing.B) {
+	ctx := context.Background()
+	g := gen.Random(200, 800, []string{"a", "b"}, 42)
+	cyp := cypherfrag.Concat(cypherfrag.Edge("a"), cypherfrag.StarOf("a", "b"))
+	b.Run("cypher/kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cypherfrag.PairsCtx(ctx, g, cyp, eval.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cypher/reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eval.Pairs(g, cypherfrag.Compile(cyp))
+		}
+	})
+	gqlPat := gql.Concat(gql.Node("x"),
+		gql.Star(gql.Concat(gql.AnonNode(), gql.AnonEdgeL("a"), gql.AnonNode())),
+		gql.Node("y"))
+	b.Run("gql/kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gql.PairsCtx(ctx, g, gqlPat, eval.Options{MaxLen: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gql/reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, err := gql.EvalPattern(g, gqlPat, gql.Options{MaxLen: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gql.ProjectPairs(g, ms)
+		}
+	})
+	corePat := coregql.Concat(coregql.Node("x"),
+		coregql.Star(coregql.Concat(coregql.AnonNode(), coregql.AnonEdge(), coregql.AnonNode())),
+		coregql.Node("y"))
+	b.Run("coregql/kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := coregql.PairsCtx(ctx, g, corePat, eval.Options{MaxLen: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("coregql/reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, err := coregql.EvalPattern(g, corePat, coregql.Options{MaxLen: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			coregql.ProjectPairs(g, ms)
+		}
+	})
+	pmrExpr := rpq.MustParse("a (a | b)*")
+	b.Run("pmr/kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := pmr.FromProductCtx(ctx, g, pmrExpr, 0, 1, pg.Budget{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.EnumerateCtx(ctx, 100, pg.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pmr/reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pmr.FromProduct(g, pmrExpr, 0, 1).Enumerate(100)
+		}
+	})
+	doc := strings.Repeat("ab", 40)
+	spanExpr := spanner.Seq(
+		spanner.Cap("x", spanner.Star(spanner.Lit("ab"))),
+		spanner.Cap("y", spanner.Star(spanner.Lit("ab"))))
+	b.Run("spanner/kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spanner.EvaluateCtx(ctx, doc, spanExpr, pg.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("spanner/reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spanner.Evaluate(doc, spanExpr)
+		}
+	})
+	// relalg REACH atoms are new with the unification; the kernel side is
+	// the only side.
+	b.Run("relalg/kernel", func(b *testing.B) {
+		q := relalg.MustParseQuery("REACH(a*) AS (x, y) JOIN REACH(b) AS (y, z)")
+		for i := 0; i < b.N; i++ {
+			if _, err := relalg.EvalQueryCtx(ctx, g, q, eval.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	gc := gen.Clique(6, "a")
+	bagExpr := rpq.MustParse("a*")
+	b.Run("bag/kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bag.TotalCountCtx(ctx, gc, bagExpr, pg.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bag/reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bag.TotalCount(gc, bagExpr)
+		}
+	})
 }
 
 // BenchmarkE17_PMRvsEnum contrasts building the Θ(n)-size PMR for the 2ⁿ

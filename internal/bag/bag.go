@@ -10,13 +10,26 @@
 //
 // The set-semantics comparison point is eval.Pairs, which answers the same
 // queries in milliseconds.
+//
+// The counting operators stay tier-local, but the reachability questions
+// inside them route through the product-graph kernel (this PR's tentpole
+// for the bag tier): count(u, v, e) > 0 exactly when (u, v) ∈ ⟦e⟧ under set
+// semantics — multiplicities are nonnegative, and any witnessing node
+// sequence shortens to a duplicate-free one by cycle removal — so the
+// kernel's reachable sets prune the star recursion soundly, and SetCount is
+// the kernel's pair count outright. The Ctx/Meter entry points inherit
+// budgets and amortized cancellation through the same Ticker discipline as
+// the other tiers.
 package bag
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
+	"graphquery/internal/eval"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 	"graphquery/internal/rpq"
 )
 
@@ -35,35 +48,103 @@ import (
 // The star case is the draft-standard counting over duplicate-free node
 // sequences that produced the explosion. R{n,m}, R?, R⁺ are desugared first.
 func Count(g *graph.Graph, e rpq.Expr, src, dst int) *big.Int {
-	c := &counter{g: g, memo: map[string]*big.Int{}}
-	return c.count(rpq.Desugar(e), src, dst)
+	out, _ := CountMeter(g, e, src, dst, nil)
+	return out
+}
+
+// CountCtx is Count under a context and budget: counting work is charged to
+// the states budget (amortized every pg.CheckInterval), the produced answer
+// to the rows budget. Errors follow the standard taxonomy (pg.ErrCanceled,
+// *pg.BudgetError) and return no partial results.
+func CountCtx(ctx context.Context, g *graph.Graph, e rpq.Expr, src, dst int, b pg.Budget) (*big.Int, error) {
+	return CountMeter(g, e, src, dst, pg.NewMeter(ctx, b))
+}
+
+// CountMeter is Count with an explicit meter (may be nil).
+func CountMeter(g *graph.Graph, e rpq.Expr, src, dst int, m *pg.Meter) (*big.Int, error) {
+	// Dead endpoints answer as on the Materialize()d graph: zero ways.
+	if !g.NodeAlive(src) || !g.NodeAlive(dst) {
+		return new(big.Int), nil
+	}
+	tick := pg.NewTicker(m, nil)
+	c := newCounter(g, m, &tick)
+	out, err := c.count(rpq.Desugar(e), src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if err := tick.Flush(); err != nil {
+		return nil, err
+	}
+	if err := m.AddRows(1); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // TotalCount returns Σ_{u,v} count(u, v, e): the total number of answers
 // (with multiplicities) the query returns — the quantity Section 6.1
 // compares against the number of protons in the observable universe.
 func TotalCount(g *graph.Graph, e rpq.Expr) *big.Int {
-	c := &counter{g: g, memo: map[string]*big.Int{}}
+	out, _ := TotalCountMeter(g, e, nil)
+	return out
+}
+
+// TotalCountCtx is TotalCount under a context and budget: each (u, v) pair
+// with non-zero multiplicity is charged to the rows budget, counting work
+// to the states budget. See CountCtx for the error contract.
+func TotalCountCtx(ctx context.Context, g *graph.Graph, e rpq.Expr, b pg.Budget) (*big.Int, error) {
+	return TotalCountMeter(g, e, pg.NewMeter(ctx, b))
+}
+
+// TotalCountMeter is TotalCount with an explicit meter (may be nil).
+func TotalCountMeter(g *graph.Graph, e rpq.Expr, m *pg.Meter) (*big.Int, error) {
+	tick := pg.NewTicker(m, nil)
+	c := newCounter(g, m, &tick)
 	desugared := rpq.Desugar(e)
 	total := new(big.Int)
 	for u := 0; u < g.NumNodes(); u++ {
+		if !g.NodeAlive(u) {
+			continue
+		}
 		for v := 0; v < g.NumNodes(); v++ {
-			total.Add(total, c.count(desugared, u, v))
+			if !g.NodeAlive(v) {
+				continue
+			}
+			n, err := c.count(desugared, u, v)
+			if err != nil {
+				return nil, err
+			}
+			if n.Sign() > 0 {
+				if err := m.AddRows(1); err != nil {
+					return nil, err
+				}
+			}
+			total.Add(total, n)
 		}
 	}
-	return total
+	if err := tick.Flush(); err != nil {
+		return nil, err
+	}
+	return total, nil
 }
 
 // SetCount returns the number of answers under set semantics — |⟦R⟧_G|
 // computed by simply checking which pairs have non-zero multiplicity. For
 // the k-clique experiments this is k² regardless of the star nesting.
 func SetCount(g *graph.Graph, e rpq.Expr) int {
-	c := &counter{g: g, memo: map[string]*big.Int{}}
+	c := newCounter(g, nil, nil)
 	desugared := rpq.Desugar(e)
 	n := 0
 	for u := 0; u < g.NumNodes(); u++ {
+		if !g.NodeAlive(u) {
+			continue
+		}
 		for v := 0; v < g.NumNodes(); v++ {
-			if c.count(desugared, u, v).Sign() > 0 {
+			if !g.NodeAlive(v) {
+				continue
+			}
+			m, _ := c.count(desugared, u, v)
+			if m.Sign() > 0 {
 				n++
 			}
 		}
@@ -71,17 +152,87 @@ func SetCount(g *graph.Graph, e rpq.Expr) int {
 	return n
 }
 
-type counter struct {
-	g    *graph.Graph
-	memo map[string]*big.Int
+// SetCountCtx is the kernel-backed SetCount: by the count-positivity lemma
+// (count(u, v, e) > 0 ⟺ (u, v) ∈ ⟦e⟧), the set-semantics answer count is
+// exactly the kernel's pair count — no bag recursion at all. opts carries
+// plan, parallelism, budgets, and meter; each pair is charged to the rows
+// budget by the kernel sweep.
+func SetCountCtx(ctx context.Context, g *graph.Graph, e rpq.Expr, opts eval.Options) (int, error) {
+	pairs, err := eval.PairsCtx(ctx, g, e, opts)
+	if err != nil {
+		return 0, err
+	}
+	return len(pairs), nil
 }
 
-func (c *counter) count(e rpq.Expr, u, v int) *big.Int {
+type counter struct {
+	g    *graph.Graph
+	m    *pg.Meter
+	tick *pg.Ticker
+	memo map[string]*big.Int
+
+	// reach caches kernel reachable sets per (subexpression, source):
+	// reach[e.String()][u] is the set of v with (u, v) ∈ ⟦e⟧. Lazily built;
+	// used to prune the star recursion.
+	kernels map[string]*pg.Kernel
+	reach   map[string]map[int]map[int]bool
+}
+
+func newCounter(g *graph.Graph, m *pg.Meter, tick *pg.Ticker) *counter {
+	return &counter{
+		g:       g,
+		m:       m,
+		tick:    tick,
+		memo:    map[string]*big.Int{},
+		kernels: map[string]*pg.Kernel{},
+		reach:   map[string]map[int]map[int]bool{},
+	}
+}
+
+func (c *counter) step() error {
+	if c.tick == nil {
+		return nil
+	}
+	return c.tick.Step()
+}
+
+// reachable returns the set of nodes v with (u, v) ∈ ⟦e⟧ under set
+// semantics, computed by the product-graph kernel and cached.
+func (c *counter) reachable(e rpq.Expr, u int) (map[int]bool, error) {
+	key := e.String()
+	kern, ok := c.kernels[key]
+	if !ok {
+		kern = pg.NewKernel(c.g, pg.FromNFA(c.g, rpq.Compile(e)), nil)
+		c.kernels[key] = kern
+		c.reach[key] = map[int]map[int]bool{}
+	}
+	if set, ok := c.reach[key][u]; ok {
+		return set, nil
+	}
+	sc := kern.GetScratch()
+	defer kern.PutScratch(sc)
+	nodes, err := kern.Reachable(u, sc, c.m)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		set[v] = true
+	}
+	c.reach[key][u] = set
+	return set, nil
+}
+
+func (c *counter) count(e rpq.Expr, u, v int) (*big.Int, error) {
+	if err := c.step(); err != nil {
+		return nil, err
+	}
 	key := fmt.Sprintf("%s|%d|%d", e, u, v)
 	if m, ok := c.memo[key]; ok {
-		return m
+		return m, nil
 	}
 	var out *big.Int
+	var err error
 	switch n := e.(type) {
 	case rpq.Epsilon:
 		out = big.NewInt(0)
@@ -100,19 +251,26 @@ func (c *counter) count(e rpq.Expr, u, v int) *big.Int {
 			return true
 		})
 	case rpq.Concat:
-		out = c.countConcat(n.Parts, u, v)
+		out, err = c.countConcat(n.Parts, u, v)
 	case rpq.Union:
 		out = new(big.Int)
 		for _, alt := range n.Alts {
-			out.Add(out, c.count(alt, u, v))
+			m, aerr := c.count(alt, u, v)
+			if aerr != nil {
+				return nil, aerr
+			}
+			out.Add(out, m)
 		}
 	case rpq.Star:
-		out = c.countStar(n.Sub, u, v)
+		out, err = c.countStar(n.Sub, u, v)
 	default:
 		panic(fmt.Sprintf("bag: unexpected expression %T (desugar first)", e))
 	}
+	if err != nil {
+		return nil, err
+	}
 	c.memo[key] = out
-	return out
+	return out, nil
 }
 
 func (c *counter) edgeCount(u, v int, match func(string) bool) *big.Int {
@@ -126,12 +284,12 @@ func (c *counter) edgeCount(u, v int, match func(string) bool) *big.Int {
 	return big.NewInt(int64(n))
 }
 
-func (c *counter) countConcat(parts []rpq.Expr, u, v int) *big.Int {
+func (c *counter) countConcat(parts []rpq.Expr, u, v int) (*big.Int, error) {
 	if len(parts) == 0 {
 		if u == v {
-			return big.NewInt(1)
+			return big.NewInt(1), nil
 		}
-		return big.NewInt(0)
+		return big.NewInt(0), nil
 	}
 	if len(parts) == 1 {
 		return c.count(parts[0], u, v)
@@ -139,46 +297,83 @@ func (c *counter) countConcat(parts []rpq.Expr, u, v int) *big.Int {
 	total := new(big.Int)
 	tmp := new(big.Int)
 	for w := 0; w < c.g.NumNodes(); w++ {
-		left := c.count(parts[0], u, w)
+		if err := c.step(); err != nil {
+			return nil, err
+		}
+		if !c.g.NodeAlive(w) {
+			continue
+		}
+		left, err := c.count(parts[0], u, w)
+		if err != nil {
+			return nil, err
+		}
 		if left.Sign() == 0 {
 			continue
 		}
-		right := c.countConcat(parts[1:], w, v)
+		right, err := c.countConcat(parts[1:], w, v)
+		if err != nil {
+			return nil, err
+		}
 		if right.Sign() == 0 {
 			continue
 		}
 		tmp.Mul(left, right)
 		total.Add(total, tmp)
 	}
-	return total
+	return total, nil
 }
 
 // countStar sums Π count(nᵢ, nᵢ₊₁, sub) over duplicate-free node sequences
-// from u to v.
-func (c *counter) countStar(sub rpq.Expr, u, v int) *big.Int {
+// from u to v. The kernel prunes the recursion: the star is feasible only
+// when v is kernel-reachable from u under sub*, and each extension step
+// only considers nodes kernel-reachable from the current one under sub —
+// exactly the candidates with non-zero count, so totals are unchanged.
+func (c *counter) countStar(sub rpq.Expr, u, v int) (*big.Int, error) {
+	starReach, err := c.reachable(rpq.Star{Sub: sub}, u)
+	if err != nil {
+		return nil, err
+	}
+	if !starReach[v] {
+		return new(big.Int), nil
+	}
 	total := new(big.Int)
 	used := make([]bool, c.g.NumNodes())
 	used[u] = true
 	prod := big.NewInt(1)
-	var rec func(cur int, acc *big.Int)
-	rec = func(cur int, acc *big.Int) {
+	var rec func(cur int, acc *big.Int) error
+	rec = func(cur int, acc *big.Int) error {
 		if cur == v {
 			total.Add(total, acc)
 		}
+		stepReach, err := c.reachable(sub, cur)
+		if err != nil {
+			return err
+		}
 		for next := 0; next < c.g.NumNodes(); next++ {
-			if used[next] {
+			if err := c.step(); err != nil {
+				return err
+			}
+			if used[next] || !c.g.NodeAlive(next) || !stepReach[next] {
 				continue
 			}
-			step := c.count(sub, cur, next)
+			step, err := c.count(sub, cur, next)
+			if err != nil {
+				return err
+			}
 			if step.Sign() == 0 {
 				continue
 			}
 			used[next] = true
 			nacc := new(big.Int).Mul(acc, step)
-			rec(next, nacc)
+			if err := rec(next, nacc); err != nil {
+				return err
+			}
 			used[next] = false
 		}
+		return nil
 	}
-	rec(u, prod)
-	return total
+	if err := rec(u, prod); err != nil {
+		return nil, err
+	}
+	return total, nil
 }

@@ -152,12 +152,48 @@ func (e *Engine) SetPlanCacheCapacity(n int) {
 // QueryKind classifies a query string.
 type QueryKind int
 
-// The query kinds the engine auto-detects.
+// The query kinds the engine dispatches. The first three are auto-detected
+// from the query text; the rest are selected explicitly via Request.Lang
+// (see KindForLang).
 const (
-	KindCRPQ  QueryKind = iota // contains ":-"
-	KindDLRPQ                  // contains atom brackets or data tests
-	KindRPQ                    // plain regular path query (ℓ-RPQ if it has ^vars)
+	KindCRPQ    QueryKind = iota // contains ":-"
+	KindDLRPQ                    // contains atom brackets or data tests
+	KindRPQ                      // plain regular path query (ℓ-RPQ if it has ^vars)
+	KindTwoWay                   // two-way RPQ → pairs (lang "2rpq")
+	KindGQL                      // GQL ASCII-art pattern → matches (lang "gql")
+	KindCoreGQL                  // CoreGQL fragment → matches (lang "coregql")
+	KindCypher                   // Cypher-fragment pattern → pairs (lang "cypher")
+	KindPMR                      // path-representation enumeration → paths (lang "pmr")
+	KindSpanner                  // document spanner over Doc → spans (lang "spanner")
+	KindRelAlg                   // algebra over REACH atoms → relation (lang "relalg")
+	KindBag                      // bag-semantics answer count → bag (lang "bag")
 )
+
+// KindForLang resolves an explicit Request.Lang to its query kind. ok is
+// false for unknown values; "" and "auto" mean auto-detection and resolve
+// nothing here.
+func KindForLang(lang string) (QueryKind, bool) {
+	switch lang {
+	case "2rpq":
+		return KindTwoWay, true
+	case "gql":
+		return KindGQL, true
+	case "coregql":
+		return KindCoreGQL, true
+	case "cypher":
+		return KindCypher, true
+	case "pmr":
+		return KindPMR, true
+	case "spanner":
+		return KindSpanner, true
+	case "relalg":
+		return KindRelAlg, true
+	case "bag":
+		return KindBag, true
+	default:
+		return 0, false
+	}
+}
 
 // Detect classifies a query string: CRPQs contain ":-", dl-RPQs contain
 // bracketed atoms or data tests, everything else parses as an (ℓ-)RPQ.

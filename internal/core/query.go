@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/big"
 
 	"graphquery/internal/crpq"
 	"graphquery/internal/dlrpq"
@@ -19,6 +20,7 @@ import (
 	"graphquery/internal/graph"
 	"graphquery/internal/lrpq"
 	"graphquery/internal/obs"
+	"graphquery/internal/relalg"
 	"graphquery/internal/twoway"
 )
 
@@ -59,9 +61,15 @@ type Request struct {
 	// Query is the query text; its language is auto-detected (Detect)
 	// unless Lang overrides it.
 	Query string
-	// Lang selects the language explicitly: "" or "auto" auto-detects,
-	// "2rpq" evaluates a two-way RPQ to endpoint pairs.
+	// Lang selects the language explicitly: "" or "auto" auto-detects among
+	// the classic kinds; "2rpq" (two-way RPQ → pairs), "gql" (GQL pattern →
+	// matches), "coregql" (CoreGQL fragment → matches), "cypher" (Cypher
+	// fragment → pairs), "pmr" (path representation → paths), "spanner"
+	// (document spanner over Doc → spans), "relalg" (algebra over REACH
+	// atoms → relation), and "bag" (bag-semantics count → bag) force a tier.
 	Lang string
+	// Doc is the input document for spanner queries; ignored elsewhere.
+	Doc string
 	// From/To anchor path queries; both empty means endpoint-pair (RPQ) or
 	// row (CRPQ) semantics.
 	From, To graph.NodeID
@@ -87,10 +95,19 @@ type Request struct {
 
 // Response is the union result of QueryCtx, discriminated by Kind.
 type Response struct {
-	Kind  string // "pairs", "paths", or "rows"
+	// Kind names the result shape: "pairs" (rpq/2rpq/cypher), "paths"
+	// (anchored rpq/ℓ-rpq/dl-rpq, pmr), "rows" (crpq), "matches" (gql,
+	// coregql), "spans" (spanner), "relation" (relalg), or "bag" (bag).
+	Kind  string
 	Pairs [][2]graph.NodeID
 	Paths []PathResult
 	Rows  *crpq.Result
+	// Matches holds rendered result lines for kinds "matches" and "spans".
+	Matches []string
+	// Rel is the result relation for kind "relation".
+	Rel *relalg.Relation
+	// Bag is the exact answer multiplicity total for kind "bag".
+	Bag *big.Int
 
 	// StatesVisited / RowsProduced are the meter readings of this query —
 	// the work it performed, for accounting and /v1/statz aggregation.
@@ -123,6 +140,16 @@ func (r *Response) Count() int {
 	case "rows":
 		if r.Rows != nil {
 			return len(r.Rows.Rows)
+		}
+	case "matches", "spans":
+		return len(r.Matches)
+	case "relation":
+		if r.Rel != nil {
+			return r.Rel.Len()
+		}
+	case "bag":
+		if r.Bag != nil {
+			return 1 // one aggregate answer
 		}
 	}
 	return 0
@@ -182,14 +209,71 @@ func (e *Engine) Query(req Request) (*Response, error) {
 }
 
 func (e *Engine) dispatch(gs *graphState, req Request, m *eval.Meter, tr *obs.Trace, maxLen, limit int) (*Response, error) {
-	if req.Lang == "2rpq" {
-		pairs, err := e.twoWayPairsMeter(gs, req.Query, m, tr)
-		if err != nil {
-			return nil, err
-		}
-		return &Response{Kind: "pairs", Pairs: pairs}, nil
-	}
 	anchored := req.From != "" || req.To != ""
+	if req.Lang != "" && req.Lang != "auto" {
+		kind, ok := KindForLang(req.Lang)
+		if !ok {
+			return nil, badQuery(fmt.Errorf("core: unknown lang %q", req.Lang))
+		}
+		// Per-kind request schemas: only path-producing kinds accept from/to
+		// anchors; pmr requires them.
+		if anchored && kind != KindPMR {
+			return nil, badQuery(fmt.Errorf("core: lang %q queries do not take from/to anchors", req.Lang))
+		}
+		switch kind {
+		case KindTwoWay:
+			pairs, err := e.twoWayPairsMeter(gs, req.Query, m, tr)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "pairs", Pairs: pairs}, nil
+		case KindGQL:
+			ms, err := e.gqlMatchesMeter(gs, req.Query, m, tr, maxLen, limit)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "matches", Matches: ms}, nil
+		case KindCoreGQL:
+			ms, err := e.coreGQLMatchesMeter(gs, req.Query, m, tr, maxLen, limit)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "matches", Matches: ms}, nil
+		case KindCypher:
+			pairs, err := e.cypherPairsMeter(gs, req.Query, m, tr)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "pairs", Pairs: pairs}, nil
+		case KindPMR:
+			if req.From == "" || req.To == "" {
+				return nil, badQuery(errors.New("core: pmr queries need both from and to"))
+			}
+			paths, err := e.pmrPathsMeter(gs, req.Query, req.From, req.To, req.Mode == eval.Shortest, m, tr, limit)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "paths", Paths: paths}, nil
+		case KindSpanner:
+			spans, err := e.spannerMeter(gs, req.Doc, req.Query, m, tr, limit)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "spans", Matches: spans}, nil
+		case KindRelAlg:
+			rel, err := e.relalgMeter(gs, req.Query, m, tr)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "relation", Rel: rel}, nil
+		case KindBag:
+			total, err := e.bagMeter(gs, req.Query, m, tr)
+			if err != nil {
+				return nil, err
+			}
+			return &Response{Kind: "bag", Bag: total}, nil
+		}
+	}
 	switch Detect(req.Query) {
 	case KindCRPQ:
 		if anchored {

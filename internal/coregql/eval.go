@@ -7,6 +7,7 @@ import (
 
 	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 	"graphquery/internal/relalg"
 )
 
@@ -18,6 +19,18 @@ type Options struct {
 	// MaxLen bounds the length (edge count) of produced paths. Required
 	// when the pattern contains an unbounded repetition.
 	MaxLen int
+
+	// tick, when set, meters every candidate the evaluator considers
+	// (EvalPatternMeter wires it); the zero Options meters nothing.
+	tick *pg.Ticker
+}
+
+// step charges one unit of evaluator work against the meter, if any.
+func (o Options) step() error {
+	if o.tick == nil {
+		return nil
+	}
+	return o.tick.Step()
 }
 
 // EvalPattern computes ⟦π⟧_G per Figure 4, as a deduplicated set of
@@ -29,7 +42,10 @@ func EvalPattern(g *graph.Graph, p Pattern, opts Options) ([]Match, error) {
 	if hasUnboundedRepeat(p) && opts.MaxLen <= 0 {
 		return nil, ErrUnbounded
 	}
-	ms := evalRec(g, p, opts)
+	ms, err := evalRec(g, p, opts)
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(ms, func(i, j int) bool {
 		if ms[i].Path.Len() != ms[j].Path.Len() {
 			return ms[i].Path.Len() < ms[j].Path.Len()
@@ -68,11 +84,14 @@ func dedup(ms []Match) []Match {
 	return out
 }
 
-func evalRec(g *graph.Graph, p Pattern, opts Options) []Match {
+func evalRec(g *graph.Graph, p Pattern, opts Options) ([]Match, error) {
 	switch n := p.(type) {
 	case NodePat:
 		out := make([]Match, 0, g.NumNodes())
 		for i := 0; i < g.NumNodes(); i++ {
+			if err := opts.step(); err != nil {
+				return nil, err
+			}
 			if !g.NodeAlive(i) {
 				continue
 			}
@@ -82,10 +101,13 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) []Match {
 			}
 			out = append(out, Match{Path: gpath.OfNode(i), Binding: b})
 		}
-		return out
+		return out, nil
 	case EdgePat:
 		out := make([]Match, 0, g.NumEdges())
 		for e := 0; e < g.NumEdges(); e++ {
+			if err := opts.step(); err != nil {
+				return nil, err
+			}
 			if !g.EdgeAlive(e) {
 				continue
 			}
@@ -95,25 +117,48 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) []Match {
 			}
 			out = append(out, Match{Path: gpath.Triple(g, e), Binding: b})
 		}
-		return out
+		return out, nil
 	case ConcatPat:
-		left := evalRec(g, n.Left, opts)
-		right := evalRec(g, n.Right, opts)
-		return dedup(concatMatches(g, left, right, opts))
+		left, err := evalRec(g, n.Left, opts)
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalRec(g, n.Right, opts)
+		if err != nil {
+			return nil, err
+		}
+		joined, err := concatMatches(g, left, right, opts)
+		if err != nil {
+			return nil, err
+		}
+		return dedup(joined), nil
 	case UnionPat:
-		out := evalRec(g, n.Left, opts)
-		out = append(out, evalRec(g, n.Right, opts)...)
-		return dedup(out)
+		out, err := evalRec(g, n.Left, opts)
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalRec(g, n.Right, opts)
+		if err != nil {
+			return nil, err
+		}
+		return dedup(append(out, right...)), nil
 	case RepeatPat:
 		return evalRepeat(g, n, opts)
 	case CondPat:
+		ms, err := evalRec(g, n.Sub, opts)
+		if err != nil {
+			return nil, err
+		}
 		var out []Match
-		for _, m := range evalRec(g, n.Sub, opts) {
+		for _, m := range ms {
+			if err := opts.step(); err != nil {
+				return nil, err
+			}
 			if n.Cond.Holds(g, m.Binding) {
 				out = append(out, m)
 			}
 		}
-		return out
+		return out, nil
 	default:
 		panic(fmt.Sprintf("coregql: unknown pattern %T", p))
 	}
@@ -121,7 +166,7 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) []Match {
 
 // concatMatches joins two match sets: paths must compose node-to-node
 // (tgt(p₁) = src(p₂)) and bindings must be compatible.
-func concatMatches(g *graph.Graph, left, right []Match, opts Options) []Match {
+func concatMatches(g *graph.Graph, left, right []Match, opts Options) ([]Match, error) {
 	// Bucket right-hand matches by source node.
 	bySrc := map[int][]Match{}
 	for _, m := range right {
@@ -136,6 +181,9 @@ func concatMatches(g *graph.Graph, left, right []Match, opts Options) []Match {
 			continue
 		}
 		for _, rm := range bySrc[t] {
+			if err := opts.step(); err != nil {
+				return nil, err
+			}
 			if opts.MaxLen > 0 && lm.Path.Len()+rm.Path.Len() > opts.MaxLen {
 				continue
 			}
@@ -150,14 +198,17 @@ func concatMatches(g *graph.Graph, left, right []Match, opts Options) []Match {
 			out = append(out, Match{Path: joined, Binding: b})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // evalRepeat implements ⟦π^{n..m}⟧ of Figure 4: iterated node-to-node
 // composition with the bindings erased (µ∅), which is exactly the
 // free-variable erasure FV(π^{n..m}) = ∅.
-func evalRepeat(g *graph.Graph, n RepeatPat, opts Options) []Match {
-	base := evalRec(g, n.Sub, opts)
+func evalRepeat(g *graph.Graph, n RepeatPat, opts Options) ([]Match, error) {
+	base, err := evalRec(g, n.Sub, opts)
+	if err != nil {
+		return nil, err
+	}
 	// Erase bindings of the base before iterating (Figure 4 uses only the
 	// paths of the subpattern).
 	erased := make([]Match, len(base))
@@ -169,6 +220,9 @@ func evalRepeat(g *graph.Graph, n RepeatPat, opts Options) []Match {
 	// ⟦π⟧⁰: single-node paths.
 	level := make([]Match, 0, g.NumNodes())
 	for i := 0; i < g.NumNodes(); i++ {
+		if err := opts.step(); err != nil {
+			return nil, err
+		}
 		if !g.NodeAlive(i) {
 			continue
 		}
@@ -186,7 +240,11 @@ func evalRepeat(g *graph.Graph, n RepeatPat, opts Options) []Match {
 		seen[m.key()] = struct{}{}
 	}
 	for j := 1; n.Max < 0 || j <= n.Max; j++ {
-		level = dedup(concatMatches(g, level, erased, opts))
+		joined, err := concatMatches(g, level, erased, opts)
+		if err != nil {
+			return nil, err
+		}
+		level = dedup(joined)
 		if j >= n.Min {
 			out = append(out, level...)
 		}
@@ -205,7 +263,7 @@ func evalRepeat(g *graph.Graph, n RepeatPat, opts Options) []Match {
 			break
 		}
 	}
-	return dedup(out)
+	return dedup(out), nil
 }
 
 // Output computes the pattern-with-output relation ⟦π_Ω⟧_G of Section

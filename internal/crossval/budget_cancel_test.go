@@ -1,25 +1,34 @@
-// Budget and cancellation conformance across the five independent
-// evaluators. The serving layer promises one error taxonomy (Section
-// 6.1/6.3: evaluation cost can blow up combinatorially, so a service must
-// stop a run and say precisely why) — these tests pin the contract every
-// evaluator must honor: an exhausted budget or a canceled context yields
-// the taxonomy error and NO partial result slice, under sequential and
-// parallel plans alike.
+// Budget and cancellation conformance across the independent evaluators —
+// the original five plus every tier unified onto the product-graph kernel
+// (gql, coregql, cypher, pmr, spanner, relalg, bag). The serving layer
+// promises one error taxonomy (Section 6.1/6.3: evaluation cost can blow
+// up combinatorially, so a service must stop a run and say precisely why)
+// — these tests pin the contract every evaluator must honor: an exhausted
+// budget or a canceled context yields the taxonomy error and NO partial
+// result slice, under sequential and parallel plans alike.
 package crossval_test
 
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"graphquery/internal/bag"
+	"graphquery/internal/coregql"
 	"graphquery/internal/crpq"
+	"graphquery/internal/cypherfrag"
 	"graphquery/internal/dlrpq"
 	"graphquery/internal/eval"
 	"graphquery/internal/gen"
+	"graphquery/internal/gql"
 	"graphquery/internal/lrpq"
+	"graphquery/internal/pmr"
+	"graphquery/internal/relalg"
 	"graphquery/internal/rpq"
+	"graphquery/internal/spanner"
 	"graphquery/internal/twoway"
 )
 
@@ -42,6 +51,19 @@ func evaluators() []evaluatorRun {
 	lq := lrpq.MustParse("a*")
 	dq := dlrpq.MustParse("() {[a]()}+")
 	cq := crpq.MustParse("q(x, y) :- a* a*(x, y)")
+	gBag := gen.Clique(6, "a") // bag counting: ~2k recursion steps per pair
+
+	// The unified upper tiers, each through its ctx-aware kernel entry
+	// point. Workloads follow the same sizing rule as above.
+	gqlPat := gql.Concat(gql.Node("x"), gql.AnonEdgeL("a"), gql.Node("y"))
+	corePat := coregql.Concat(coregql.Node("x"), coregql.AnonEdge(), coregql.Node("y"))
+	cyPat := cypherfrag.Concat(cypherfrag.StarOf("a"), cypherfrag.StarOf("a"))
+	pmrRep := pmr.FromProduct(gSmall, rpq.MustParse("a*"), 0, 1)
+	doc := strings.Repeat("a", 60)
+	spanExpr := spanner.Seq(
+		spanner.Cap("x", spanner.Star(spanner.Lit("a"))),
+		spanner.Cap("y", spanner.Star(spanner.Lit("a"))))
+	raQuery := relalg.MustParseQuery("REACH(a* a*) AS (x, y)")
 	return []evaluatorRun{
 		{"eval", []int{1, 4}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
 			out, err := eval.PairsCtx(ctx, gBig, rq, eval.Options{Parallelism: par, Budget: b})
@@ -67,6 +89,40 @@ func evaluators() []evaluatorRun {
 				return 0, err
 			}
 			return len(res.Rows), err
+		}},
+		{"gql", []int{1}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := gql.EvalPatternCtx(ctx, gBig, gqlPat, gql.Options{}, b)
+			return len(out), err
+		}},
+		{"coregql", []int{1}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := coregql.EvalPatternCtx(ctx, gBig, corePat, coregql.Options{}, b)
+			return len(out), err
+		}},
+		{"cypher", []int{1, 4}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := cypherfrag.PairsCtx(ctx, gBig, cyPat, eval.Options{Parallelism: par, Budget: b})
+			return len(out), err
+		}},
+		{"pmr", []int{1}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := pmrRep.EnumerateCtx(ctx, 200, b)
+			return len(out), err
+		}},
+		{"spanner", []int{1}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			out, err := spanner.EvaluateCtx(ctx, doc, spanExpr, b)
+			return len(out), err
+		}},
+		{"relalg", []int{1, 4}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			rel, err := relalg.EvalQueryCtx(ctx, gBig, raQuery, eval.Options{Parallelism: par, Budget: b})
+			if rel == nil {
+				return 0, err
+			}
+			return rel.Len(), err
+		}},
+		{"bag", []int{1}, func(ctx context.Context, b eval.Budget, par int) (int, error) {
+			total, err := bag.TotalCountCtx(ctx, gBag, rpq.MustParse("a*"), b)
+			if total == nil {
+				return 0, err
+			}
+			return 1, err
 		}},
 	}
 }

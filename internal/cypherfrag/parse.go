@@ -1,0 +1,154 @@
+package cypherfrag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads the textual form of a Cypher-fragment pattern — the same
+// syntax String renders:
+//
+//	-[:a|b]->        edge whose label is in the disjunction
+//	-[:(a|b)*]->     starred label disjunction
+//	π₁ π₂            concatenation (juxtaposition)
+//	(π₁ + π₂)        union
+//
+// so Parse(p.String()) reproduces p up to label ordering (disjunction
+// labels are canonicalized by the constructors).
+func Parse(input string) (Pattern, error) {
+	p := &fragParser{src: input}
+	pat, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos < len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
+	}
+	return pat, nil
+}
+
+// MustParse is Parse for tests and literals; it panics on error.
+func MustParse(input string) Pattern {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type fragParser struct {
+	src string
+	pos int
+}
+
+func (p *fragParser) errf(format string, args ...any) error {
+	return fmt.Errorf("cypherfrag: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *fragParser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// parseConcat handles juxtaposition: a sequence of atoms or parenthesized
+// unions.
+func (p *fragParser) parseConcat() (Pattern, error) {
+	var out Pattern
+	for {
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] == '+' || p.src[p.pos] == ')' {
+			break
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = atom
+		} else {
+			out = ConcatPat{Left: out, Right: atom}
+		}
+	}
+	if out == nil {
+		return nil, p.errf("expected a pattern")
+	}
+	return out, nil
+}
+
+func (p *fragParser) parseAtom() (Pattern, error) {
+	p.ws()
+	if strings.HasPrefix(p.src[p.pos:], "(") {
+		// (π₁ + π₂): union group.
+		p.pos++
+		left, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] != '+' {
+			return nil, p.errf("expected '+' in union group")
+		}
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return UnionPat{Left: left, Right: right}, nil
+	}
+	if !strings.HasPrefix(p.src[p.pos:], "-[:") {
+		return nil, p.errf("expected '-[:' or '('")
+	}
+	p.pos += len("-[:")
+	starred := false
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		starred = true
+		p.pos++
+	}
+	var labels []string
+	for {
+		l := p.ident()
+		if l == "" {
+			return nil, p.errf("expected a label")
+		}
+		labels = append(labels, l)
+		if p.pos < len(p.src) && p.src[p.pos] == '|' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if starred {
+		if !strings.HasPrefix(p.src[p.pos:], ")*") {
+			return nil, p.errf("expected ')*' after starred disjunction")
+		}
+		p.pos += len(")*")
+	}
+	if !strings.HasPrefix(p.src[p.pos:], "]->") {
+		return nil, p.errf("expected ']->'")
+	}
+	p.pos += len("]->")
+	if starred {
+		return StarOf(labels...), nil
+	}
+	return Edge(labels...), nil
+}
+
+func (p *fragParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}

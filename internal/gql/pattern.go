@@ -17,6 +17,7 @@ import (
 	"graphquery/internal/coregql"
 	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 )
 
 // Pattern is a GQL-style pattern.
@@ -219,7 +220,21 @@ var ErrUnbounded = errors.New("gql: unbounded repetition requires Options.MaxLen
 var ErrMixedBinding = errors.New("gql: variable bound as both element and list")
 
 // Options bound evaluation.
-type Options struct{ MaxLen int }
+type Options struct {
+	MaxLen int
+
+	// tick, when set, meters every candidate the evaluator considers
+	// (EvalPatternMeter wires it); the zero Options meters nothing.
+	tick *pg.Ticker
+}
+
+// step charges one unit of evaluator work against the meter, if any.
+func (o Options) step() error {
+	if o.tick == nil {
+		return nil
+	}
+	return o.tick.Step()
+}
 
 // EvalPattern computes the match set of π on g under GQL group-variable
 // semantics (set semantics; GQL's bag/dedup subtleties are modeled in
@@ -275,6 +290,9 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) ([]Match, error) {
 	case NodeP:
 		var out []Match
 		for i := 0; i < g.NumNodes(); i++ {
+			if err := opts.step(); err != nil {
+				return nil, err
+			}
 			if !g.NodeAlive(i) {
 				continue
 			}
@@ -291,6 +309,9 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) ([]Match, error) {
 	case EdgeP:
 		var out []Match
 		for e := 0; e < g.NumEdges(); e++ {
+			if err := opts.step(); err != nil {
+				return nil, err
+			}
 			if !g.EdgeAlive(e) {
 				continue
 			}
@@ -333,6 +354,9 @@ func evalRec(g *graph.Graph, p Pattern, opts Options) ([]Match, error) {
 		}
 		var out []Match
 		for _, m := range ms {
+			if err := opts.step(); err != nil {
+				return nil, err
+			}
 			if holdsOnSingletons(g, n.Cond, m.B) {
 				out = append(out, m)
 			}
@@ -373,6 +397,9 @@ func concatMatches(g *graph.Graph, left, right []Match, opts Options) ([]Match, 
 			continue
 		}
 		for _, rm := range bySrc[t] {
+			if err := opts.step(); err != nil {
+				return nil, err
+			}
 			if opts.MaxLen > 0 && lm.Path.Len()+rm.Path.Len() > opts.MaxLen {
 				continue
 			}
@@ -447,6 +474,9 @@ func evalRepeat(g *graph.Graph, n RepeatP, opts Options) ([]Match, error) {
 
 	level := make([]Match, 0, g.NumNodes())
 	for i := 0; i < g.NumNodes(); i++ {
+		if err := opts.step(); err != nil {
+			return nil, err
+		}
 		if !g.NodeAlive(i) {
 			continue
 		}

@@ -16,13 +16,14 @@
 package pmr
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
 
-	"graphquery/internal/eval"
 	"graphquery/internal/gpath"
 	"graphquery/internal/graph"
+	"graphquery/internal/pg"
 	"graphquery/internal/rpq"
 )
 
@@ -86,11 +87,35 @@ func (r *PMR) Size() int { return len(r.GammaNode) + len(r.Edges) }
 // product graph"), so its size is O(|G|·|A|) even when the path set is
 // infinite.
 func FromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
-	p := eval.CompileProduct(g, e)
-	nfa := p.A
+	r, _ := FromProductMeter(g, e, src, dst, nil)
+	return r
+}
+
+// FromProductCtx is FromProduct under a context and budget: construction
+// work is metered every pg.CheckInterval product-state expansions, so a
+// canceled ctx or an exhausted states budget aborts with the standard
+// taxonomy errors (pg.ErrCanceled, *pg.BudgetError).
+func FromProductCtx(ctx context.Context, g *graph.Graph, e rpq.Expr, src, dst int, b pg.Budget) (*PMR, error) {
+	return FromProductMeter(g, e, src, dst, pg.NewMeter(ctx, b))
+}
+
+// FromProductMeter is FromProduct with an explicit meter (may be nil). The
+// product expansion is the kernel's: Succ order and state packing are
+// exactly pg.Kernel's, so the construction is byte-identical to the
+// pre-kernel evaluator while inheriting its cancellation discipline.
+func FromProductMeter(g *graph.Graph, e rpq.Expr, src, dst int, m *pg.Meter) (*PMR, error) {
+	nfa := rpq.Compile(e)
+	kern := pg.NewKernel(g, pg.FromNFA(g, nfa), nil)
 	nStates := nfa.NumStates
-	total := g.NumNodes() * nStates
+	total := kern.NumProductStates()
 	id := func(n, q int) int { return n*nStates + q }
+	if !g.NodeAlive(src) || !g.NodeAlive(dst) {
+		// Tombstoned endpoints have no paths; matches the Materialize()d
+		// graph, where the node does not exist at all.
+		r, _ := New(g, nil, nil, nil, nil)
+		return r, nil
+	}
+	tick := pg.NewTicker(m, kern.Counters())
 
 	// Forward reachability from (src, q0).
 	reach := make([]bool, total)
@@ -99,10 +124,12 @@ func FromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
 	type pedge struct{ from, to, gedge int }
 	var edges []pedge
 	for len(stack) > 0 {
+		if err := tick.Step(); err != nil {
+			return nil, err
+		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		s := eval.State{Node: cur / nStates, State: cur % nStates}
-		for _, st := range p.Succ(s) {
+		for _, st := range kern.Succ(kern.Unid(cur)) {
 			ni := id(st.To.Node, st.To.State)
 			edges = append(edges, pedge{cur, ni, st.Edge})
 			if !reach[ni] {
@@ -125,6 +152,9 @@ func FromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
 		}
 	}
 	for len(stack) > 0 {
+		if err := tick.Step(); err != nil {
+			return nil, err
+		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, prev := range rev[cur] {
@@ -172,39 +202,48 @@ func FromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
 	if err != nil {
 		panic("pmr: product construction produced invalid PMR: " + err.Error())
 	}
-	return r
+	if err := tick.Flush(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // ShortestFromProduct builds a PMR representing exactly the shortest
 // matching paths from src to dst (the shortest-mode preprocessing of
 // PathFinder-style engines discussed in Section 6.4). The result is a DAG.
 func ShortestFromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
-	p := eval.CompileProduct(g, e)
-	nfa := p.A
+	r, _ := ShortestFromProductMeter(g, e, src, dst, nil)
+	return r
+}
+
+// ShortestFromProductCtx is ShortestFromProduct under a context and budget
+// (see FromProductCtx).
+func ShortestFromProductCtx(ctx context.Context, g *graph.Graph, e rpq.Expr, src, dst int, b pg.Budget) (*PMR, error) {
+	return ShortestFromProductMeter(g, e, src, dst, pg.NewMeter(ctx, b))
+}
+
+// ShortestFromProductMeter is ShortestFromProduct with an explicit meter
+// (may be nil). The BFS layering is delegated to the kernel's Distances
+// sweep, which already meters itself; the tight-edge extraction that
+// follows reuses the kernel's Succ expansion.
+func ShortestFromProductMeter(g *graph.Graph, e rpq.Expr, src, dst int, m *pg.Meter) (*PMR, error) {
+	nfa := rpq.Compile(e)
+	kern := pg.NewKernel(g, pg.FromNFA(g, nfa), nil)
 	nStates := nfa.NumStates
 	id := func(n, q int) int { return n*nStates + q }
+	if !g.NodeAlive(src) || !g.NodeAlive(dst) {
+		r, _ := New(g, nil, nil, nil, nil)
+		return r, nil
+	}
 
-	// BFS distances from (src, q0).
-	total := g.NumNodes() * nStates
-	dist := make([]int, total)
-	for i := range dist {
-		dist[i] = -1
-	}
+	// BFS distances from (src, q0): the kernel's metered level sweep.
+	total := kern.NumProductStates()
 	start := id(src, nfa.Start)
-	dist[start] = 0
-	queue := []int{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		s := eval.State{Node: cur / nStates, State: cur % nStates}
-		for _, st := range p.Succ(s) {
-			ni := id(st.To.Node, st.To.State)
-			if dist[ni] == -1 {
-				dist[ni] = dist[cur] + 1
-				queue = append(queue, ni)
-			}
-		}
+	dist, err := kern.Distances(src, m)
+	if err != nil {
+		return nil, err
 	}
+	tick := pg.NewTicker(m, kern.Counters())
 	best := -1
 	for q := 0; q < nStates; q++ {
 		i := id(dst, q)
@@ -214,7 +253,7 @@ func ShortestFromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
 	}
 	if best == -1 {
 		r, _ := New(g, nil, nil, nil, nil)
-		return r
+		return r, nil
 	}
 
 	// Layered copy: node (state, d) for d = dist[state]; tight edges only;
@@ -250,8 +289,10 @@ func ShortestFromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
 		if dist[i] == -1 || dist[i] >= best {
 			continue
 		}
-		s := eval.State{Node: i / nStates, State: i % nStates}
-		for _, st := range p.Succ(s) {
+		if err := tick.Step(); err != nil {
+			return nil, err
+		}
+		for _, st := range kern.Succ(kern.Unid(i)) {
 			ni := id(st.To.Node, st.To.State)
 			if dist[ni] == dist[i]+1 {
 				revTight[ni] = append(revTight[ni], struct{ from, gedge int }{i, st.Edge})
@@ -269,14 +310,19 @@ func ShortestFromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
 			}
 		}
 	}
+	// Number representation states and emit edges in product-state order:
+	// map iteration order must not leak into the representation, or two
+	// builds of the same PMR would enumerate ties differently.
+	usefulSorted := make([]int, 0, len(useful))
 	for i := range useful {
+		usefulSorted = append(usefulSorted, i)
+	}
+	sort.Ints(usefulSorted)
+	for _, i := range usefulSorted {
 		mapState(i)
 	}
-	for to, froms := range revTight {
-		if !useful[to] {
-			continue
-		}
-		for _, pe := range froms {
+	for _, to := range usefulSorted {
+		for _, pe := range revTight[to] {
 			if useful[pe.from] {
 				pedges = append(pedges, Edge{Src: remap[pe.from], Tgt: remap[to], GEdge: pe.gedge})
 			}
@@ -290,11 +336,14 @@ func ShortestFromProduct(g *graph.Graph, e rpq.Expr, src, dst int) *PMR {
 		s2 := remap[tg]
 		t = append(t, s2)
 	}
-	r, err := New(g, gammaNode, pedges, s, t)
-	if err != nil {
-		panic("pmr: shortest construction produced invalid PMR: " + err.Error())
+	r, err2 := New(g, gammaNode, pedges, s, t)
+	if err2 != nil {
+		panic("pmr: shortest construction produced invalid PMR: " + err2.Error())
 	}
-	return r
+	if err := tick.Flush(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // Cardinality returns the number of paths in SPaths(r); infinite reports
@@ -429,9 +478,24 @@ func (r *PMR) usefulStates() []bool {
 // partial path extends to a result — the property behind output-linear
 // delay (Section 6.4).
 func (r *PMR) Enumerate(limit int) []gpath.Path {
+	out, _ := r.EnumerateMeter(limit, nil)
+	return out
+}
+
+// EnumerateCtx is Enumerate under a context and budget: expansion steps
+// count against the states budget (amortized every pg.CheckInterval) and
+// each emitted path against the rows budget; errors follow the standard
+// taxonomy. On error no partial result is returned.
+func (r *PMR) EnumerateCtx(ctx context.Context, limit int, b pg.Budget) ([]gpath.Path, error) {
+	return r.EnumerateMeter(limit, pg.NewMeter(ctx, b))
+}
+
+// EnumerateMeter is Enumerate with an explicit meter (may be nil).
+func (r *PMR) EnumerateMeter(limit int, m *pg.Meter) ([]gpath.Path, error) {
 	if limit <= 0 {
-		return nil
+		return nil, nil
 	}
+	tick := pg.NewTicker(m, nil)
 	useful := r.usefulStates()
 	inT := map[int]bool{}
 	for _, t := range r.T {
@@ -452,6 +516,9 @@ func (r *PMR) Enumerate(limit int) []gpath.Path {
 	seen := map[string]struct{}{}
 	var out []gpath.Path
 	for len(queue) > 0 && len(out) < limit {
+		if err := tick.Step(); err != nil {
+			return nil, err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		if inT[cur.node] {
@@ -459,6 +526,9 @@ func (r *PMR) Enumerate(limit int) []gpath.Path {
 			k := p.Key()
 			if _, dup := seen[k]; !dup {
 				seen[k] = struct{}{}
+				if err := m.AddRows(1); err != nil {
+					return nil, err
+				}
 				out = append(out, p)
 				if len(out) == limit {
 					break
@@ -476,7 +546,10 @@ func (r *PMR) Enumerate(limit int) []gpath.Path {
 			queue = append(queue, partial{node: e.Tgt, edges: ext})
 		}
 	}
-	return out
+	if err := tick.Flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // imagePath renders a partial's γ-image as a node-to-node path. The start

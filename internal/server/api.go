@@ -47,8 +47,13 @@ const statusClientClosedRequest = 499
 type QueryRequest struct {
 	Graph string `json:"graph"`
 	Query string `json:"query"`
-	// Lang: "" or "auto" detects the language; "2rpq" forces two-way RPQ.
+	// Lang: "" or "auto" detects among the classic kinds; explicit values
+	// force a tier: "2rpq" (pairs), "gql" and "coregql" (matches), "cypher"
+	// (pairs), "pmr" (paths; needs from/to and a limit), "spanner" (spans
+	// over doc), "relalg" (relation), "bag" (bag count).
 	Lang string `json:"lang,omitempty"`
+	// Doc is the input document for spanner queries.
+	Doc string `json:"doc,omitempty"`
 	// From/To anchor path queries; Mode picks their path semantics
 	// (all, shortest, simple, trail — default all).
 	From string `json:"from,omitempty"`
@@ -65,8 +70,10 @@ type QueryRequest struct {
 	MaxRows   int64 `json:"max_rows,omitempty"`
 }
 
-// QueryResponse is the POST /v1/query success body. Exactly one of Pairs,
-// Paths, or Columns+Rows is populated, per Kind.
+// QueryResponse is the POST /v1/query success body. Exactly one result
+// field group is populated, per Kind: Pairs ("pairs"), Paths ("paths"),
+// Columns+Rows ("rows" and "relation"), Matches ("matches"), Spans
+// ("spans"), Value ("bag").
 type QueryResponse struct {
 	Graph   string      `json:"graph"`
 	Kind    string      `json:"kind"`
@@ -74,6 +81,9 @@ type QueryResponse struct {
 	Paths   []string    `json:"paths,omitempty"`
 	Columns []string    `json:"columns,omitempty"`
 	Rows    [][]string  `json:"rows,omitempty"`
+	Matches []string    `json:"matches,omitempty"`
+	Spans   []string    `json:"spans,omitempty"`
+	Value   string      `json:"value,omitempty"`
 	Count   int         `json:"count"`
 
 	StatesVisited int64   `json:"states_visited"`
@@ -203,6 +213,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.evaluate(qctx, eng, core.Request{
 		Query:    req.Query,
 		Lang:     req.Lang,
+		Doc:      req.Doc,
 		From:     graph.NodeID(req.From),
 		To:       graph.NodeID(req.To),
 		Mode:     mode,
@@ -231,6 +242,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch outcome {
 	case "ok":
 		s.stats.completed.Add(1)
+		s.stats.countKind(resp.Kind)
 	case "timeout":
 		s.stats.timeouts.Add(1)
 	case "canceled":
@@ -319,6 +331,23 @@ func renderResponse(eng *core.Engine, graphName string, resp *core.Response, ela
 			}
 			out.Rows[i] = rendered
 		}
+	case "matches":
+		out.Matches = append([]string{}, resp.Matches...)
+	case "spans":
+		out.Spans = append([]string{}, resp.Matches...)
+	case "relation":
+		out.Columns = resp.Rel.Attrs()
+		sorted := resp.Rel.Sorted()
+		out.Rows = make([][]string, len(sorted))
+		for i, t := range sorted {
+			rendered := make([]string, len(t))
+			for j, c := range t {
+				rendered[j] = c.Format(g)
+			}
+			out.Rows[i] = rendered
+		}
+	case "bag":
+		out.Value = resp.Bag.String()
 	}
 	return out
 }

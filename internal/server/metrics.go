@@ -36,6 +36,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Counter("gq_states_visited_total", "Product states expanded, summed over queries.", st.StatesVisited, nil)
 	m.Counter("gq_rows_returned_total", "Result rows returned, summed over queries.", st.RowsReturned, nil)
 
+	// Per-kind completions: one family, one label set per response kind,
+	// same fixed kind list as /v1/statz's "kinds" object.
+	m.Family("gq_queries_total", "Completed queries by response kind.", "counter")
+	for _, kind := range kindNames {
+		m.Sample("gq_queries_total", st.Kinds[kind], map[string]string{"kind": kind})
+	}
+
 	names := make([]string, 0, len(st.Graphs))
 	for name := range st.Graphs {
 		names = append(names, name)

@@ -25,6 +25,25 @@ type counters struct {
 
 	statesVisited atomic.Int64 // product states expanded, summed over queries
 	rowsReturned  atomic.Int64 // results returned, summed over queries
+
+	// kinds counts completed (200) queries by response kind, indexed like
+	// kindNames — the /v1/statz "kinds" object and the gq_queries_total
+	// metric family.
+	kinds [len(kindNames)]atomic.Int64
+}
+
+// kindNames are the response kinds the engine produces, the label values of
+// gq_queries_total{kind=...}.
+var kindNames = [...]string{"pairs", "paths", "rows", "matches", "spans", "relation", "bag"}
+
+// countKind accounts one completed query under its response kind.
+func (c *counters) countKind(kind string) {
+	for i, n := range kindNames {
+		if n == kind {
+			c.kinds[i].Add(1)
+			return
+		}
+	}
 }
 
 // ServerStats is the /v1/statz snapshot.
@@ -41,6 +60,10 @@ type ServerStats struct {
 	Queued         int64 `json:"queued"`
 	StatesVisited  int64 `json:"states_visited"`
 	RowsReturned   int64 `json:"rows_returned"`
+
+	// Kinds counts completed queries by response kind ("pairs", "paths",
+	// "rows", "matches", "spans", "relation", "bag").
+	Kinds map[string]int64 `json:"kinds"`
 
 	Graphs map[string]GraphStats `json:"graphs"`
 	Store  store.Stats           `json:"store"`
@@ -71,7 +94,11 @@ func (s *Server) Stats() ServerStats {
 		Queued:         s.queued.Load(),
 		StatesVisited:  s.stats.statesVisited.Load(),
 		RowsReturned:   s.stats.rowsReturned.Load(),
+		Kinds:          make(map[string]int64, len(kindNames)),
 		Graphs:         make(map[string]GraphStats),
+	}
+	for i, name := range kindNames {
+		st.Kinds[name] = s.stats.kinds[i].Load()
 	}
 	s.mu.RLock()
 	for name, e := range s.engines {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"graphquery/internal/pg"
 )
 
 // Span is a half-open interval [Start, End) of byte positions in the
@@ -207,22 +209,12 @@ type partial struct {
 // semantics; embed e in .*e.* style expressions for substring extraction —
 // see Extract). Results are deduplicated.
 func Evaluate(doc string, e Expr) []Match {
-	parts := eval(doc, e, 0)
-	seen := map[string]struct{}{}
-	var out []Match
-	for _, p := range parts {
-		if p.end != len(doc) {
-			continue
-		}
-		k := p.m.key()
-		if _, dup := seen[k]; dup {
-			continue
-		}
-		seen[k] = struct{}{}
-		out = append(out, p.m)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	out, _ := EvaluateMeter(doc, e, nil)
 	return out
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].key() < ms[j].key() })
 }
 
 // Extract is the common extraction idiom: evaluates .* e .* over the
@@ -232,31 +224,45 @@ func Extract(doc string, e Expr) []Match {
 	return Evaluate(doc, Seq(pad, e, pad))
 }
 
-func eval(doc string, e Expr, pos int) []partial {
+// evalMeter is the capture-propagating recursion, metered: every partial
+// considered ticks the shared Ticker (amortized against the states budget
+// every pg.CheckInterval), so cancellation and budgets land inside the
+// recursion, not just between top-level calls.
+func evalMeter(doc string, e Expr, pos int, t *pg.Ticker) ([]partial, error) {
+	if err := t.Step(); err != nil {
+		return nil, err
+	}
 	switch n := e.(type) {
 	case EpsilonE:
-		return []partial{{end: pos, m: Match{}}}
+		return []partial{{end: pos, m: Match{}}}, nil
 	case Char:
 		if pos < len(doc) && doc[pos] == n.C {
-			return []partial{{end: pos + 1, m: Match{}}}
+			return []partial{{end: pos + 1, m: Match{}}}, nil
 		}
-		return nil
+		return nil, nil
 	case Any:
 		if pos < len(doc) {
-			return []partial{{end: pos + 1, m: Match{}}}
+			return []partial{{end: pos + 1, m: Match{}}}, nil
 		}
-		return nil
+		return nil, nil
 	case ClassFn:
 		if pos < len(doc) && n.Fn(doc[pos]) {
-			return []partial{{end: pos + 1, m: Match{}}}
+			return []partial{{end: pos + 1, m: Match{}}}, nil
 		}
-		return nil
+		return nil, nil
 	case ConcatE:
 		cur := []partial{{end: pos, m: Match{}}}
 		for _, part := range n.Parts {
 			var next []partial
 			for _, c := range cur {
-				for _, d := range eval(doc, part, c.end) {
+				ds, err := evalMeter(doc, part, c.end, t)
+				if err != nil {
+					return nil, err
+				}
+				for _, d := range ds {
+					if err := t.Step(); err != nil {
+						return nil, err
+					}
 					merged, ok := mergeMatches(c.m, d.m)
 					if !ok {
 						continue
@@ -266,16 +272,20 @@ func eval(doc string, e Expr, pos int) []partial {
 			}
 			cur = dedupPartials(next)
 			if len(cur) == 0 {
-				return nil
+				return nil, nil
 			}
 		}
-		return cur
+		return cur, nil
 	case UnionE:
 		var out []partial
 		for _, a := range n.Alts {
-			out = append(out, eval(doc, a, pos)...)
+			ds, err := evalMeter(doc, a, pos, t)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ds...)
 		}
-		return dedupPartials(out)
+		return dedupPartials(out), nil
 	case StarE:
 		out := []partial{{end: pos, m: Match{}}}
 		frontier := out
@@ -283,7 +293,14 @@ func eval(doc string, e Expr, pos int) []partial {
 		for len(frontier) > 0 {
 			var next []partial
 			for _, c := range frontier {
-				for _, d := range eval(doc, n.Sub, c.end) {
+				ds, err := evalMeter(doc, n.Sub, c.end, t)
+				if err != nil {
+					return nil, err
+				}
+				for _, d := range ds {
+					if err := t.Step(); err != nil {
+						return nil, err
+					}
 					if d.end == c.end {
 						continue // ε-iterations do not add new results
 					}
@@ -303,21 +320,28 @@ func eval(doc string, e Expr, pos int) []partial {
 			out = append(out, next...)
 			frontier = next
 		}
-		return out
+		return out, nil
 	case Capture:
+		ds, err := evalMeter(doc, n.Sub, pos, t)
+		if err != nil {
+			return nil, err
+		}
 		var out []partial
-		for _, d := range eval(doc, n.Sub, pos) {
-			m := Match{}
-			for v, s := range d.m {
-				m[v] = s
+		for _, d := range ds {
+			if err := t.Step(); err != nil {
+				return nil, err
 			}
-			if _, dup := m[n.X]; dup {
+			mm := Match{}
+			for v, s := range d.m {
+				mm[v] = s
+			}
+			if _, dup := mm[n.X]; dup {
 				continue // a variable may be bound once per run
 			}
-			m[n.X] = Span{Start: pos, End: d.end}
-			out = append(out, partial{end: d.end, m: m})
+			mm[n.X] = Span{Start: pos, End: d.end}
+			out = append(out, partial{end: d.end, m: mm})
 		}
-		return out
+		return out, nil
 	default:
 		panic(fmt.Sprintf("spanner: unknown expression %T", e))
 	}

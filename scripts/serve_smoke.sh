@@ -37,7 +37,7 @@ $GO build -race -o "$workdir/gqserverd" ./cmd/gqserverd
 # kill/cancel flow below exercises cross-shard cancellation and the shard
 # counters must surface in /metrics and /v1/statz.
 querylog="$workdir/query.jsonl"
-"$workdir/gqserverd" -addr 127.0.0.1:0 -graphs bank,figure5-12,clique-200,clique-300,grid-50x50 \
+"$workdir/gqserverd" -addr 127.0.0.1:0 -graphs bank,figure5-12,clique-40,clique-200,clique-300,grid-50x50 \
   -max-concurrent 4 -max-queue 4 -default-timeout 10s -parallelism 1 -shards 2 \
   -slow-query 1ns -query-log "$querylog" -debug-addr 127.0.0.1:0 -mutable \
   >"$logfile" 2>&1 &
@@ -69,6 +69,41 @@ expect crpq-rows '"kind":"rows"' \
   "$(curl -fsS "$base/v1/query" -d '{"graph":"bank","query":"q(x,y) :- Transfer(x,y), Transfer(y,x)"}')"
 expect paths '"kind":"paths"' \
   "$(curl -fsS "$base/v1/query" -d '{"graph":"figure5-12","query":"a*","from":"s","to":"t","mode":"shortest"}')"
+# One query per unified language tier (DESIGN.md §14): each explicit lang
+# must answer with its own response kind.
+expect twoway-pairs '"kind":"pairs"' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"bank","lang":"2rpq","query":"Transfer ~Transfer"}')"
+expect cypher-pairs '"kind":"pairs"' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"bank","lang":"cypher","query":"-[:Transfer]->"}')"
+expect gql-matches '"kind":"matches"' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"bank","lang":"gql","query":"(x)-[:Transfer]->(y)"}')"
+expect coregql-matches '"kind":"matches"' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"bank","lang":"coregql","query":"(x)-->(y)"}')"
+expect pmr-paths '"kind":"paths"' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"figure5-12","lang":"pmr","query":"a*","from":"s","to":"t","limit":5}')"
+expect spanner-spans '"kind":"spans"' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"bank","lang":"spanner","doc":"aabc","query":"x{a*}y{(b|c)*}"}')"
+expect relalg-relation '"kind":"relation"' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"bank","lang":"relalg","query":"REACH(Transfer) AS (x, y)"}')"
+expect bag-count '"kind":"bag"' \
+  "$(curl -fsS "$base/v1/query" -d '{"graph":"bank","lang":"bag","query":"Transfer Transfer"}')"
+# Taxonomy must not drift across tiers: parse errors are 400
+# invalid_query in every lang (422 stays reserved for budget_exceeded),
+# schema violations are invalid_query, and budgets trip as 422.
+expect gql-parse-error '"code":"invalid_query"' \
+  "$(curl -sS "$base/v1/query" -d '{"graph":"bank","lang":"gql","query":"(x)-[:"}')"
+expect spanner-parse-error '"code":"invalid_query"' \
+  "$(curl -sS "$base/v1/query" -d '{"graph":"bank","lang":"spanner","doc":"ab","query":"x{("}')"
+expect relalg-parse-error '"code":"invalid_query"' \
+  "$(curl -sS "$base/v1/query" -d '{"graph":"bank","lang":"relalg","query":"REACH(a"}')"
+expect unknown-lang '"code":"invalid_query"' \
+  "$(curl -sS "$base/v1/query" -d '{"graph":"bank","lang":"sparql","query":"a"}')"
+expect pmr-no-limit '"code":"invalid_query"' \
+  "$(curl -sS "$base/v1/query" -d '{"graph":"figure5-12","lang":"pmr","query":"a*","from":"s","to":"t"}')"
+expect anchored-lang '"code":"invalid_query"' \
+  "$(curl -sS "$base/v1/query" -d '{"graph":"bank","lang":"bag","query":"Transfer","from":"a0"}')"
+expect bag-budget '"code":"budget_exceeded"' \
+  "$(curl -sS "$base/v1/query" -d '{"graph":"clique-200","lang":"bag","query":"a*","max_states":100}')"
 expect unknown-graph '"code":"unknown_graph"' \
   "$(curl -sS "$base/v1/query" -d '{"graph":"nope","query":"a"}')"
 expect invalid-query '"code":"invalid_query"' \
@@ -94,6 +129,19 @@ for field in accepted completed timeouts budget_exceeded errors; do
     || fail "metrics/statz drift: gq_${field}_total=$got, statz $field=$want"
 done
 echo "serve-smoke: ok: metrics agrees with statz"
+
+# Per-kind completion counters: one query of every response kind ran
+# above, so each label of gq_queries_total must be nonzero and must match
+# the statz "kinds" object.
+for kind in pairs paths rows matches spans relation bag; do
+  got=$(printf '%s\n' "$metrics" | sed -n "s/^gq_queries_total{kind=\"$kind\"} \([0-9]*\)\$/\1/p")
+  want=$(printf '%s' "$statz" | sed -n "s/.*\"kinds\":{[^}]*\"$kind\":\([0-9]*\).*/\1/p")
+  [[ -n "$got" && "$got" -gt 0 ]] \
+    || fail "gq_queries_total{kind=\"$kind\"} = '$got' after serving a $kind query"
+  [[ "$got" == "$want" ]] \
+    || fail "per-kind drift: gq_queries_total{kind=\"$kind\"}=$got, statz kinds.$kind=$want"
+done
+echo "serve-smoke: ok: per-kind counters (pairs paths rows matches spans relation bag)"
 
 # The slow-query log: one WARN record per admitted query so far (the
 # un-admitted unknown-graph request must not appear), and no ERRORs ever.
@@ -154,6 +202,27 @@ sweeps_total=$(printf '%s\n' "$metrics" \
   || fail "killed sharded query left gq_runtime_shard_sweeps_total at '$sweeps_total'"
 expect statz-shard-sweeps '"shard_sweeps"' "$(curl -fsS "$base/v1/statz")"
 echo "serve-smoke: ok: shard counters ($sharded_total sharded plans, $sweeps_total shard sweeps)"
+
+# Kill a live gql query: the unified tiers ride the same in-flight
+# registry and cooperative-kill plumbing as the RPQ family. The clique-40
+# walk enumeration (star under max_len 3) runs for seconds under the race
+# detector, so the kill lands mid-evaluation.
+gkill_out="$workdir/gql_killed.json"
+curl -sS "$base/v1/query" \
+  -d '{"graph":"clique-40","lang":"gql","query":"(x)(()-[:a]->())*(y)","max_len":3,"timeout_ms":30000}' >"$gkill_out" &
+gkill_curl=$!
+gqid=""
+for _ in $(seq 1 100); do
+  live=$(curl -fsS "$base/v1/queries")
+  gqid=$(printf '%s' "$live" | sed -n 's/.*"id":\([0-9]*\).*/\1/p' | head -1)
+  [[ -n "$gqid" ]] && break
+  sleep 0.05
+done
+[[ -n "$gqid" ]] || fail "gql query never appeared in /v1/queries"
+expect gql-kill '"killed":true' "$(curl -sS -X POST "$base/v1/queries/$gqid/cancel")"
+wait "$gkill_curl" || fail "killed gql query's connection was dropped"
+expect gql-killed-reply '"code":"killed"' "$(cat "$gkill_out")"
+echo "serve-smoke: ok: live gql query $gqid killed"
 
 # The query event log carries exactly one JSONL record per admitted query.
 accepted=$(curl -fsS "$base/v1/statz" | sed -n 's/.*"accepted":\([0-9]*\).*/\1/p')
