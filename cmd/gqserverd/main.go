@@ -13,6 +13,20 @@
 //	curl -s localhost:8080/v1/statz
 //	curl -s localhost:8080/metrics                    # Prometheus text format
 //
+// Streaming: POST /v1/query with Accept: application/x-ndjson (or
+// "stream": true in the body) delivers results as chunked NDJSON — a
+// header line, one row per line, and a final trailer record carrying the
+// outcome and counts — so a result set never has to fit in server memory
+// and a slow client throttles evaluation (backpressure). -stream-chunk
+// sets the rows per flushed chunk, -stream-buffer the chunks in flight.
+// A "cursor" field pages the stream: "start" plus a limit yields page one
+// and a next_cursor token in the trailer.
+//
+//	curl -sN localhost:8080/v1/query -H 'Accept: application/x-ndjson' \
+//	    -d '{"graph":"bank","query":"Transfer*"}'
+//	curl -sN localhost:8080/v1/query -H 'Accept: application/x-ndjson' \
+//	    -d '{"graph":"bank","query":"Transfer*","limit":100,"cursor":"start"}'
+//
 // Live graph store: -mutable enables the write surface — POST /v1/graphs
 // bulk-loads a graph (JSON or CSV payload, bounded by -max-load-bytes),
 // POST /v1/graphs/{name}/mutate applies one atomic mutation batch (optionally
@@ -86,6 +100,8 @@ func main() {
 	mutable := flag.Bool("mutable", false, "enable the write surface: POST /v1/graphs, mutate, delete")
 	compactThreshold := flag.Int("compact-threshold", 0, "delta-log depth that triggers background compaction (0: default; negative: never)")
 	maxLoadBytes := flag.Int64("max-load-bytes", 0, "largest POST /v1/graphs body accepted (0: default 32MiB)")
+	streamChunk := flag.Int("stream-chunk", 0, "rows per flushed NDJSON chunk on streamed queries (0: default 256)")
+	streamBuffer := flag.Int("stream-buffer", 0, "chunks buffered between evaluation and a slow streaming client (0: default 4)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -118,6 +134,8 @@ func main() {
 		Mutable:          *mutable,
 		CompactThreshold: *compactThreshold,
 		MaxLoadBytes:     *maxLoadBytes,
+		StreamChunk:      *streamChunk,
+		StreamBuffer:     *streamBuffer,
 	})
 	defer srv.Close()
 	for _, name := range strings.Split(*graphs, ",") {

@@ -109,6 +109,11 @@ type Response struct {
 	// Bag is the exact answer multiplicity total for kind "bag".
 	Bag *big.Int
 
+	// Streamed counts result rows delivered through a Sink by QueryStream;
+	// streamed kinds leave their materialized result fields empty (the rows
+	// already went to the consumer), so Count() falls back to this.
+	Streamed int
+
 	// StatesVisited / RowsProduced are the meter readings of this query —
 	// the work it performed, for accounting and /v1/statz aggregation.
 	StatesVisited int64
@@ -130,8 +135,13 @@ type Response struct {
 	GraphRev uint64
 }
 
-// Count returns the number of results regardless of kind.
+// Count returns the number of results regardless of kind. For responses
+// whose rows were streamed through a Sink the materialized fields are
+// empty and the streamed-row count is the answer.
 func (r *Response) Count() int {
+	if r.Streamed > 0 {
+		return r.Streamed
+	}
 	switch r.Kind {
 	case "pairs":
 		return len(r.Pairs)
@@ -160,6 +170,15 @@ func (r *Response) Count() int {
 // eval.ErrCanceled / eval.ErrBudgetExceeded; malformed queries as
 // ErrBadQuery; unknown endpoints as ErrUnknownNode.
 func (e *Engine) QueryCtx(ctx context.Context, req Request) (*Response, error) {
+	return e.runQuery(ctx, req, e.dispatch)
+}
+
+// runQuery is the shared driver behind QueryCtx and QueryStream: resolve
+// the request's bounds against the engine defaults, mint the query-global
+// meter, fix the graph snapshot, run the dispatch variant, and stamp the
+// response with the meter readings and trace artifacts.
+func (e *Engine) runQuery(ctx context.Context, req Request,
+	dispatch func(gs *graphState, req Request, m *eval.Meter, tr *obs.Trace, maxLen, limit int) (*Response, error)) (*Response, error) {
 	maxLen := req.MaxLen
 	if maxLen <= 0 {
 		maxLen = e.MaxLen
@@ -189,7 +208,7 @@ func (e *Engine) QueryCtx(ctx context.Context, req Request) (*Response, error) {
 	// for until evaluation finishes, even if writers commit meanwhile.
 	gs := e.cur.Load()
 	defer gs.acquire()()
-	resp, err := e.dispatch(gs, req, m, tr, maxLen, limit)
+	resp, err := dispatch(gs, req, m, tr, maxLen, limit)
 	if err != nil {
 		return nil, classify(err)
 	}

@@ -1,0 +1,216 @@
+// Streaming query delivery: QueryStream is QueryCtx with a row sink.
+//
+// The paper's complexity landscape (Section 6.3 exponential-output graphs,
+// Section 6.1 bag-semantics explosion) makes the result set, not the
+// evaluation, the memory bomb — so the engine must be able to hand rows to
+// a consumer incrementally instead of materializing them. Two delivery
+// tiers exist:
+//
+//   - Kernel streaming (kinds "pairs" via plain RPQ and the Cypher
+//     fragment): rows flow straight out of the product-graph fan-out
+//     (eval.PairsProductEmit) while sweeps are still running. Memory per
+//     query is O(fan-out window), not O(result), and a blocked sink
+//     throttles the worker pool (backpressure).
+//   - Render streaming (paths, rows, matches, spans, relation, and pairs
+//     from the 2RPQ tier): the evaluator materializes its internal result
+//     exactly as the buffered path does, then rows are rendered and handed
+//     to the sink one at a time — delivery memory is O(row), evaluation
+//     memory stays the buffered path's.
+//
+// Kind "bag" has one aggregate value and never touches the sink; serving
+// layers detect the untouched sink and degrade to the buffered body.
+package core
+
+import (
+	"context"
+	"errors"
+
+	"graphquery/internal/eval"
+	"graphquery/internal/graph"
+	"graphquery/internal/obs"
+)
+
+// Sink receives one query's results incrementally. Begin is called at most
+// once, after compilation and planning succeeded and before the first row,
+// naming the result kind and (for kinds "rows" and "relation") the column
+// header. Row then delivers one result element at a time, rendered exactly
+// as the buffered Response would render it: [2]string for "pairs",
+// string for "paths"/"matches"/"spans", []string for "rows"/"relation" —
+// so a streamed result is byte-identical, element for element, to the
+// buffered result fields.
+//
+// Row may be called from evaluation worker goroutines, but calls are never
+// concurrent and are ordered (happens-before) — a Sink needs no locking of
+// its own. Values passed to Row are owned by the sink. Returning an error
+// from either method stops evaluation; returning ErrStopStream stops it
+// and reports success (the sink has all it wants — a cursor page filled).
+type Sink interface {
+	Begin(kind string, columns []string) error
+	Row(v any) error
+}
+
+// ErrStopStream is the sentinel a Sink returns to stop evaluation early
+// without reporting an error.
+var ErrStopStream = errors.New("core: stop stream")
+
+// QueryStream evaluates one request like QueryCtx, delivering results
+// through sink instead of materializing them in the Response. The returned
+// Response carries the usual accounting (meter readings, plan, spans,
+// snapshot) with the result fields empty and Streamed set — except for
+// kind "bag", which skips the sink entirely and returns its value
+// buffered. Errors surface exactly as in QueryCtx; rows delivered to the
+// sink before the error remain delivered (the serving layer's trailer
+// protocol reports the outcome in-band).
+func (e *Engine) QueryStream(ctx context.Context, req Request, sink Sink) (*Response, error) {
+	return e.runQuery(ctx, req, func(gs *graphState, req Request, m *eval.Meter, tr *obs.Trace, maxLen, limit int) (*Response, error) {
+		return e.dispatchStream(gs, req, m, tr, maxLen, limit, sink)
+	})
+}
+
+// dispatchStream routes one streamed request: kernel streaming for the
+// unanchored pair-producing kinds that evaluate on the product-graph
+// fan-out, render streaming for everything else, buffered for bag. Request
+// validation (anchor rules, unknown langs) is dispatch's — the fallthrough
+// path reuses it verbatim.
+func (e *Engine) dispatchStream(gs *graphState, req Request, m *eval.Meter, tr *obs.Trace, maxLen, limit int, sink Sink) (*Response, error) {
+	anchored := req.From != "" || req.To != ""
+	if !anchored {
+		switch {
+		case req.Lang == "cypher":
+			return e.streamPairs(gs, req.Query, "cypher", e.compileCypherTraced(gs, tr), m, tr, sink)
+		case req.Lang == "" || req.Lang == "auto":
+			if k := Detect(req.Query); k != KindCRPQ && k != KindDLRPQ {
+				return e.streamPairs(gs, req.Query, "rpq", e.compileRPQTraced(gs, tr), m, tr, sink)
+			}
+		}
+	}
+	resp, err := e.dispatch(gs, req, m, tr, maxLen, limit)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == "bag" {
+		return resp, nil
+	}
+	if err := streamRendered(gs.g, resp, sink); err != nil && !errors.Is(err, ErrStopStream) {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// streamPairs is the kernel-streaming path: compile (or hit the plan
+// cache), then emit endpoint pairs straight from the product-graph fan-out,
+// rendered to node IDs against the query's snapshot. family is the plan-
+// cache namespace ("rpq" or "cypher") — both compile to the same rpqPlan,
+// so Cypher streams on the identical kernel machinery.
+func (e *Engine) streamPairs(gs *graphState, query, family string, compile func(string) (rpqPlan, error), m *eval.Meter, tr *obs.Trace, sink Sink) (*Response, error) {
+	plan, err := cached(e, gs, family, query, compile)
+	if err != nil {
+		return nil, badQuery(err)
+	}
+	tr.Set("plan", plan.plan.String())
+	if err := sink.Begin("pairs", nil); err != nil {
+		if errors.Is(err, ErrStopStream) {
+			return &Response{Kind: "pairs"}, nil
+		}
+		return nil, err
+	}
+	g := gs.g
+	n := 0
+	s0, r0 := m.States(), m.Rows()
+	sp := tr.Start("kernel")
+	err = eval.PairsProductEmit(context.Background(), plan.product,
+		eval.Options{Parallelism: e.Parallelism, Meter: m, Plan: plan.plan},
+		func(prs [][2]int) error {
+			for _, pr := range prs {
+				if err := sink.Row([2]string{string(g.Node(pr[0]).ID), string(g.Node(pr[1]).ID)}); err != nil {
+					return err
+				}
+				n++
+			}
+			return nil
+		})
+	sp.Counts(m.States()-s0, m.Rows()-r0).End()
+	if err != nil && !errors.Is(err, ErrStopStream) {
+		return nil, err
+	}
+	return &Response{Kind: "pairs", Streamed: n}, nil
+}
+
+// streamRendered delivers an already materialized response through the
+// sink, row by row, rendering each element exactly as the buffered serving
+// path would — one rendered row live at a time instead of a second full
+// copy of the result. The materialized fields are cleared afterwards (the
+// rows are with the consumer now) and Streamed records the delivered
+// count. Returns the first sink error, including ErrStopStream, for the
+// caller to interpret.
+func streamRendered(g *graph.Graph, resp *Response, sink Sink) error {
+	var cols []string
+	switch resp.Kind {
+	case "rows":
+		if resp.Rows != nil {
+			cols = resp.Rows.Head
+		}
+	case "relation":
+		if resp.Rel != nil {
+			cols = resp.Rel.Attrs()
+		}
+	}
+	err := sink.Begin(resp.Kind, cols)
+	n := 0
+	row := func(v any) error {
+		if err := sink.Row(v); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+	if err == nil {
+		switch resp.Kind {
+		case "pairs":
+			for _, pr := range resp.Pairs {
+				if err = row([2]string{string(pr[0]), string(pr[1])}); err != nil {
+					break
+				}
+			}
+		case "paths":
+			for _, p := range resp.Paths {
+				if err = row(p.Format(g)); err != nil {
+					break
+				}
+			}
+		case "rows":
+			if resp.Rows != nil {
+				for _, r := range resp.Rows.Rows {
+					rendered := make([]string, len(r))
+					for j, v := range r {
+						rendered[j] = v.Format(g)
+					}
+					if err = row(rendered); err != nil {
+						break
+					}
+				}
+			}
+		case "matches", "spans":
+			for _, s := range resp.Matches {
+				if err = row(s); err != nil {
+					break
+				}
+			}
+		case "relation":
+			if resp.Rel != nil {
+				for _, t := range resp.Rel.Sorted() {
+					rendered := make([]string, len(t))
+					for j, c := range t {
+						rendered[j] = c.Format(g)
+					}
+					if err = row(rendered); err != nil {
+						break
+					}
+				}
+			}
+		}
+	}
+	resp.Streamed = n
+	resp.Pairs, resp.Paths, resp.Rows, resp.Matches, resp.Rel = nil, nil, nil, nil, nil
+	return err
+}

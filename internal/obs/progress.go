@@ -18,6 +18,7 @@ type Progress struct {
 	edges    atomic.Int64
 	rows     atomic.Int64
 	frontier atomic.Int64
+	streamed atomic.Int64
 }
 
 // SetStage records the evaluation stage the query is in (parse, compile,
@@ -51,6 +52,16 @@ func (p *Progress) AddRows(n int64) {
 	}
 }
 
+// AddStreamed records n result rows delivered to the client mid-stream —
+// distinct from AddRows (rows produced by evaluation): under chunked
+// delivery the two drift apart by the rows still buffered or dropped by a
+// cursor skip, and an operator watching a live query wants both.
+func (p *Progress) AddStreamed(n int64) {
+	if p != nil && n > 0 {
+		p.streamed.Add(n)
+	}
+}
+
 // SetFrontier records the current BFS frontier length — a gauge, sampled at
 // the kernel's amortized tick, so readers see how the live sweep is growing
 // (or collapsing) rather than a historical peak.
@@ -69,6 +80,7 @@ type ProgressSnapshot struct {
 	Edges    int64  `json:"edges"`
 	Rows     int64  `json:"rows"`
 	Frontier int64  `json:"frontier"`
+	Streamed int64  `json:"streamed,omitempty"`
 }
 
 // Snapshot samples the progress. A nil receiver yields the zero snapshot.
@@ -81,6 +93,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Edges:    p.edges.Load(),
 		Rows:     p.rows.Load(),
 		Frontier: p.frontier.Load(),
+		Streamed: p.streamed.Load(),
 	}
 	if s := p.stage.Load(); s != nil {
 		snap.Stage = *s

@@ -116,3 +116,145 @@ func ForEach[T, S any](n, workers int, newScratch func() S, putScratch func(S), 
 	}
 	return out, nil
 }
+
+// emitWindowPerWorker bounds how many per-index results may exist finished
+// but not yet emitted, per worker: the in-flight window of ForEachEmit.
+// Workers that get this far ahead of the emit cursor park on a condition
+// variable, so a slow emit (a streaming consumer applying backpressure)
+// throttles evaluation instead of letting completed parts pile up.
+const emitWindowPerWorker = 4
+
+// ForEachEmit is ForEach's streaming sibling: fn runs for every i in [0, n)
+// on a worker pool, but instead of accumulating every per-index result into
+// one merged slice, each finished part is handed to emit in strict index
+// order as soon as it (and all its predecessors) is ready. The emitted
+// sequence is therefore byte-identical to ForEach's return value, while
+// memory is bounded by the in-flight window (workers × emitWindowPerWorker
+// parts) instead of the total result.
+//
+// emit is never called concurrently with itself, and its error (like fn's)
+// stops all workers at their next index claim and is returned; the pool is
+// always joined before returning. An emitted part must not be retained
+// beyond the emit call if T aliases scratch state (it does not for the
+// value types the runtime fans out). With workers ≤ 1 the call degenerates
+// to the plain sequential loop: fn, emit, repeat.
+func ForEachEmit[T, S any](n, workers int, newScratch func() S, putScratch func(S), fn func(i int, sc S) ([]T, error), emit func(part []T) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var sc S
+		if newScratch != nil {
+			sc = newScratch()
+			if putScratch != nil {
+				defer putScratch(sc)
+			}
+		}
+		for i := 0; i < n; i++ {
+			part, err := fn(i, sc)
+			if err != nil {
+				return err
+			}
+			if len(part) == 0 {
+				continue
+			}
+			if err := emit(part); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	window := workers * emitWindowPerWorker
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		next     int            // next index to claim
+		emitted  int            // next index to emit
+		done     = map[int][]T{} // finished parts awaiting their turn
+		emitting bool           // one worker at a time drains the ready prefix
+		failed   bool
+		firstErr error
+	)
+	fail := func(err error) {
+		if !failed {
+			failed, firstErr = true, err
+		}
+		cond.Broadcast()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc S
+			if newScratch != nil {
+				sc = newScratch()
+				if putScratch != nil {
+					defer putScratch(sc)
+				}
+			}
+			for {
+				mu.Lock()
+				// The window wait is the backpressure edge: claimed-but-
+				// unemitted indexes are capped, so a blocked emit parks the
+				// whole pool within one part each.
+				for !failed && next-emitted >= window {
+					cond.Wait()
+				}
+				if failed || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				part, err := fn(i, sc)
+
+				mu.Lock()
+				if failed {
+					mu.Unlock()
+					return
+				}
+				if err != nil {
+					fail(err)
+					mu.Unlock()
+					return
+				}
+				done[i] = part
+				// Whoever completes the emit cursor's index becomes the
+				// emitter and drains every contiguously ready part, releasing
+				// the lock around each emit call so other workers keep
+				// computing (until the window stops them).
+				if !emitting {
+					for !failed {
+						part, ready := done[emitted]
+						if !ready {
+							break
+						}
+						emitting = true
+						delete(done, emitted)
+						mu.Unlock()
+						var emitErr error
+						if len(part) > 0 {
+							emitErr = emit(part)
+						}
+						mu.Lock()
+						emitting = false
+						if emitErr != nil {
+							fail(emitErr)
+							break
+						}
+						emitted++
+						cond.Broadcast()
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

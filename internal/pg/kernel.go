@@ -166,6 +166,26 @@ func (k *Kernel) ReachableRows(src int, sc *Scratch, mt *Meter, dense bool) ([]i
 	return k.reachable(src, sc, mt, dense)
 }
 
+// ReachableRowsSink is ReachableRows with callback delivery: once the sweep
+// completes, every emitted node is handed to sink in ascending order. Rows
+// are still charged on mt at emission time inside the sweep, so the exact
+// MaxRows+1 budget trip of ReachableRows is preserved; memory stays the
+// sweep's own O(graph) scratch (the per-sweep node list is bounded by the
+// graph, not by a multi-source result). A sink error aborts delivery and is
+// returned verbatim, so streaming layers can stop early with a sentinel.
+func (k *Kernel) ReachableRowsSink(src int, sc *Scratch, mt *Meter, dense bool, sink func(node int) error) error {
+	nodes, err := k.ReachableRows(src, sc, mt, dense)
+	if err != nil {
+		return err
+	}
+	for _, v := range nodes {
+		if err := sink(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, error) {
 	g := k.g
 	nq := k.nq

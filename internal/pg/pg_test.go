@@ -138,6 +138,68 @@ func TestForEachEmpty(t *testing.T) {
 	}
 }
 
+// TestForEachEmitMatchesForEach: the emitted sequence must be identical to
+// ForEach's merged return for any worker count, including with a slow
+// consumer exercising the in-flight window, and empty parts are skipped.
+func TestForEachEmitMatchesForEach(t *testing.T) {
+	fn := func(i int, _ struct{}) ([]int, error) {
+		if i%7 == 0 {
+			return nil, nil // empty parts never reach emit
+		}
+		return []int{3 * i, 3*i + 1}, nil
+	}
+	want, err := pg.ForEach(200, 1, nil, nil, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		var got []int
+		err := pg.ForEachEmit(200, workers, nil, nil, fn, func(part []int) error {
+			if len(part) == 0 {
+				t.Fatal("empty part emitted")
+			}
+			got = append(got, part...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: emitted %v != %v", workers, got, want)
+		}
+	}
+}
+
+// TestForEachEmitErrors: both an fn error and an emit error stop the pool
+// and surface; the call must join its goroutines either way (the race
+// detector enforces that here).
+func TestForEachEmitErrors(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	for _, workers := range []int{1, 4} {
+		err := pg.ForEachEmit(64, workers, nil, nil, func(i int, _ struct{}) ([]int, error) {
+			if i == 33 {
+				return nil, boom
+			}
+			return []int{i}, nil
+		}, func([]int) error { return nil })
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d fn error: want boom, got %v", workers, err)
+		}
+		emitted := 0
+		err = pg.ForEachEmit(64, workers, nil, nil, func(i int, _ struct{}) ([]int, error) {
+			return []int{i}, nil
+		}, func(part []int) error {
+			if emitted++; emitted == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d emit error: want boom, got %v", workers, err)
+		}
+	}
+}
+
 func TestResolve(t *testing.T) {
 	g := gen.Random(10, 30, []string{"a", "b"}, 1)
 	if _, ok := pg.Resolve(g, automata.GuardLabel("zzz")); ok {

@@ -595,6 +595,24 @@ func (k *Kernel) ReachableSweep(src int, sc *Scratch, mt *Meter, pl Plan) ([]int
 	return k.reachableFrontier(src, sc, mt, pl)
 }
 
+// ReachableSweepSink is ReachableSweep with callback delivery, the plan-
+// aware face of ReachableRowsSink: the sweep (scalar or frontier) runs to
+// completion with emission-time rows charging, then the sorted node list is
+// handed to sink one node at a time. A sink error aborts delivery and is
+// returned verbatim.
+func (k *Kernel) ReachableSweepSink(src int, sc *Scratch, mt *Meter, pl Plan, sink func(node int) error) error {
+	nodes, err := k.ReachableSweep(src, sc, mt, pl)
+	if err != nil {
+		return err
+	}
+	for _, v := range nodes {
+		if err := sink(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // reachableFrontier is the frontier engine's driver: seed, then alternate
 // expand / exchange / promote level barriers until the frontier drains.
 // Determinism: each shard's expansion order is fixed by its frontier queue

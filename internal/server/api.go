@@ -15,17 +15,25 @@
 // an X-Query-ID header naming the query's registry ID, the handle for the
 // introspection endpoints and the query event log.
 //
+// POST /v1/query also speaks chunked NDJSON: with Accept:
+// application/x-ndjson (or "stream": true in the body) results stream to
+// the client as they are produced — header line, one row per line, trailer
+// line — with backpressure and cursor-style pagination. See stream.go.
+//
 // Errors use one envelope, {"error":{"code":..., "message":...}}, with
 // machine-readable codes: invalid_request and invalid_query (400),
-// unknown_graph and unknown_query (404), overloaded (429),
-// budget_exceeded (422), timeout (504), canceled and killed (499),
-// internal (500).
+// unknown_graph and unknown_query (404), cursor_stale (409),
+// too_large (413), overloaded (429), budget_exceeded (422), timeout (504),
+// canceled and killed (499), internal (500). A streamed query that already
+// sent its first chunk reports failures in-band instead, as an error
+// trailer carrying the same code.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -68,6 +76,13 @@ type QueryRequest struct {
 	// MaxStates / MaxRows override the server's default budget when > 0.
 	MaxStates int64 `json:"max_states,omitempty"`
 	MaxRows   int64 `json:"max_rows,omitempty"`
+	// Stream requests chunked NDJSON delivery — equivalent to sending
+	// Accept: application/x-ndjson.
+	Stream bool `json:"stream,omitempty"`
+	// Cursor pages a streamed result: "start" opens page one (page size =
+	// limit) and each full page's trailer carries the next_cursor token for
+	// the page after it. Requires streaming.
+	Cursor string `json:"cursor,omitempty"`
 }
 
 // QueryResponse is the POST /v1/query success body. Exactly one result
@@ -125,24 +140,33 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes one buffered JSON body. The status header is on the
+// wire before encoding starts, so an encode or connection failure cannot
+// change the outcome anymore — but it is not silently dropped either: it
+// is logged and counted in the write_errors stat, so truncated responses
+// are visible to operators. (Streamed responses have the stronger in-band
+// trailer protocol; this closes the buffered path.)
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.stats.writeErrors.Add(1)
+		s.logger().Warn("response write failed", "status", status, "err", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, code, message string) {
-	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: message}})
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	s.writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: message}})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
@@ -151,26 +175,39 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		g := s.Engine(name).Graph()
 		infos = append(infos, GraphInfo{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()})
 	}
-	writeJSON(w, http.StatusOK, map[string][]GraphInfo{"graphs": infos})
+	s.writeJSON(w, http.StatusOK, map[string][]GraphInfo{"graphs": infos})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Arrival is stamped before admission so the duration histogram keeps
+	// its documented meaning — wall clock of the whole admitted query, queue
+	// wait included. (The registry entry's Started is stamped at admission
+	// and keeps measuring evaluation alone.)
+	arrived := time.Now()
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err := dec.Decode(&req); err != nil {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
+		// An over-limit body is the client sending too much, not malformed
+		// JSON: report it as 413 too_large, matching the store load path.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
 		return
 	}
 	if req.Query == "" {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid_request", "missing query")
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "missing query")
 		return
 	}
 	eng := s.Engine(req.Graph)
 	if eng == nil {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(req.Graph))
+		s.writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(req.Graph))
 		return
 	}
 	mode := eval.All
@@ -178,8 +215,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var err error
 		if mode, err = eval.ParseMode(req.Mode); err != nil {
 			s.stats.errors.Add(1)
-			writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+			s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 			return
+		}
+	}
+	stream := req.Stream || wantsNDJSON(r)
+	var cur cursorSpec
+	if req.Cursor != "" {
+		if !stream {
+			s.stats.errors.Add(1)
+			s.writeError(w, http.StatusBadRequest, "invalid_request",
+				`cursor requires streaming ("stream": true or Accept: application/x-ndjson)`)
+			return
+		}
+		var perr string
+		if cur, perr = parseCursor(req.Cursor, req.Limit); perr != "" {
+			s.stats.errors.Add(1)
+			s.writeError(w, http.StatusBadRequest, "invalid_request", perr)
+			return
+		}
+		if cur.check && cur.rev != eng.GraphRev() {
+			s.stats.errors.Add(1)
+			s.writeError(w, http.StatusConflict, "cursor_stale", fmt.Sprintf(
+				"cursor is for graph revision %d, current is %d; restart from cursor \"start\"",
+				cur.rev, eng.GraphRev()))
+			return
+		}
+	}
+	limit := req.Limit
+	if cur.active {
+		// The engine enumerates up to the end of the requested page; the
+		// sink drops the skipped prefix and stops at the page bound.
+		if cur.page > 0 {
+			limit = cur.skip + cur.page
+		} else {
+			limit = 0
 		}
 	}
 
@@ -187,7 +257,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := s.acquire(r.Context()); err != nil {
 		if errors.Is(err, errOverloaded) {
 			s.stats.rejected.Add(1)
-			writeError(w, http.StatusTooManyRequests, "overloaded",
+			s.writeError(w, http.StatusTooManyRequests, "overloaded",
 				"all query slots busy and the wait queue is full; retry later")
 			return
 		}
@@ -210,7 +280,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Query-ID", strconv.FormatUint(act.ID, 10))
 
 	tr := obs.NewTrace()
-	resp, err := s.evaluate(qctx, eng, core.Request{
+	creq := core.Request{
 		Query:    req.Query,
 		Lang:     req.Lang,
 		Doc:      req.Doc,
@@ -218,14 +288,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		To:       graph.NodeID(req.To),
 		Mode:     mode,
 		MaxLen:   req.MaxLen,
-		Limit:    req.Limit,
+		Limit:    limit,
 		Budget:   eval.Budget{MaxStates: req.MaxStates, MaxRows: req.MaxRows},
 		Trace:    tr,
 		Progress: act.Progress,
-	}, s.timeoutFor(time.Duration(req.TimeoutMS)*time.Millisecond))
+	}
+	timeout := s.timeoutFor(time.Duration(req.TimeoutMS) * time.Millisecond)
+	var st *streamer
+	var resp *core.Response
+	var err error
+	if stream {
+		st = s.newStreamer(w, qctx, tr, act.Progress, req.Graph, cur)
+		resp, err = s.evaluateStream(qctx, eng, creq, timeout, st)
+	} else {
+		resp, err = s.evaluate(qctx, eng, creq, timeout)
+	}
 	elapsed := time.Since(act.Started)
-	s.latency.Observe(elapsed.Seconds())
-	s.observeStages(tr.Spans())
+	s.latency.Observe(time.Since(arrived).Seconds())
 
 	outcome := "ok"
 	status := http.StatusOK
@@ -255,12 +334,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.stats.errors.Add(1)
 	}
 
+	// Streamed delivery: a successful streamed query (the sink was opened)
+	// finishes with an ok trailer; one that failed after its first chunk
+	// went out can no longer use the error envelope — the 200 is on the
+	// wire — so the same outcome code goes into an error trailer in-band.
+	// Both paths flush, join the writer, and record the "stream" span,
+	// which is why finish runs before observeStages below.
+	delivered := false
+	if st != nil {
+		if err == nil && st.began {
+			var rev uint64
+			if resp != nil {
+				rev = resp.GraphRev
+			}
+			st.finish(streamTrailer{
+				Status:        "ok",
+				Count:         st.rows,
+				StatesVisited: resp.StatesVisited,
+				RowsProduced:  resp.RowsProduced,
+				ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+				NextCursor:    st.nextCursor(rev),
+			})
+			delivered = true
+		} else if err != nil && st.sent() {
+			spans := tr.Spans()
+			st.finish(streamTrailer{
+				Status:        "error",
+				Code:          outcome,
+				Message:       err.Error(),
+				Count:         st.rows,
+				StatesVisited: obs.TotalStates(spans),
+				RowsProduced:  obs.TotalRows(spans),
+				ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+			})
+			delivered = true
+		}
+	}
+	s.observeStages(tr.Spans())
+
 	// One completion record feeds the recent-queries ring, the query event
 	// log, and (over threshold) the slow-query WARN.
 	rec := buildRecord(act, outcome, err, elapsed, tr, resp)
 	s.registry.Finish(act, rec)
 	s.logQuery(rec, elapsed)
 
+	if delivered {
+		return
+	}
 	if err != nil {
 		if outcome == "canceled" && r.Context().Err() != nil {
 			// The cancellation came from the client side: its connection is
@@ -269,13 +389,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// net/http as a superfluous WriteHeader after a failed body
 			// write. The 499 is accounting-only; write nothing. (An operator
 			// kill does not take this path: the client is still connected
-			// and receives the "killed" envelope.)
+			// and receives the "killed" envelope. A streamed query past its
+			// first chunk does not either: its outcome went out above as the
+			// in-band trailer.)
 			return
 		}
-		writeError(w, status, outcome, err.Error())
+		s.writeError(w, status, outcome, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, renderResponse(eng, req.Graph, resp, elapsed))
+	// A streamed request whose evaluation never touched the sink (kind
+	// "bag" has one aggregate value) degrades to the buffered body.
+	s.writeJSON(w, http.StatusOK, renderResponse(eng, req.Graph, resp, elapsed))
 }
 
 // classifyHTTP maps the engine/eval error taxonomy to an HTTP status and

@@ -35,6 +35,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Gauge("gq_queued", "Admissions waiting for a concurrency slot.", st.Queued, nil)
 	m.Counter("gq_states_visited_total", "Product states expanded, summed over queries.", st.StatesVisited, nil)
 	m.Counter("gq_rows_returned_total", "Result rows returned, summed over queries.", st.RowsReturned, nil)
+	m.Counter("gq_rows_streamed_total", "Result rows handed to streamed (NDJSON) responses.", st.RowsStreamed, nil)
+	m.Counter("gq_write_errors_total", "Response encode/write failures, buffered and streamed.", st.WriteErrors, nil)
 
 	// Per-kind completions: one family, one label set per response kind,
 	// same fixed kind list as /v1/statz's "kinds" object.

@@ -22,12 +22,12 @@ import (
 
 // handleQueries samples every in-flight query, sorted by ID.
 func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"queries": s.registry.Live()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"queries": s.registry.Live()})
 }
 
 // handleQueriesRecent returns the completed-query ring, newest first.
 func (s *Server) handleQueriesRecent(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"queries": s.registry.Recent()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"queries": s.registry.Recent()})
 }
 
 // handleQueryCancel kills one in-flight query by ID. 404 when no live
@@ -36,13 +36,13 @@ func (s *Server) handleQueriesRecent(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQueryCancel(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request", "bad query id: "+r.PathValue("id"))
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "bad query id: "+r.PathValue("id"))
 		return
 	}
 	if !s.registry.Kill(id) {
-		writeError(w, http.StatusNotFound, "unknown_query",
+		s.writeError(w, http.StatusNotFound, "unknown_query",
 			"no in-flight query with id "+strconv.FormatUint(id, 10))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "killed": true})
+	s.writeJSON(w, http.StatusOK, map[string]any{"id": id, "killed": true})
 }

@@ -84,9 +84,26 @@ type Config struct {
 	// MaxLoadBytes bounds the POST /v1/graphs request body; larger loads
 	// are rejected with 413 too_large (0: defaultMaxLoadBytes).
 	MaxLoadBytes int64
+	// StreamChunk is the NDJSON chunk granularity of streamed queries: the
+	// response flushes to the client every StreamChunk rows
+	// (0: defaultStreamChunk).
+	StreamChunk int
+	// StreamBuffer is the backpressure window of streamed queries, in
+	// chunks: at most StreamBuffer encoded chunks sit between evaluation
+	// and a slow client before the evaluation workers block
+	// (0: defaultStreamBuffer).
+	StreamBuffer int
 }
 
 const defaultMaxConcurrent = 16
+
+// defaultStreamChunk rows per NDJSON chunk: large enough to amortize the
+// per-chunk channel hop and TCP flush, small enough that first-row latency
+// and per-query buffering stay low.
+const defaultStreamChunk = 256
+
+// defaultStreamBuffer chunks in flight between evaluation and the client.
+const defaultStreamBuffer = 4
 
 // defaultMaxLoadBytes bounds bulk graph loads when the config leaves
 // MaxLoadBytes zero: big enough for generous test fixtures, small enough
@@ -133,8 +150,11 @@ type Server struct {
 
 // stageNames are the engine's evaluation stages, in pipeline order — the
 // label values of gq_stage_duration_seconds. They match the span names
-// core.Engine records (see internal/core query tracing).
-var stageNames = [...]string{"parse", "compile", "plan", "kernel", "enumerate"}
+// core.Engine records (see internal/core query tracing), plus "stream",
+// the serving-side delivery drain of a streamed response (trailer flush +
+// writer join; recorded by streamer.finish, disjoint from the evaluation
+// spans).
+var stageNames = [...]string{"parse", "compile", "plan", "kernel", "enumerate", "stream"}
 
 // New returns an empty server with cfg's admission limiter.
 func New(cfg Config) *Server {

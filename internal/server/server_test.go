@@ -260,10 +260,21 @@ func TestErrorEnvelopeShape(t *testing.T) {
 	}
 }
 
+// TestRequestBodyLimit pins the body-size taxonomy: an over-limit body is
+// 413 too_large (the client sent too much, not malformed JSON), while a
+// body under the limit that is still broken JSON stays 400 invalid_request.
 func TestRequestBodyLimit(t *testing.T) {
 	_, ts := newTestServer(t, Config{}, "bank")
 	huge := `{"graph":"bank","query":"` + strings.Repeat("a|", maxRequestBytes) + `a"}`
 	status, m := post(t, ts, huge)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%v)", status, m)
+	}
+	if code := errorCode(t, m); code != "too_large" {
+		t.Fatalf("code %q, want too_large", code)
+	}
+
+	status, m = post(t, ts, `{"graph":"bank","query":`)
 	if status != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400 (%v)", status, m)
 	}

@@ -25,6 +25,8 @@ type counters struct {
 
 	statesVisited atomic.Int64 // product states expanded, summed over queries
 	rowsReturned  atomic.Int64 // results returned, summed over queries
+	rowsStreamed  atomic.Int64 // rows handed to streamed (NDJSON) responses
+	writeErrors   atomic.Int64 // response encode/write failures (buffered + streamed)
 
 	// kinds counts completed (200) queries by response kind, indexed like
 	// kindNames — the /v1/statz "kinds" object and the gq_queries_total
@@ -60,6 +62,8 @@ type ServerStats struct {
 	Queued         int64 `json:"queued"`
 	StatesVisited  int64 `json:"states_visited"`
 	RowsReturned   int64 `json:"rows_returned"`
+	RowsStreamed   int64 `json:"rows_streamed"`
+	WriteErrors    int64 `json:"write_errors"`
 
 	// Kinds counts completed queries by response kind ("pairs", "paths",
 	// "rows", "matches", "spans", "relation", "bag").
@@ -94,6 +98,8 @@ func (s *Server) Stats() ServerStats {
 		Queued:         s.queued.Load(),
 		StatesVisited:  s.stats.statesVisited.Load(),
 		RowsReturned:   s.stats.rowsReturned.Load(),
+		RowsStreamed:   s.stats.rowsStreamed.Load(),
+		WriteErrors:    s.stats.writeErrors.Load(),
 		Kinds:          make(map[string]int64, len(kindNames)),
 		Graphs:         make(map[string]GraphStats),
 	}

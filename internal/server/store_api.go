@@ -86,7 +86,7 @@ func (s *Server) requireMutable(w http.ResponseWriter) bool {
 		return true
 	}
 	s.stats.errors.Add(1)
-	writeError(w, http.StatusMethodNotAllowed, "read_only",
+	s.writeError(w, http.StatusMethodNotAllowed, "read_only",
 		"server is read-only; start it with -mutable to enable graph writes")
 	return false
 }
@@ -96,15 +96,15 @@ func (s *Server) writeStoreError(w http.ResponseWriter, err error) {
 	s.stats.errors.Add(1)
 	switch {
 	case errors.Is(err, store.ErrExists):
-		writeError(w, http.StatusConflict, "graph_exists", err.Error())
+		s.writeError(w, http.StatusConflict, "graph_exists", err.Error())
 	case errors.Is(err, store.ErrVersionMismatch):
-		writeError(w, http.StatusConflict, "version_mismatch", err.Error())
+		s.writeError(w, http.StatusConflict, "version_mismatch", err.Error())
 	case errors.Is(err, store.ErrNotFound):
-		writeError(w, http.StatusNotFound, "unknown_graph", err.Error())
+		s.writeError(w, http.StatusNotFound, "unknown_graph", err.Error())
 	case errors.Is(err, store.ErrReadOnly):
-		writeError(w, http.StatusMethodNotAllowed, "read_only", err.Error())
+		s.writeError(w, http.StatusMethodNotAllowed, "read_only", err.Error())
 	default:
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 	}
 }
 
@@ -118,16 +118,16 @@ func (s *Server) handleGraphLoad(w http.ResponseWriter, r *http.Request) {
 		s.stats.errors.Add(1)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+			s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
 				fmt.Sprintf("load body exceeds the %d-byte limit", tooBig.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
 		return
 	}
 	if req.Name == "" {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid_request", "missing graph name")
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "missing graph name")
 		return
 	}
 	var g *graph.Graph
@@ -136,7 +136,7 @@ func (s *Server) handleGraphLoad(w http.ResponseWriter, r *http.Request) {
 	case "", "json":
 		if len(req.Graph) == 0 {
 			s.stats.errors.Add(1)
-			writeError(w, http.StatusBadRequest, "invalid_request", `missing "graph" document`)
+			s.writeError(w, http.StatusBadRequest, "invalid_request", `missing "graph" document`)
 			return
 		}
 		g, err = graph.ReadJSON(bytes.NewReader(req.Graph))
@@ -144,13 +144,13 @@ func (s *Server) handleGraphLoad(w http.ResponseWriter, r *http.Request) {
 		g, err = graph.ReadCSV(strings.NewReader(req.NodesCSV), strings.NewReader(req.EdgesCSV))
 	default:
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid_request",
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
 			fmt.Sprintf("unknown load format %q (want json or csv)", req.Format))
 		return
 	}
 	if err != nil {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid_request", "bad graph payload: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "bad graph payload: "+err.Error())
 		return
 	}
 	if _, err := s.register(req.Name, g, false, false); err != nil {
@@ -159,7 +159,7 @@ func (s *Server) handleGraphLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	h, _ := s.store.Get(req.Name)
 	snap := h.Snapshot()
-	writeJSON(w, http.StatusCreated, GraphVersion{
+	s.writeJSON(w, http.StatusCreated, GraphVersion{
 		Graph:   req.Name,
 		Version: snap.Version,
 		Rev:     snap.Rev,
@@ -176,19 +176,19 @@ func (s *Server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.store.Get(name)
 	if !ok {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(name))
+		s.writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(name))
 		return
 	}
 	var req MutateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err := dec.Decode(&req); err != nil {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "bad request body: "+err.Error())
 		return
 	}
 	if len(req.Ops) == 0 {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid_request", "empty mutation batch")
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "empty mutation batch")
 		return
 	}
 	muts := make([]graph.Mutation, len(req.Ops))
@@ -196,7 +196,7 @@ func (s *Server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
 		m, err := decodeMutation(op)
 		if err != nil {
 			s.stats.errors.Add(1)
-			writeError(w, http.StatusBadRequest, "invalid_request",
+			s.writeError(w, http.StatusBadRequest, "invalid_request",
 				fmt.Sprintf("op %d: %v", i, err))
 			return
 		}
@@ -207,7 +207,7 @@ func (s *Server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
 		s.writeStoreError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, GraphVersion{
+	s.writeJSON(w, http.StatusOK, GraphVersion{
 		Graph:   name,
 		Version: snap.Version,
 		Rev:     snap.Rev,
@@ -262,7 +262,7 @@ func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	delete(s.engines, name)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	s.writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
 func (s *Server) handleGraphExport(w http.ResponseWriter, r *http.Request) {
@@ -270,7 +270,7 @@ func (s *Server) handleGraphExport(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.store.Get(name)
 	if !ok {
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(name))
+		s.writeError(w, http.StatusNotFound, "unknown_graph", "unknown graph "+strconvQuote(name))
 		return
 	}
 	g := h.Snapshot().G
@@ -290,7 +290,7 @@ func (s *Server) handleGraphExport(w http.ResponseWriter, r *http.Request) {
 			edges = w
 		default:
 			s.stats.errors.Add(1)
-			writeError(w, http.StatusBadRequest, "invalid_request",
+			s.writeError(w, http.StatusBadRequest, "invalid_request",
 				fmt.Sprintf("csv export needs part=nodes or part=edges, got %q", part))
 			return
 		}
@@ -300,7 +300,7 @@ func (s *Server) handleGraphExport(w http.ResponseWriter, r *http.Request) {
 		}
 	default:
 		s.stats.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid_request",
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
 			fmt.Sprintf("unknown export format %q (want json or csv)", format))
 	}
 }

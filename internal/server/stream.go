@@ -1,0 +1,332 @@
+// Streaming result delivery: the NDJSON face of core.QueryStream.
+//
+// A streamed /v1/query (Accept: application/x-ndjson or "stream": true)
+// answers 200 with one JSON value per line:
+//
+//	{"graph":"bank","kind":"pairs"}            header: kind + column names
+//	["a1","a7"]                                 rows: bare JSON values —
+//	["a1","a9"]                                 arrays or strings, never
+//	...                                         objects
+//	{"trailer":{"status":"ok","count":…}}       trailer: outcome, counts,
+//	                                            next_cursor
+//
+// Rows are encoded into chunks of Config.StreamChunk rows; chunks travel
+// to the response writer through a bounded channel of Config.StreamBuffer
+// entries, so a slow client throttles evaluation (backpressure) instead of
+// letting results pile up — memory per query is O(chunk), not O(result).
+//
+// The error taxonomy survives mid-stream: until the first chunk is flushed
+// nothing has been written, and failures surface as the ordinary status +
+// error envelope; after the first chunk the 200 header is gone, so the
+// outcome — ok, budget_exceeded, timeout, killed, canceled, internal — is
+// reported as the in-band trailer record instead, with the same code the
+// envelope would have carried. Rows encoded but never flushed when an
+// error hits are dropped: like the buffered path, an error voids results
+// the client does not already have.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphquery/internal/core"
+	"graphquery/internal/eval"
+	"graphquery/internal/obs"
+)
+
+// streamHeader is the first line of a streamed response.
+type streamHeader struct {
+	Graph string `json:"graph"`
+	Kind  string `json:"kind"`
+	// Columns is the column header for kinds "rows" and "relation" — the
+	// buffered response's "columns" field.
+	Columns []string `json:"columns,omitempty"`
+}
+
+// streamTrailer is the last line of a streamed response, wrapped under a
+// "trailer" key so it cannot be mistaken for a row (rows are never
+// objects). Status is "ok" or "error"; Code carries the same
+// machine-readable code the error envelope would have used.
+type streamTrailer struct {
+	Status        string  `json:"status"`
+	Code          string  `json:"code,omitempty"`
+	Message       string  `json:"message,omitempty"`
+	Count         int     `json:"count"`
+	StatesVisited int64   `json:"states_visited"`
+	RowsProduced  int64   `json:"rows_produced"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	NextCursor    string  `json:"next_cursor,omitempty"`
+}
+
+type trailerLine struct {
+	Trailer streamTrailer `json:"trailer"`
+}
+
+// cursorSpec is a parsed pagination cursor: skip rows already delivered,
+// then deliver up to page rows. rev pins the graph revision the offsets
+// count against (check is false for the "start" token, which accepts the
+// current revision).
+type cursorSpec struct {
+	active bool
+	skip   int
+	page   int
+	rev    uint64
+	check  bool
+}
+
+// parseCursor validates a cursor token: "start" opens page one (page size
+// = the request's limit), "v<rev>:<offset>" resumes at offset against
+// graph revision rev. The second return is "" on success, else the
+// invalid_request message.
+func parseCursor(token string, limit int) (cursorSpec, string) {
+	if token == "start" {
+		return cursorSpec{active: true, page: limit}, ""
+	}
+	bad := "bad cursor " + strconvQuote(token) + `: want "start" or "v<rev>:<offset>"`
+	rest, ok := strings.CutPrefix(token, "v")
+	colon := strings.IndexByte(rest, ':')
+	if !ok || colon < 0 {
+		return cursorSpec{}, bad
+	}
+	rev, err1 := strconv.ParseUint(rest[:colon], 10, 64)
+	off, err2 := strconv.Atoi(rest[colon+1:])
+	if err1 != nil || err2 != nil || off < 0 {
+		return cursorSpec{}, bad
+	}
+	return cursorSpec{active: true, skip: off, page: limit, rev: rev, check: true}, ""
+}
+
+// wantsNDJSON reports whether the request asked for streamed delivery via
+// its Accept header.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// streamer adapts one HTTP response to core.Sink. The evaluation side
+// (Begin/Row, called by the engine, possibly from worker goroutines but
+// never concurrently) encodes rows into a chunk buffer and hands full
+// chunks to the writer goroutine over the bounded channel; the writer owns
+// the http.ResponseWriter exclusively from the first chunk on. finish,
+// called by the handler after evaluation has fully joined, appends the
+// trailer and drains the writer.
+type streamer struct {
+	s     *Server
+	w     http.ResponseWriter
+	ctx   context.Context
+	tr    *obs.Trace
+	prog  *obs.Progress
+	graph string
+	chunk int
+	cur   cursorSpec
+	skip  int // remaining cursor rows to drop
+
+	began     bool // Begin was called: the query produces a streamable kind
+	started   bool // first chunk handed to the writer: the 200 is on the wire
+	rows      int  // rows delivered past the cursor skip
+	truncated bool // the sink stopped evaluation at the page bound
+
+	buf     bytes.Buffer
+	enc     *json.Encoder
+	bufRows int
+
+	ch   chan []byte
+	dead chan struct{} // closed by the writer after a failed client write
+	done chan struct{} // closed when the writer goroutine exits
+	werr error         // the failed write's error; read only after dead/done
+}
+
+func (s *Server) newStreamer(w http.ResponseWriter, ctx context.Context, tr *obs.Trace, prog *obs.Progress, graphName string, cur cursorSpec) *streamer {
+	st := &streamer{
+		s: s, w: w, ctx: ctx, tr: tr, prog: prog, graph: graphName,
+		chunk: s.streamChunk(), cur: cur, skip: cur.skip,
+	}
+	st.enc = json.NewEncoder(&st.buf)
+	st.enc.SetEscapeHTML(false)
+	return st
+}
+
+func (s *Server) streamChunk() int {
+	if s.cfg.StreamChunk > 0 {
+		return s.cfg.StreamChunk
+	}
+	return defaultStreamChunk
+}
+
+func (s *Server) streamBuffer() int {
+	if s.cfg.StreamBuffer > 0 {
+		return s.cfg.StreamBuffer
+	}
+	return defaultStreamBuffer
+}
+
+// Begin implements core.Sink: the header becomes the first line of the
+// first chunk (nothing is written to the client yet).
+func (st *streamer) Begin(kind string, columns []string) error {
+	st.began = true
+	return st.enc.Encode(streamHeader{Graph: st.graph, Kind: kind, Columns: columns})
+}
+
+// Row implements core.Sink: drop the cursor skip, stop at the page bound,
+// otherwise encode the row and flush the chunk when full. Each encoded row
+// uses the same encoder settings as the buffered writeJSON, so streamed
+// rows are byte-identical to the buffered response's array elements.
+func (st *streamer) Row(v any) error {
+	if st.skip > 0 {
+		st.skip--
+		return nil
+	}
+	if st.cur.active && st.cur.page > 0 && st.rows >= st.cur.page {
+		st.truncated = true
+		return core.ErrStopStream
+	}
+	if err := st.enc.Encode(v); err != nil {
+		return err
+	}
+	st.rows++
+	st.bufRows++
+	st.s.stats.rowsStreamed.Add(1)
+	st.prog.AddStreamed(1)
+	if st.bufRows >= st.chunk {
+		return st.flush()
+	}
+	return nil
+}
+
+// sent reports whether any chunk reached the writer — the point of no
+// return: the 200 header is on the wire, and outcomes must be reported
+// in-band from here on.
+func (st *streamer) sent() bool { return st.started }
+
+// flush hands the buffered chunk to the writer goroutine. The bounded
+// channel is the backpressure edge: when the client reads slower than
+// evaluation produces, this send blocks and, through the kernel fan-out's
+// emit ordering, parks the evaluation workers.
+func (st *streamer) flush() error {
+	if st.buf.Len() == 0 {
+		return nil
+	}
+	st.start()
+	chunk := make([]byte, st.buf.Len())
+	copy(chunk, st.buf.Bytes())
+	st.buf.Reset()
+	st.bufRows = 0
+	select {
+	case <-st.dead:
+		return st.clientGone()
+	default:
+	}
+	select {
+	case st.ch <- chunk:
+		return nil
+	case <-st.dead:
+		return st.clientGone()
+	case <-st.ctx.Done():
+		// Deadline, client disconnect, or operator kill while blocked on a
+		// full chunk buffer: surface the cause so the taxonomy (timeout /
+		// canceled / killed) is preserved; the chunk is dropped.
+		return fmt.Errorf("%w: %w", eval.ErrCanceled, context.Cause(st.ctx))
+	}
+}
+
+// clientGone maps a failed response write into the cancellation taxonomy:
+// the client is not reading anymore, so evaluation stops through the same
+// ErrCanceled path as a disconnect detected by the request context.
+func (st *streamer) clientGone() error {
+	return fmt.Errorf("%w: client write failed: %w", eval.ErrCanceled, st.werr)
+}
+
+// start launches the writer goroutine on the first chunk. From here on the
+// writer owns the ResponseWriter; the handler goroutine never touches it
+// again.
+func (st *streamer) start() {
+	if st.started {
+		return
+	}
+	st.started = true
+	st.ch = make(chan []byte, st.s.streamBuffer())
+	st.dead = make(chan struct{})
+	st.done = make(chan struct{})
+	st.w.Header().Set("Content-Type", "application/x-ndjson")
+	go st.write()
+}
+
+func (st *streamer) write() {
+	defer close(st.done)
+	st.w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(st.w)
+	failed := false
+	for chunk := range st.ch {
+		if failed {
+			continue // keep draining so flush never blocks on a dead client
+		}
+		if _, err := st.w.Write(chunk); err != nil {
+			st.werr = err
+			st.s.stats.writeErrors.Add(1)
+			st.s.logger().Warn("stream write failed", "graph", st.graph, "err", err)
+			failed = true
+			close(st.dead)
+			continue
+		}
+		// Flush per chunk so the client sees rows as they are produced —
+		// the whole point of streaming — rather than at net/http's buffer
+		// boundaries.
+		_ = rc.Flush()
+	}
+}
+
+// finish appends the trailer, flushes everything still buffered (on
+// success) or the trailer alone (on error), and joins the writer. Called
+// exactly once, by the handler, after evaluation returned — so no Row call
+// can race it. The delivery drain is recorded as the "stream" stage span
+// carrying the streamed-row count.
+func (st *streamer) finish(t streamTrailer) {
+	sp := st.tr.Start("stream")
+	if t.Status != "ok" {
+		st.buf.Reset()
+		st.bufRows = 0
+	}
+	_ = st.enc.Encode(trailerLine{Trailer: t})
+	st.start()
+	chunk := make([]byte, st.buf.Len())
+	copy(chunk, st.buf.Bytes())
+	st.buf.Reset()
+	st.ch <- chunk
+	close(st.ch)
+	<-st.done
+	sp.Counts(0, int64(st.rows)).End()
+}
+
+// nextCursor returns the resume token for the page after this one, or ""
+// when paging is off or the page did not fill. The token pins the graph
+// revision the offsets count against: evaluation is deterministic, so
+// offset resumption is exact on the same snapshot, and a later revision
+// rejects the token (409 cursor_stale) instead of silently skewing pages.
+func (st *streamer) nextCursor(rev uint64) string {
+	if !st.cur.active || st.cur.page <= 0 || st.rows < st.cur.page {
+		return ""
+	}
+	return fmt.Sprintf("v%d:%d", rev, st.cur.skip+st.cur.page)
+}
+
+// evaluateStream is evaluate with delivery through a sink: same deadline
+// resolution, same accounting, core.QueryStream instead of core.QueryCtx.
+func (s *Server) evaluateStream(ctx context.Context, e *core.Engine, req core.Request, timeout time.Duration, sink core.Sink) (*core.Response, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout,
+			fmt.Errorf("%w: query deadline %v exceeded", context.DeadlineExceeded, timeout))
+		defer cancel()
+	}
+	resp, err := e.QueryStream(ctx, req, sink)
+	if resp != nil {
+		s.stats.statesVisited.Add(resp.StatesVisited)
+		s.stats.rowsReturned.Add(int64(resp.Count()))
+	}
+	return resp, err
+}

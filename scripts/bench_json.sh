@@ -2,9 +2,9 @@
 # Emit BENCH_kernel.json: a machine-readable snapshot of the kernel
 # benchmarks (BenchmarkKernelScan, BenchmarkKernelSweep — including the
 # 1M-node scale-free dense-guard cases — the root E15 suite, the unified
-# upper-tier suite E16_UnifiedTiers, and the live store's
-# BenchmarkStoreMutate write path), so pre/post comparisons across PRs
-# diff a file instead of scraping logs.
+# upper-tier suite E16_UnifiedTiers, the live store's BenchmarkStoreMutate
+# write path, and the HTTP delivery comparison E17_Streaming), so pre/post
+# comparisons across PRs diff a file instead of scraping logs.
 # BENCHTIME defaults to 1x: enough for the coarse regressions the file
 # guards (the sweep cases run seconds per iteration); raise it for stable
 # micro-numbers.
@@ -22,6 +22,7 @@ trap 'rm -f "$TMP"' EXIT
 "$GO" test -run '^$' -bench 'BenchmarkE15_UnifiedKernel' -benchtime "$BENCHTIME" . | tee -a "$TMP"
 "$GO" test -run '^$' -bench 'BenchmarkE16_UnifiedTiers' -benchtime "$BENCHTIME" . | tee -a "$TMP"
 "$GO" test -run '^$' -bench 'BenchmarkStoreMutate' -benchtime "$BENCHTIME" ./internal/store/ | tee -a "$TMP"
+"$GO" test -run '^$' -bench 'BenchmarkE17_Streaming' -benchtime "$BENCHTIME" ./internal/server/ | tee -a "$TMP"
 
 {
   echo '{'

@@ -3,18 +3,24 @@
 # a random port, exercise every endpoint and error class with curl, verify
 # the observability surface (/metrics agrees with /v1/statz, the slow-query
 # log emits one structured record per admitted query, pprof answers on the
-# debug listener, no ERROR records), then check graceful shutdown drains an
-# in-flight query.
+# debug listener, no ERROR records), exercise the streamed NDJSON surface
+# (byte-identity, mid-flight kill trailer, and a slow-reader backpressure
+# measurement proving O(chunk) server memory on a >100 MiB result), then
+# check graceful shutdown drains an in-flight query.
 set -euo pipefail
 
 GO=${GO:-go}
 workdir=$(mktemp -d)
 logfile="$workdir/gqserverd.log"
 pid=""
+bigpid=""
 
 cleanup() {
   if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
     kill -9 "$pid" 2>/dev/null || true
+  fi
+  if [[ -n "$bigpid" ]] && kill -0 "$bigpid" 2>/dev/null; then
+    kill -9 "$bigpid" 2>/dev/null || true
   fi
   rm -rf "$workdir"
 }
@@ -288,6 +294,65 @@ echo "serve-smoke: ok: live store (load, mutate mid-flight, export, counters)"
 dbgbase=$(sed -n 's#.*debug (pprof) on \(http://[0-9.:]*\)/debug/pprof/.*#\1#p' "$logfile" | head -1)
 [[ -n "$dbgbase" ]] || fail "daemon never reported its debug (pprof) address"
 expect pprof 'pprof' "$(curl -fsS "$dbgbase/debug/pprof/")"
+
+# Streamed delivery (DESIGN.md §15). Plain curl first: an NDJSON response
+# opens with a header line and closes with an ok trailer, and a filled
+# cursor page hands back a resumable token.
+nd=$(curl -fsSN -H 'Accept: application/x-ndjson' "$base/v1/query" \
+  -d '{"graph":"bank","query":"Transfer*"}')
+expect stream-header '"kind":"pairs"' "$(printf '%s\n' "$nd" | head -1)"
+expect stream-trailer '"status":"ok"' "$(printf '%s\n' "$nd" | tail -1)"
+page=$(curl -fsSN -H 'Accept: application/x-ndjson' "$base/v1/query" \
+  -d '{"graph":"clique-40","query":"a","limit":5,"cursor":"start"}')
+expect stream-cursor '"next_cursor":"v' "$(printf '%s\n' "$page" | tail -1)"
+
+# The stream checks curl cannot express run through scripts/streamprobe:
+# row-for-row byte-identity against the buffered response, and a stream
+# killed mid-flight through the registry, which must still end in a
+# well-formed in-band "killed" trailer (the 200 is already on the wire).
+echo "serve-smoke: building streamprobe"
+$GO build -o "$workdir/streamprobe" ./scripts/streamprobe
+"$workdir/streamprobe" -mode identity -base "$base" -graph clique-200 -query 'a*' \
+  || fail "streamed rows are not byte-identical to the buffered response"
+"$workdir/streamprobe" -mode killstream -base "$base" -graph grid-50x50 -query 'a*' \
+  || fail "mid-flight kill did not surface a killed trailer"
+echo "serve-smoke: ok: streamed delivery (header/trailer, cursor, identity, kill)"
+
+# Backpressure at scale: a slow reader drains a result whose buffered form
+# is >100 MiB (path-4000 a* is ~8M pairs, 133 MiB of NDJSON) while the
+# probe samples the server's HeapAlloc from the pprof listener — the peak
+# must stay O(chunk buffer), far below the result size. The race-built
+# binary is too slow to encode 8M rows in a smoke run, so this one
+# measurement runs against a plain build of the same daemon. slowheap
+# must run on the fresh daemon (a prior buffered run leaves a GiB of
+# uncollected garbage inflating HeapAlloc); heapwatch afterwards reports
+# the buffered peak for contrast — it is not asserted.
+echo "serve-smoke: building gqserverd (plain, for the backpressure measurement)"
+$GO build -o "$workdir/gqserverd-plain" ./cmd/gqserverd
+biglog="$workdir/gqserverd-plain.log"
+"$workdir/gqserverd-plain" -addr 127.0.0.1:0 -graphs path-4000 \
+  -default-timeout 300s -parallelism 1 -debug-addr 127.0.0.1:0 \
+  >"$biglog" 2>&1 &
+bigpid=$!
+bigbase=""
+for _ in $(seq 1 100); do
+  bigbase=$(sed -n 's#.*listening on \(http://[0-9.:]*\).*#\1#p' "$biglog" | head -1)
+  [[ -n "$bigbase" ]] && break
+  kill -0 "$bigpid" 2>/dev/null || fail "plain daemon exited during startup"
+  sleep 0.1
+done
+[[ -n "$bigbase" ]] || fail "plain daemon never reported its address"
+bigdbg=$(sed -n 's#.*debug (pprof) on \(http://[0-9.:]*\)/debug/pprof/.*#\1#p' "$biglog" | head -1)
+[[ -n "$bigdbg" ]] || fail "plain daemon never reported its debug address"
+"$workdir/streamprobe" -mode slowheap -base "$bigbase" -debug "$bigdbg" \
+  -graph path-4000 -query 'a*' -max-heap $((256 << 20)) \
+  || fail "backpressure did not bound server memory on a 133 MiB stream"
+"$workdir/streamprobe" -mode heapwatch -base "$bigbase" -debug "$bigdbg" \
+  -graph path-4000 -query 'a*' || fail "buffered heapwatch run failed"
+kill "$bigpid" 2>/dev/null || true
+wait "$bigpid" 2>/dev/null || true
+bigpid=""
+echo "serve-smoke: ok: backpressure bounds memory to O(chunk) on a >100 MiB stream"
 
 # Graceful shutdown must drain in-flight queries: start a slow query, send
 # SIGTERM while it runs, and require both a 200 for the query and a clean
