@@ -51,14 +51,17 @@ func BenchmarkE15_UnifiedKernel(b *testing.B) {
 	// The same sweeps under a serving-layer meter, with and without a live
 	// obs.Progress attached. "metered" is what every admitted query already
 	// pays (cancelable context, amortized tick); "progress" adds the
-	// introspection mirror — the cost of being visible in GET /v1/queries.
-	// EXPERIMENTS.md records the metered→progress delta (±5% acceptance);
-	// the bare cases above keep the unmetered kernel floor comparable
-	// across PRs.
+	// introspection mirror — the cost of being visible in GET /v1/queries;
+	// "analyze" adds the sweep-telemetry sink of EXPLAIN ANALYZE, recorded
+	// only at sweep exits and level barriers. EXPERIMENTS.md records the
+	// metered→progress and metered→analyze deltas (±5% acceptance); the
+	// bare cases above keep the unmetered kernel floor comparable across
+	// PRs — "metered" with analyze off is the pinned analyze-off guard.
 	for _, variant := range []struct {
-		name string
-		prog bool
-	}{{"metered", false}, {"progress", true}} {
+		name    string
+		prog    bool
+		analyze bool
+	}{{"metered", false, false}, {"progress", true, false}, {"analyze", false, true}} {
 		for _, tc := range cases {
 			nfa := rpq.Compile(rpq.MustParse(tc.query))
 			b.Run(variant.name+"/"+tc.name, func(b *testing.B) {
@@ -70,7 +73,11 @@ func BenchmarkE15_UnifiedKernel(b *testing.B) {
 					if variant.prog {
 						p = &obs.Progress{}
 					}
-					m := eval.NewMeterProgress(ctx, eval.Budget{}, p)
+					var ss *eval.SweepStats
+					if variant.analyze {
+						ss = &eval.SweepStats{}
+					}
+					m := eval.NewMeterAnalyze(ctx, eval.Budget{}, p, ss)
 					prs, err := eval.PairsProductCtx(ctx, eval.NewProduct(tc.g, nfa),
 						eval.Options{Parallelism: 1, Meter: m})
 					if err != nil {

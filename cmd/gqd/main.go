@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ func main() {
 	limit := flag.Int("limit", 100, "bound on number of results")
 	programPath := flag.String("program", "", "path to a nested-CRPQ program file (regular queries)")
 	flag.BoolVar(&traceQueries, "trace", false, "print the query plan and evaluation span timings to stderr")
+	flag.BoolVar(&analyzeQueries, "analyze", false, "run in EXPLAIN ANALYZE mode: print the annotated plan tree (estimate vs actual, q-errors, sweep telemetry) to stderr")
 	flag.Parse()
 
 	g, err := loadGraph(*graphPath, *nodesCSV, *edgesCSV, *builtin)
@@ -94,7 +96,25 @@ func fatal(err error) {
 var (
 	traceQueries bool
 	traceOut     io.Writer = os.Stderr
+
+	// analyzeQueries mirrors the -analyze flag: runOnce evaluates with
+	// Request.Analyze set and prints the annotated plan tree — per-node
+	// estimate vs actual with q-errors, plus the kernel's per-level sweep
+	// telemetry — to traceOut, following the -trace convention.
+	analyzeQueries bool
 )
+
+// printAnalyze renders the annotated plan tree as indented JSON on
+// traceOut. JSON rather than a bespoke rendering: the tree is exactly what
+// POST /v1/query {"analyze":true} returns, so the two surfaces stay
+// comparable and scripts can diff them.
+func printAnalyze(ap *core.AnnotatedPlan) {
+	b, err := json.MarshalIndent(ap, "", "  ")
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(traceOut, "analyze: %s\n", b)
+}
 
 // printTrace renders the plan line and spans recorded on tr. The trace is
 // caller-supplied to QueryCtx, so it carries the spans of errored queries
@@ -155,17 +175,21 @@ func runOnce(ctx context.Context, eng *core.Engine, query, from, to, modeStr str
 		defer printTrace(tr)
 	}
 	resp, err := eng.QueryCtx(ctx, core.Request{
-		Query: query,
-		From:  graph.NodeID(from),
-		To:    graph.NodeID(to),
-		Mode:  mode,
-		Trace: tr,
+		Query:   query,
+		From:    graph.NodeID(from),
+		To:      graph.NodeID(to),
+		Mode:    mode,
+		Trace:   tr,
+		Analyze: analyzeQueries,
 	})
 	if err != nil {
 		if errors.Is(err, eval.ErrCanceled) {
 			return errors.New("canceled (interrupt received before the query finished)")
 		}
 		return err
+	}
+	if resp.Analyze != nil {
+		printAnalyze(resp.Analyze)
 	}
 	switch resp.Kind {
 	case "rows":

@@ -40,8 +40,12 @@
 // threshold as one structured WARN record (query, graph, plan, span
 // timings, budget consumption, outcome); -query-log query.jsonl writes the
 // same record for EVERY admitted query as one JSONL line — the structured
-// query event log; -debug-addr 127.0.0.1:6060 serves net/http/pprof on a
-// separate listener.
+// query event log, size-rotated at -query-log-max-bytes keeping
+// -query-log-keep old files; -debug-addr 127.0.0.1:6060 serves
+// net/http/pprof on a separate listener. "analyze": true on POST /v1/query
+// returns the annotated plan tree (per-node estimate vs actual with
+// q-errors, per-level sweep telemetry) and feeds the per-graph cardinality
+// feedback store surfaced in /v1/statz and /metrics.
 //
 // Live introspection: GET /v1/queries lists in-flight queries with their
 // live progress (stage, product states, frontier), GET /v1/queries/recent
@@ -76,6 +80,7 @@ import (
 
 	"graphquery/internal/eval"
 	"graphquery/internal/graph"
+	"graphquery/internal/obs"
 	"graphquery/internal/server"
 )
 
@@ -95,6 +100,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this as structured WARN records (0: off)")
 	queryLog := flag.String("query-log", "", "append one JSONL record per admitted query to this file (empty: off)")
+	queryLogMaxBytes := flag.Int64("query-log-max-bytes", 0, "rotate the query log when it would exceed this size (0: never)")
+	queryLogKeep := flag.Int("query-log-keep", 3, "rotated query-log files retained (.1 newest)")
 	recent := flag.Int("recent", 0, "completed queries kept for GET /v1/queries/recent (0: default 64)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: off)")
 	mutable := flag.Bool("mutable", false, "enable the write surface: POST /v1/graphs, mutate, delete")
@@ -109,7 +116,10 @@ func main() {
 
 	var queryLogW io.Writer
 	if *queryLog != "" {
-		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// The rotating writer is size-bounded when -query-log-max-bytes is
+		// set and plain append-only otherwise (maxBytes 0 never rotates).
+		// Each JSONL record is one Write, so rotation never tears a record.
+		f, err := obs.NewRotatingWriter(*queryLog, *queryLogMaxBytes, *queryLogKeep)
 		if err != nil {
 			fatal(err)
 		}

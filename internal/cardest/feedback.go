@@ -1,0 +1,165 @@
+package cardest
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Feedback tuning constants.
+const (
+	// feedbackDecay is the EWMA weight kept by the previous aggregate when
+	// a new observation arrives: per-expression q-errors (and the global
+	// mean) are decayed averages, so a query whose estimate was fixed by
+	// fresher statistics stops looking broken after a handful of runs.
+	feedbackDecay = 0.8
+	// feedbackMaxExprs bounds the per-expression table; when full, the
+	// entry with the lowest decayed q-error is evicted (the best-estimated
+	// expression is the least interesting one to keep auditing).
+	feedbackMaxExprs = 512
+	// feedbackWorst is how many worst-estimated expressions a snapshot
+	// carries.
+	feedbackWorst = 8
+)
+
+// Feedback is the estimate-vs-actual record store of one graph: every
+// analyze-mode query deposits its planner estimate next to the measured
+// actual, and decayed aggregates accumulate per expression and globally.
+// It is the calibration input the planner-v2 work consumes (ROADMAP item
+// 3: "cardest estimates calibrated against the runtime stats the kernel
+// already collects — a feedback loop") and is snapshotted into /v1/statz
+// and /metrics. Safe for concurrent use; it survives graph revisions, so
+// the decay — not a reset — is what ages out observations made against
+// superseded statistics.
+type Feedback struct {
+	mu      sync.Mutex
+	entries map[string]*feedbackEntry
+	records int64
+	meanLog float64 // decayed mean of log2(q-error): geometric-mean aggregate
+	maxQ    float64
+}
+
+type feedbackEntry struct {
+	records  int64
+	estimate float64 // most recent estimate
+	actual   int64   // most recent actual
+	qerr     float64 // decayed q-error
+	maxQ     float64
+}
+
+// NewFeedback returns an empty store.
+func NewFeedback() *Feedback {
+	return &Feedback{entries: map[string]*feedbackEntry{}}
+}
+
+// Record deposits one observation: expr is the normalized expression text
+// the estimate was computed for, estimate the planner's predicted answer
+// count, actual the measured one.
+func (f *Feedback) Record(expr string, estimate float64, actual int64) {
+	if f == nil {
+		return
+	}
+	q := QError(int(actual), estimate)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.records++
+	if f.records == 1 {
+		f.meanLog = math.Log2(q)
+	} else {
+		f.meanLog = feedbackDecay*f.meanLog + (1-feedbackDecay)*math.Log2(q)
+	}
+	if q > f.maxQ {
+		f.maxQ = q
+	}
+	e := f.entries[expr]
+	if e == nil {
+		if len(f.entries) >= feedbackMaxExprs {
+			f.evictBest()
+		}
+		e = &feedbackEntry{qerr: q}
+		f.entries[expr] = e
+	} else {
+		e.qerr = feedbackDecay*e.qerr + (1-feedbackDecay)*q
+	}
+	e.records++
+	e.estimate = estimate
+	e.actual = actual
+	if q > e.maxQ {
+		e.maxQ = q
+	}
+}
+
+// evictBest drops the entry with the lowest decayed q-error (ties broken
+// by expression text, so eviction is deterministic). Callers hold mu.
+func (f *Feedback) evictBest() {
+	best, bestQ := "", math.Inf(1)
+	for expr, e := range f.entries {
+		if e.qerr < bestQ || (e.qerr == bestQ && expr < best) {
+			best, bestQ = expr, e.qerr
+		}
+	}
+	delete(f.entries, best)
+}
+
+// FeedbackEntry is one expression's row in a FeedbackSnapshot.
+type FeedbackEntry struct {
+	Expr     string  `json:"expr"`
+	Records  int64   `json:"records"`
+	Estimate float64 `json:"estimate"` // most recent
+	Actual   int64   `json:"actual"`   // most recent
+	QError   float64 `json:"q_error"`  // decayed
+	MaxQ     float64 `json:"max_q_error"`
+}
+
+// FeedbackSnapshot is the JSON face of a Feedback store: the /v1/statz
+// payload and the source of the gq_cardest_feedback_* metric gauges.
+type FeedbackSnapshot struct {
+	// Records counts observations deposited; Exprs distinct expressions
+	// currently tracked.
+	Records int64 `json:"records"`
+	Exprs   int   `json:"exprs"`
+	// MeanQError is the decayed geometric mean q-error across
+	// observations; MaxQError the largest ever seen.
+	MeanQError float64 `json:"mean_q_error"`
+	MaxQError  float64 `json:"max_q_error"`
+	// Worst lists the worst-estimated expressions by decayed q-error,
+	// descending (ties broken by expression text).
+	Worst []FeedbackEntry `json:"worst,omitempty"`
+}
+
+// Snapshot renders the store. A nil receiver yields the zero snapshot.
+func (f *Feedback) Snapshot() FeedbackSnapshot {
+	if f == nil {
+		return FeedbackSnapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snap := FeedbackSnapshot{
+		Records:   f.records,
+		Exprs:     len(f.entries),
+		MaxQError: f.maxQ,
+	}
+	if f.records > 0 {
+		snap.MeanQError = math.Exp2(f.meanLog)
+	}
+	for expr, e := range f.entries {
+		snap.Worst = append(snap.Worst, FeedbackEntry{
+			Expr:     expr,
+			Records:  e.records,
+			Estimate: e.estimate,
+			Actual:   e.actual,
+			QError:   e.qerr,
+			MaxQ:     e.maxQ,
+		})
+	}
+	sort.Slice(snap.Worst, func(i, j int) bool {
+		if snap.Worst[i].QError != snap.Worst[j].QError {
+			return snap.Worst[i].QError > snap.Worst[j].QError
+		}
+		return snap.Worst[i].Expr < snap.Worst[j].Expr
+	})
+	if len(snap.Worst) > feedbackWorst {
+		snap.Worst = snap.Worst[:feedbackWorst]
+	}
+	return snap
+}

@@ -1,0 +1,83 @@
+package cardest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFeedbackRecord: aggregates accumulate, the worst list ranks by
+// decayed q-error descending, and the decay ages out a bad early estimate.
+func TestFeedbackRecord(t *testing.T) {
+	f := NewFeedback()
+	f.Record("good", 100, 100) // q = 101/101 = 1
+	f.Record("bad", 1000, 10)  // q ≈ 91
+	snap := f.Snapshot()
+	if snap.Records != 2 || snap.Exprs != 2 {
+		t.Fatalf("want 2 records / 2 exprs, got %+v", snap)
+	}
+	if snap.MaxQError < 90 {
+		t.Fatalf("max q-error lost the bad estimate: %+v", snap)
+	}
+	if snap.MeanQError <= 1 || snap.MeanQError >= snap.MaxQError {
+		t.Fatalf("mean q-error should sit between best and worst: %+v", snap)
+	}
+	if snap.Worst[0].Expr != "bad" || snap.Worst[1].Expr != "good" {
+		t.Fatalf("worst list not ranked by q-error: %+v", snap.Worst)
+	}
+
+	// Repeated accurate observations decay the bad expression's q-error.
+	before := snap.Worst[0].QError
+	for i := 0; i < 20; i++ {
+		f.Record("bad", 10, 10)
+	}
+	after := f.Snapshot().Worst[0]
+	if after.Expr == "bad" && after.QError >= before {
+		t.Fatalf("decay did not age out the bad estimate: %g -> %g", before, after.QError)
+	}
+}
+
+// TestFeedbackNil: a nil store records and snapshots as a no-op.
+func TestFeedbackNil(t *testing.T) {
+	var f *Feedback
+	f.Record("x", 1, 1)
+	if snap := f.Snapshot(); snap.Records != 0 {
+		t.Fatalf("nil store produced records: %+v", snap)
+	}
+}
+
+// TestFeedbackEviction: the table is bounded; when full, the
+// best-estimated expression is evicted and the worst are retained.
+func TestFeedbackEviction(t *testing.T) {
+	f := NewFeedback()
+	f.Record("terrible", 100000, 1)
+	for i := 0; i < feedbackMaxExprs+10; i++ {
+		f.Record(fmt.Sprintf("q%04d", i), 50, 50) // q = 1: always the eviction pick
+	}
+	snap := f.Snapshot()
+	if snap.Exprs != feedbackMaxExprs {
+		t.Fatalf("table not bounded: %d exprs", snap.Exprs)
+	}
+	if snap.Worst[0].Expr != "terrible" {
+		t.Fatalf("eviction dropped the worst-estimated expression: %+v", snap.Worst[0])
+	}
+	if snap.Records != int64(feedbackMaxExprs)+11 {
+		t.Fatalf("records should count every observation: %+v", snap.Records)
+	}
+}
+
+// TestFeedbackWorstBound: the snapshot's worst list is capped.
+func TestFeedbackWorstBound(t *testing.T) {
+	f := NewFeedback()
+	for i := 0; i < feedbackWorst*3; i++ {
+		f.Record(fmt.Sprintf("q%d", i), float64(1000*(i+1)), 1)
+	}
+	snap := f.Snapshot()
+	if len(snap.Worst) != feedbackWorst {
+		t.Fatalf("worst list not capped: %d entries", len(snap.Worst))
+	}
+	for i := 1; i < len(snap.Worst); i++ {
+		if snap.Worst[i].QError > snap.Worst[i-1].QError {
+			t.Fatalf("worst list not descending at %d: %+v", i, snap.Worst)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"graphquery/internal/gen"
+)
+
+// countingSink counts delivered rows and discards them.
+type countingSink struct{ rows int }
+
+func (s *countingSink) Begin(kind string, columns []string) error { return nil }
+func (s *countingSink) Row(v any) error                           { s.rows++; return nil }
+
+// analyzeJSON runs one analyze-mode query and returns the marshaled
+// annotated plan tree.
+func analyzeJSON(t *testing.T, e *Engine, query string) []byte {
+	t.Helper()
+	resp, err := e.Query(Request{Query: query, Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Analyze == nil {
+		t.Fatal("analyze-mode response has no annotated plan")
+	}
+	b, err := json.Marshal(resp.Analyze)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestAnalyzeAnnotatedPlan: an analyze-mode query returns the annotated
+// tree — root stamped with the planner's answer estimate next to the
+// measured actual and their q-error, the kernel stage with the states
+// estimate, and the sweep telemetry the kernel recorded.
+func TestAnalyzeAnnotatedPlan(t *testing.T) {
+	e := New(gen.Clique(64, "a"))
+	e.Parallelism = 1
+	resp, err := e.Query(Request{Query: "a a*", Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := resp.Analyze
+	if ap == nil {
+		t.Fatal("no annotated plan")
+	}
+	root := ap.Plan
+	if root.Name != "pairs" {
+		t.Fatalf("root name %q, want pairs", root.Name)
+	}
+	if root.Detail == "" {
+		t.Fatal("root carries no plan line")
+	}
+	if root.Actual != int64(resp.Count()) {
+		t.Fatalf("root actual %d, want count %d", root.Actual, resp.Count())
+	}
+	if root.Estimate <= 0 || root.QError < 1 {
+		t.Fatalf("root estimate/q-error missing: est=%g q=%g", root.Estimate, root.QError)
+	}
+	var kernel *PlanNode
+	for i := range root.Children {
+		if root.Children[i].Name == "kernel" {
+			kernel = &root.Children[i]
+		}
+	}
+	if kernel == nil {
+		t.Fatalf("no kernel stage in children: %+v", root.Children)
+	}
+	if kernel.Actual <= 0 {
+		t.Fatalf("kernel stage measured no states: %+v", kernel)
+	}
+	if kernel.Estimate <= 0 || kernel.QError < 1 {
+		t.Fatalf("kernel estimate/q-error missing: %+v", kernel)
+	}
+	if ap.Sweep == nil || ap.Sweep.States <= 0 || ap.Sweep.Edges <= 0 {
+		t.Fatalf("sweep telemetry missing or empty: %+v", ap.Sweep)
+	}
+}
+
+// TestAnalyzeDeterminism: identical query + graph + plan yields a
+// byte-identical annotated plan tree across runs — under sequential,
+// parallel, and sharded-2 plans. The first run warms the plan cache (a
+// cold run records parse/compile/plan spans that warm runs skip), then
+// repeated runs must not differ in a single byte: the tree carries no
+// wall-clock and every sweep aggregate is scheduling-independent.
+func TestAnalyzeDeterminism(t *testing.T) {
+	g := gen.Clique(64, "a")
+	for _, tc := range []struct {
+		name                string
+		parallelism, shards int
+	}{
+		{"sequential", 1, 0},
+		{"parallel", 4, 0},
+		{"sharded-2", 1, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(g)
+			e.Parallelism = tc.parallelism
+			e.Shards = tc.shards
+			analyzeJSON(t, e, "a a*") // warm the plan cache
+			want := analyzeJSON(t, e, "a a*")
+			for run := 0; run < 5; run++ {
+				if got := analyzeJSON(t, e, "a a*"); string(got) != string(want) {
+					t.Fatalf("run %d diverged:\n got %s\nwant %s", run, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzeOff: without Analyze the response carries no annotated plan
+// and the meter carries no telemetry sink — the analyze-off path is the
+// pre-analyze path.
+func TestAnalyzeOff(t *testing.T) {
+	e := New(gen.Clique(64, "a"))
+	e.Parallelism = 1
+	resp, err := e.Query(Request{Query: "a a*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Analyze != nil {
+		t.Fatalf("analyze-off response has an annotated plan: %+v", resp.Analyze)
+	}
+	if snap := e.FeedbackStats(); snap.Records != 0 {
+		t.Fatalf("analyze-off query deposited feedback: %+v", snap)
+	}
+}
+
+// TestAnalyzeFeedsFeedback: every analyze-mode query deposits its
+// estimate-vs-actual observation into the engine's feedback store, keyed
+// by whitespace-normalized query text.
+func TestAnalyzeFeedsFeedback(t *testing.T) {
+	e := New(gen.Clique(64, "a"))
+	e.Parallelism = 1
+	for i := 0; i < 3; i++ {
+		if _, err := e.Query(Request{Query: "a  a*", Analyze: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.FeedbackStats()
+	if snap.Records != 3 || snap.Exprs != 1 {
+		t.Fatalf("want 3 records of 1 expr, got %+v", snap)
+	}
+	if snap.MeanQError < 1 || snap.MaxQError < 1 {
+		t.Fatalf("q-error aggregates below 1: %+v", snap)
+	}
+	if len(snap.Worst) != 1 || snap.Worst[0].Expr != "a a*" {
+		t.Fatalf("worst list should hold the normalized expression: %+v", snap.Worst)
+	}
+	if snap.Worst[0].Actual <= 0 || snap.Worst[0].Estimate <= 0 {
+		t.Fatalf("worst entry lost its observation: %+v", snap.Worst[0])
+	}
+}
+
+// TestAnalyzeMispickCounters: mispick audits land in the engine's runtime
+// counters. A plan forced onto two shards for a sweep far below the shard
+// cut-over is a "shards" mispick (and, below the frontier cut, a
+// "frontier" one).
+func TestAnalyzeMispickCounters(t *testing.T) {
+	// Clique 40: "a a*" measures 3200 product states, under both the shard
+	// (4096) and dense-frontier cut-overs — a sharded frontier plan is a
+	// double mispick there.
+	e := New(gen.Clique(40, "a"))
+	e.Parallelism = 1
+	e.Shards = 2
+	resp, err := e.Query(Request{Query: "a a*", Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Analyze.Mispicks) == 0 {
+		t.Fatal("tiny sharded sweep reported no mispicks")
+	}
+	rt := e.RuntimeStats()
+	if rt.MispickShards == 0 {
+		t.Fatalf("shards mispick not counted: %+v", rt)
+	}
+}
+
+// TestAnalyzeStreaming: the streaming evaluator threads the same analyze
+// telemetry, so a streamed analyze query annotates like a buffered one.
+func TestAnalyzeStreaming(t *testing.T) {
+	e := New(gen.Clique(64, "a"))
+	e.Parallelism = 1
+	sink := &countingSink{}
+	resp, err := e.QueryStream(context.Background(), Request{Query: "a a*", Analyze: true}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.rows
+	if resp.Analyze == nil {
+		t.Fatal("streamed analyze query has no annotated plan")
+	}
+	if resp.Analyze.Plan.Actual != int64(rows) {
+		t.Fatalf("root actual %d, want streamed rows %d", resp.Analyze.Plan.Actual, rows)
+	}
+	if resp.Analyze.Sweep == nil || resp.Analyze.Sweep.States <= 0 {
+		t.Fatalf("streamed analyze query recorded no sweep telemetry: %+v", resp.Analyze.Sweep)
+	}
+}

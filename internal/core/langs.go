@@ -161,6 +161,7 @@ func (e *Engine) cypherPairsMeter(gs *graphState, query string, m *eval.Meter, t
 	if err != nil {
 		return nil, err
 	}
+	e.noteKernelActuals(gs, tr, plan, m.States()-s0, m.SweepStatsSink())
 	sp = tr.Start("enumerate")
 	defer sp.End()
 	var out [][2]graph.NodeID

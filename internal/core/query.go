@@ -91,6 +91,12 @@ type Request struct {
 	// kernel feeds it through the meter's amortized tick, so the hot loop
 	// gains no new branches. When nil, nothing is recorded.
 	Progress *obs.Progress
+	// Analyze turns on EXPLAIN ANALYZE mode: the meter carries a sweep
+	// telemetry sink the kernel records into at its existing exit and
+	// barrier sites, and the Response gains an annotated plan tree with
+	// per-node estimate, actual, and q-error. Off (the default) costs
+	// nothing — the sink is nil and the kernel's hot loops are unchanged.
+	Analyze bool
 }
 
 // Response is the union result of QueryCtx, discriminated by Kind.
@@ -124,6 +130,10 @@ type Response struct {
 	// nanosecond timings and per-stage meter deltas.
 	Plan  string
 	Spans []obs.Span
+
+	// Analyze is the annotated plan tree with sweep telemetry, present only
+	// when the request set Analyze.
+	Analyze *AnnotatedPlan `json:"analyze,omitempty"`
 
 	// G is the graph snapshot this query evaluated against. Serving layers
 	// must render internal indexes (paths, row values) against it, not
@@ -194,7 +204,11 @@ func (e *Engine) runQuery(ctx context.Context, req Request,
 	if b.MaxRows <= 0 {
 		b.MaxRows = e.Budget.MaxRows
 	}
-	m := eval.NewMeterProgress(ctx, b, req.Progress)
+	var ss *eval.SweepStats
+	if req.Analyze {
+		ss = &eval.SweepStats{}
+	}
+	m := eval.NewMeterAnalyze(ctx, b, req.Progress, ss)
 	tr := req.Trace
 	if tr == nil {
 		tr = obs.NewTrace()
@@ -218,6 +232,9 @@ func (e *Engine) runQuery(ctx context.Context, req Request,
 	resp.Spans = tr.Spans()
 	resp.G = gs.g
 	resp.GraphRev = gs.rev
+	if req.Analyze {
+		resp.Analyze = e.annotate(req, resp, tr, ss)
+	}
 	return resp, nil
 }
 
@@ -349,6 +366,7 @@ func (e *Engine) pairsMeter(gs *graphState, query string, m *eval.Meter, tr *obs
 	if err != nil {
 		return nil, err
 	}
+	e.noteKernelActuals(gs, tr, plan, m.States()-s0, m.SweepStatsSink())
 	sp = tr.Start("enumerate")
 	defer sp.End()
 	var out [][2]graph.NodeID

@@ -133,6 +133,7 @@ func (e *Engine) streamPairs(gs *graphState, query, family string, compile func(
 	if err != nil && !errors.Is(err, ErrStopStream) {
 		return nil, err
 	}
+	e.noteKernelActuals(gs, tr, plan, m.States()-s0, m.SweepStatsSink())
 	return &Response{Kind: "pairs", Streamed: n}, nil
 }
 

@@ -22,6 +22,12 @@ type (
 	// BudgetError reports which resource budget a query exhausted; see
 	// pg.BudgetError.
 	BudgetError = pg.BudgetError
+	// SweepStats is the analyze-mode telemetry sink a meter can carry; see
+	// pg.SweepStats.
+	SweepStats = pg.SweepStats
+	// SweepStatsSnapshot is the JSON rendering of a SweepStats sink; see
+	// pg.SweepStatsSnapshot.
+	SweepStatsSnapshot = pg.SweepStatsSnapshot
 )
 
 var (
@@ -44,4 +50,10 @@ func NewMeter(ctx context.Context, b Budget) *Meter { return pg.NewMeter(ctx, b)
 // pg.NewMeterProgress.
 func NewMeterProgress(ctx context.Context, b Budget, p *obs.Progress) *Meter {
 	return pg.NewMeterProgress(ctx, b, p)
+}
+
+// NewMeterAnalyze is NewMeterProgress with an analyze-mode telemetry sink;
+// see pg.NewMeterAnalyze.
+func NewMeterAnalyze(ctx context.Context, b Budget, p *obs.Progress, ss *SweepStats) *Meter {
+	return pg.NewMeterAnalyze(ctx, b, p, ss)
 }

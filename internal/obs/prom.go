@@ -60,6 +60,12 @@ func (m *MetricWriter) Sample(name string, value int64, labels map[string]string
 	m.printf("%s%s %d\n", name, renderLabels(labels), value)
 }
 
+// SampleFloat emits one float-valued sample line for an already-declared
+// family, rendered with %g like bucket bounds and histogram sums.
+func (m *MetricWriter) SampleFloat(name string, value float64, labels map[string]string) {
+	m.printf("%s%s %g\n", name, renderLabels(labels), value)
+}
+
 // Histogram emits the cumulative-bucket exposition of h as one family.
 func (m *MetricWriter) Histogram(name, help string, h *Histogram, labels map[string]string) {
 	m.header(name, help, "histogram")

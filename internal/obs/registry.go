@@ -63,6 +63,11 @@ type CompletedQuery struct {
 	States    int64     `json:"states"`
 	Rows      int64     `json:"rows"`
 	Spans     []Span    `json:"spans,omitempty"`
+	// Analyze carries the annotated plan tree when the query ran in analyze
+	// mode — the serving layer deposits its core.AnnotatedPlan here (typed
+	// any to keep obs free of core imports), enriching the query-event JSONL
+	// and the slow-query WARN with the estimate-vs-actual audit.
+	Analyze any `json:"analyze,omitempty"`
 }
 
 // Registry tracks every in-flight query of a serving layer and remembers

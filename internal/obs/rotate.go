@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingWriter is a size-bounded append-only file sink for the query
+// event log: when a write would push the current file past maxBytes, the
+// file is rotated (path → path.1 → path.2 …, keeping the newest `keep`
+// rotated files) and the write lands in a fresh file. Rotation happens
+// between Write calls, never inside one — the query log emits each JSONL
+// record as a single Write (one json.Encoder.Encode), so no record is ever
+// torn across files and every rotated file is itself valid JSONL.
+type RotatingWriter struct {
+	path     string
+	maxBytes int64
+	keep     int
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// NewRotatingWriter opens (appending) or creates the log file at path.
+// maxBytes <= 0 disables rotation; keep <= 0 keeps no rotated files (the
+// old file is dropped at each roll).
+func NewRotatingWriter(path string, maxBytes int64, keep int) (*RotatingWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingWriter{path: path, maxBytes: maxBytes, keep: keep, f: f, size: st.Size()}, nil
+}
+
+// Write appends one record, rotating first if the record would push the
+// current file past the size bound. A record larger than maxBytes still
+// lands whole in its own fresh file — size bounds never split a record.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.maxBytes > 0 && w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate shifts the retained file chain up by one (path.keep-1 → path.keep,
+// …, path → path.1), dropping the oldest, and reopens a fresh current file.
+// Callers hold mu.
+func (w *RotatingWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if w.keep <= 0 {
+		if err := os.Remove(w.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	} else {
+		os.Remove(fmt.Sprintf("%s.%d", w.path, w.keep))
+		for i := w.keep - 1; i >= 1; i-- {
+			os.Rename(fmt.Sprintf("%s.%d", w.path, i), fmt.Sprintf("%s.%d", w.path, i+1))
+		}
+		if err := os.Rename(w.path, w.path+".1"); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f, w.size = f, 0
+	return nil
+}
+
+// Close closes the current file.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

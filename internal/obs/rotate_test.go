@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRotatingWriterBoundary: records land whole — rotation happens between
+// Write calls, so no record is torn across files, every file is valid
+// JSONL, and no record is lost. The record size is chosen so the rotation
+// boundary falls mid-stream repeatedly.
+func TestRotatingWriterBoundary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "query.jsonl")
+	w, err := NewRotatingWriter(path, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Seq int    `json:"seq"`
+		Pad string `json:"pad"`
+	}
+	const n = 40
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		// ~64 bytes per record: 4 records per file, so 10 rotations.
+		if err := enc.Encode(rec{Seq: i, Pad: "0123456789012345678901234567890123456789"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly the current file plus the two retained rotations exist.
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Fatalf("keep=2 retained a third rotated file: %v", err)
+	}
+	seen := make(map[int]bool)
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatalf("expected file missing: %v", err)
+		}
+		st, _ := f.Stat()
+		if st.Size() > 256 {
+			t.Errorf("%s exceeds the size bound: %d bytes", p, st.Size())
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var r rec
+			// A torn record fails to parse — the core of the guarantee.
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("%s holds a torn record: %v (%q)", p, err, sc.Text())
+			}
+			seen[r.Seq] = true
+		}
+		f.Close()
+	}
+	// The retained window is contiguous and ends at the newest record.
+	if !seen[n-1] {
+		t.Fatal("newest record missing")
+	}
+	max := 0
+	for s := range seen {
+		if s > max {
+			max = s
+		}
+	}
+	for s := max - len(seen) + 1; s <= max; s++ {
+		if !seen[s] {
+			t.Fatalf("retained window has a hole at seq %d (seen %d records)", s, len(seen))
+		}
+	}
+}
+
+// TestRotatingWriterOversized: a record larger than maxBytes still lands
+// whole in its own file.
+func TestRotatingWriterOversized(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.jsonl")
+	w, err := NewRotatingWriter(path, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := []byte(`{"seq":0}` + "\n")
+	big := []byte(fmt.Sprintf(`{"seq":1,"pad":%q}`+"\n", make([]byte, 200)))
+	if _, err := w.Write(small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(big) {
+		t.Fatalf("oversized record not whole in the fresh file: %q", got)
+	}
+	prev, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prev) != string(small) {
+		t.Fatalf("rotated file lost the earlier record: %q", prev)
+	}
+}
+
+// TestRotatingWriterNoRotation: maxBytes 0 never rotates — the writer is a
+// plain append-only file.
+func TestRotatingWriterNoRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.jsonl")
+	w, err := NewRotatingWriter(path, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := fmt.Fprintf(w, "{\"seq\":%d}\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatal("maxBytes=0 rotated")
+	}
+}

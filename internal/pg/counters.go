@@ -22,6 +22,15 @@ type Counters struct {
 	planFrontier   atomic.Int64 // queries routed through the frontier engine
 	planSharded    atomic.Int64 // queries run with >1 kernel shard
 	shardSweeps    atomic.Int64 // shard sweep loops run (P per sharded sweep)
+
+	// Mispick counters: analyze-mode queries whose measured actuals
+	// contradicted one of the planner's knob choices (plan.Mispicks). Only
+	// analyze queries feed these — they are estimate-vs-actual audit
+	// signals, not hot-path accounting.
+	mispickDirection atomic.Int64
+	mispickScan      atomic.Int64
+	mispickFrontier  atomic.Int64
+	mispickShards    atomic.Int64
 }
 
 // AddStates records n expanded product states (or search configurations).
@@ -80,6 +89,26 @@ func (c *Counters) CountPlan(p Plan) {
 	}
 }
 
+// CountMispick records one plan knob an analyze-mode query found
+// contradicted by its measured actuals. knob is one of "direction",
+// "scan", "frontier", "shards" (plan.Mispicks's vocabulary); unknown
+// values are ignored.
+func (c *Counters) CountMispick(knob string) {
+	if c == nil {
+		return
+	}
+	switch knob {
+	case "direction":
+		c.mispickDirection.Add(1)
+	case "scan":
+		c.mispickScan.Add(1)
+	case "frontier":
+		c.mispickFrontier.Add(1)
+	case "shards":
+		c.mispickShards.Add(1)
+	}
+}
+
 // addShardSweeps records n shard sweep loops (the kernel adds P per
 // sharded sweep, so the counter reads as total shard-level work units).
 func (c *Counters) addShardSweeps(n int64) {
@@ -104,6 +133,11 @@ type CountersSnapshot struct {
 	PlanFrontier   int64 `json:"plan_frontier"`
 	PlanSharded    int64 `json:"plan_sharded"`
 	ShardSweeps    int64 `json:"shard_sweeps"`
+
+	MispickDirection int64 `json:"mispick_direction"`
+	MispickScan      int64 `json:"mispick_scan"`
+	MispickFrontier  int64 `json:"mispick_frontier"`
+	MispickShards    int64 `json:"mispick_shards"`
 }
 
 // Snapshot reads the counters. A nil receiver yields the zero snapshot.
@@ -124,5 +158,10 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		PlanFrontier:   c.planFrontier.Load(),
 		PlanSharded:    c.planSharded.Load(),
 		ShardSweeps:    c.shardSweeps.Load(),
+
+		MispickDirection: c.mispickDirection.Load(),
+		MispickScan:      c.mispickScan.Load(),
+		MispickFrontier:  c.mispickFrontier.Load(),
+		MispickShards:    c.mispickShards.Load(),
 	}
 }

@@ -169,10 +169,10 @@ func ForEachEmit[T, S any](n, workers int, newScratch func() S, putScratch func(
 	var (
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
-		next     int            // next index to claim
-		emitted  int            // next index to emit
+		next     int             // next index to claim
+		emitted  int             // next index to emit
 		done     = map[int][]T{} // finished parts awaiting their turn
-		emitting bool           // one worker at a time drains the ready prefix
+		emitting bool            // one worker at a time drains the ready prefix
 		failed   bool
 		firstErr error
 	)

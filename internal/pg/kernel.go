@@ -297,6 +297,11 @@ func (k *Kernel) reachable(src int, sc *Scratch, mt *Meter, dense bool) ([]int, 
 	k.c.AddStates(int64(head))
 	k.c.AddEdges(edgesScanned)
 	k.c.ObserveFrontier(int64(peak))
+	// Analyze telemetry shares the exit accounting above: one nil check per
+	// sweep, no new branches inside the dequeue loop.
+	if ss := mt.SweepStatsSink(); ss != nil {
+		ss.RecordScalar(int64(head), edgesScanned, int64(peak), dense)
+	}
 	// Reset the bitmaps by replaying the touched lists (on error too, so
 	// the scratch stays reusable).
 	for _, id := range sc.queue {
@@ -411,6 +416,9 @@ func (k *Kernel) Distances(src int, mt *Meter) ([]int, error) {
 	k.c.AddStates(int64(head))
 	k.c.AddEdges(edgesScanned)
 	k.c.ObserveFrontier(int64(peak))
+	if ss := mt.SweepStatsSink(); ss != nil {
+		ss.RecordScalar(int64(head), edgesScanned, int64(peak), false)
+	}
 	if stopErr != nil {
 		return nil, stopErr
 	}

@@ -90,6 +90,11 @@ type Meter struct {
 	// amortized tick (every CheckInterval states), so live introspection
 	// adds no new branches to evaluation hot loops.
 	prog *obs.Progress
+
+	// sweep, when set, is the analyze-mode telemetry sink: the kernel
+	// records per-sweep and per-level statistics into it at sweep exits and
+	// level barriers. Nil for every non-analyze query.
+	sweep *SweepStats
 }
 
 // NewMeter builds the meter for ctx and b. It returns nil — the free meter —
@@ -104,13 +109,33 @@ func NewMeter(ctx context.Context, b Budget) *Meter {
 // meter even with no deadline and no budget — progress sampling needs the
 // ticks to flow.
 func NewMeterProgress(ctx context.Context, b Budget, p *obs.Progress) *Meter {
+	return NewMeterAnalyze(ctx, b, p, nil)
+}
+
+// NewMeterAnalyze is NewMeterProgress with an analyze-mode telemetry sink:
+// the kernel records sweep and level statistics into ss at its existing
+// exit and barrier sites. A non-nil ss forces a non-nil meter — the sink
+// travels on the meter, so telemetry needs one even with no deadline, no
+// budget, and no progress.
+func NewMeterAnalyze(ctx context.Context, b Budget, p *obs.Progress, ss *SweepStats) *Meter {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if p == nil && ctx.Done() == nil && b == (Budget{}) {
+	if p == nil && ss == nil && ctx.Done() == nil && b == (Budget{}) {
 		return nil
 	}
-	return &Meter{ctx: ctx, maxStates: b.MaxStates, maxRows: b.MaxRows, prog: p}
+	return &Meter{ctx: ctx, maxStates: b.MaxStates, maxRows: b.MaxRows, prog: p, sweep: ss}
+}
+
+// SweepStatsSink returns the meter's analyze-mode telemetry sink, nil for
+// non-analyze queries (and on a nil meter). Kernel code guards every
+// recording site with it, so analyze-off sweeps pay one nil check per
+// sweep exit or level barrier and nothing more.
+func (m *Meter) SweepStatsSink() *SweepStats {
+	if m == nil {
+		return nil
+	}
+	return m.sweep
 }
 
 // Tick records n newly visited product states and reports whether the query

@@ -658,20 +658,37 @@ func (k *Kernel) reachableFrontier(src int, sc *Scratch, mt *Meter, pl Plan) ([]
 	peak := int64(frontier)
 	charged := 0
 	bottomUp := false
+	level := 0
 	var edges, edgesReported int64
 	var stopErr error
+	// Analyze telemetry rides the level barriers below: every quantity it
+	// records — entering frontier, direction ran, edge delta, discoveries,
+	// remaining unvisited mass — is already computed there, so analyze-off
+	// sweeps pay one nil check per barrier and the loops stay untouched.
+	ss := mt.SweepStatsSink()
 	for frontier > 0 {
+		levelFrontier, levelDir, levelEdges := frontier, bottomUp, edges
 		if stopErr = k.runLevel(shards, fr, bottomUp, &edges); stopErr != nil {
 			break
 		}
 		if !bottomUp && p > 1 {
-			exchange(shards)
+			shipped := exchange(shards)
+			ss.RecordOutbox(shipped)
 		}
 		discovered := 0
 		for _, sh := range shards {
 			discovered += sh.NextLen()
 		}
 		visited += int64(discovered)
+		if ss != nil {
+			ss.RecordLevel(level, int64(levelFrontier), int64(discovered), edges-levelEdges, total-visited, levelDir)
+			if p > 1 {
+				for i, sh := range shards {
+					ss.RecordShardStates(i, int64(sh.NextLen()))
+				}
+			}
+			level++
+		}
 		// Direction for the coming level, decided at the barrier so every
 		// shard agrees (and frontier bitmaps are built only when needed).
 		bottomUp = int64(discovered)*frontierAlpha > total-visited
@@ -709,6 +726,9 @@ func (k *Kernel) reachableFrontier(src int, sc *Scratch, mt *Meter, pl Plan) ([]
 	k.c.AddStates(visited)
 	k.c.AddEdges(edges)
 	k.c.ObserveFrontier(peak)
+	if ss != nil {
+		ss.RecordFrontierSweep(visited, edges, peak, pl.Dense)
+	}
 	sc.nodes = sc.nodes[:0]
 	for _, sh := range shards {
 		sc.nodes = append(sc.nodes, sh.Emitted()...)
@@ -772,21 +792,31 @@ func (k *Kernel) runLevel(shards []Shard, fr *frontierState, bottomUp bool, edge
 // d drains column d of every shard's outbox matrix, in source order, so
 // the next frontier's queue order is deterministic. Each (src, dst) cell
 // is written in the expand phase and read by exactly one absorber after
-// the barrier, so the concurrent absorbers share nothing.
-func exchange(shards []Shard) {
+// the barrier, so the concurrent absorbers share nothing. Returns the
+// total states shipped across shard boundaries — the per-column counts are
+// column-exclusive like the absorbers themselves, so summing them after
+// the barrier is race-free.
+func exchange(shards []Shard) int64 {
 	var wg sync.WaitGroup
+	shipped := make([]int64, len(shards))
 	for d := range shards {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
 			for s := range shards {
 				if ids := shards[s].TakeOutbox(d); len(ids) > 0 {
+					shipped[d] += int64(len(ids))
 					shards[d].AbsorbRemote(ids)
 				}
 			}
 		}(d)
 	}
 	wg.Wait()
+	total := int64(0)
+	for _, n := range shipped {
+		total += n
+	}
+	return total
 }
 
 // chargeShardRows charges one row per node emitted since the last call

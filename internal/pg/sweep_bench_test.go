@@ -10,6 +10,7 @@ package pg_test
 // line up with these.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -37,7 +38,7 @@ func BenchmarkKernelSweep(b *testing.B) {
 		// Fixed sources spanning the degree distribution: early nodes are
 		// the preferential-attachment hubs, late nodes are the periphery.
 		srcs := []int{0, 1, n / 2, n - 1}
-		run := func(name string, pl pg.Plan, scalar bool) {
+		run := func(name string, pl pg.Plan, scalar bool, mt *pg.Meter) {
 			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
 				sc := kern.NewScratch()
 				want := -1
@@ -50,9 +51,9 @@ func BenchmarkKernelSweep(b *testing.B) {
 							err error
 						)
 						if scalar {
-							vs, err = kern.ReachableRows(u, sc, nil, true)
+							vs, err = kern.ReachableRows(u, sc, mt, true)
 						} else {
-							vs, err = kern.ReachableSweep(u, sc, nil, pl)
+							vs, err = kern.ReachableSweep(u, sc, mt, pl)
 						}
 						if err != nil {
 							b.Fatal(err)
@@ -67,10 +68,18 @@ func BenchmarkKernelSweep(b *testing.B) {
 				}
 			})
 		}
-		run("scalar-dense", pg.Plan{}, true)
-		run("frontier", pg.Plan{Frontier: true, Dense: true}, false)
-		run("sharded-2", pg.Plan{Frontier: true, Dense: true, Shards: 2}, false)
-		run("sharded-8", pg.Plan{Frontier: true, Dense: true, Shards: 8}, false)
+		run("scalar-dense", pg.Plan{}, true, nil)
+		run("frontier", pg.Plan{Frontier: true, Dense: true}, false, nil)
+		run("sharded-2", pg.Plan{Frontier: true, Dense: true, Shards: 2}, false, nil)
+		run("sharded-8", pg.Plan{Frontier: true, Dense: true, Shards: 8}, false, nil)
+		// The same sweeps with the EXPLAIN ANALYZE telemetry sink attached:
+		// recording happens only at sweep exits and level barriers, so these
+		// should sit within noise of their bare counterparts. The bare rows
+		// above double as the pinned analyze-off guard (±5% across PRs).
+		ss := &pg.SweepStats{}
+		mt := pg.NewMeterAnalyze(context.Background(), pg.Budget{}, nil, ss)
+		run("analyze-scalar-dense", pg.Plan{}, true, mt)
+		run("analyze-frontier", pg.Plan{Frontier: true, Dense: true}, false, mt)
 	}
 }
 

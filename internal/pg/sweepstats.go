@@ -1,0 +1,224 @@
+package pg
+
+import "sync"
+
+// SweepStats is the analyze-mode telemetry sink of one query: when a
+// request asks for EXPLAIN ANALYZE, the serving layer mints a meter
+// carrying one of these (NewMeterAnalyze), and the kernel records what its
+// sweeps actually did — states, edges, peak frontier, scan strategy, and,
+// for the frontier engine, a per-level breakdown of the direction switch
+// plus per-shard and outbox volumes. Recording happens only at sweep exits
+// and level barriers, where the engines already aggregate their counters,
+// so the hot loops gain no new branches; an analyze-off query carries a nil
+// sink and pays only the nil checks at those sites.
+//
+// All aggregates are order-independent (sums and counts keyed by level
+// index, maxima), so concurrent sweeps of a parallel fan-out produce the
+// same Snapshot regardless of goroutine scheduling — the property the
+// analyze determinism tests pin.
+type SweepStats struct {
+	mu             sync.Mutex
+	scalarSweeps   int64
+	frontierSweeps int64
+	denseSweeps    int64
+	indexedSweeps  int64
+	states         int64
+	edges          int64
+	peakFrontier   int64
+	outboxStates   int64
+	shardStates    []int64
+	levels         []levelAgg
+}
+
+// levelAgg accumulates one BFS depth across every sweep of the query.
+type levelAgg struct {
+	sweeps     int64
+	frontier   int64
+	discovered int64
+	edges      int64
+	bottomUp   int64
+	topDown    int64
+	unvisited  int64
+}
+
+// RecordScalar folds one scalar-loop sweep's exit accounting into the
+// stats. dense names the scan strategy the sweep ran.
+func (ss *SweepStats) RecordScalar(states, edges, peak int64, dense bool) {
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	ss.scalarSweeps++
+	ss.recordCommon(states, edges, peak, dense)
+	ss.mu.Unlock()
+}
+
+// RecordFrontierSweep folds one frontier-engine sweep's exit accounting
+// into the stats.
+func (ss *SweepStats) RecordFrontierSweep(states, edges, peak int64, dense bool) {
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	ss.frontierSweeps++
+	ss.recordCommon(states, edges, peak, dense)
+	ss.mu.Unlock()
+}
+
+func (ss *SweepStats) recordCommon(states, edges, peak int64, dense bool) {
+	if dense {
+		ss.denseSweeps++
+	} else {
+		ss.indexedSweeps++
+	}
+	ss.states += states
+	ss.edges += edges
+	if peak > ss.peakFrontier {
+		ss.peakFrontier = peak
+	}
+}
+
+// RecordLevel folds one frontier-engine level barrier into the per-depth
+// aggregates: the frontier that entered the level, the direction it ran
+// (chosen by the Beamer-style switch before the level), the adjacency
+// entries it examined, the states it discovered, and the unvisited mass
+// remaining afterwards — discovered and unvisited being exactly the alpha
+// inputs of the next level's direction decision.
+func (ss *SweepStats) RecordLevel(level int, frontier, discovered, edges, unvisited int64, bottomUp bool) {
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	for len(ss.levels) <= level {
+		ss.levels = append(ss.levels, levelAgg{})
+	}
+	la := &ss.levels[level]
+	la.sweeps++
+	la.frontier += frontier
+	la.discovered += discovered
+	la.edges += edges
+	la.unvisited += unvisited
+	if bottomUp {
+		la.bottomUp++
+	} else {
+		la.topDown++
+	}
+	ss.mu.Unlock()
+}
+
+// RecordShardStates folds shard s's discoveries for one level into its
+// running total; the per-shard vector shows how evenly the hash partition
+// spread the product.
+func (ss *SweepStats) RecordShardStates(shard int, states int64) {
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	for len(ss.shardStates) <= shard {
+		ss.shardStates = append(ss.shardStates, 0)
+	}
+	ss.shardStates[shard] += states
+	ss.mu.Unlock()
+}
+
+// RecordOutbox folds one level exchange's shipped state count (global
+// product ids moved between shards) into the total.
+func (ss *SweepStats) RecordOutbox(states int64) {
+	if ss == nil || states == 0 {
+		return
+	}
+	ss.mu.Lock()
+	ss.outboxStates += states
+	ss.mu.Unlock()
+}
+
+// SweepLevel is one BFS depth of SweepStatsSnapshot: sums over every sweep
+// of the query that reached this depth.
+type SweepLevel struct {
+	// Level is the BFS depth (0 expands the seed frontier).
+	Level int `json:"level"`
+	// Sweeps counts the sweeps that expanded a frontier at this depth.
+	Sweeps int64 `json:"sweeps"`
+	// Frontier is the total states entering this depth across sweeps.
+	Frontier int64 `json:"frontier"`
+	// Discovered is the total states first reached at this depth; together
+	// with Unvisited it is the input of the next depth's direction switch
+	// (bottom-up when alpha·discovered > unvisited).
+	Discovered int64 `json:"discovered"`
+	// Edges is the adjacency entries examined at this depth.
+	Edges int64 `json:"edges"`
+	// BottomUp / TopDown count the sweeps that ran this depth in each
+	// direction.
+	BottomUp int64 `json:"bottom_up"`
+	TopDown  int64 `json:"top_down"`
+	// Unvisited is the total product states still undiscovered after this
+	// depth, summed across sweeps.
+	Unvisited int64 `json:"unvisited"`
+}
+
+// SweepStatsSnapshot is the JSON face of SweepStats: what the annotated
+// plan tree carries. It holds only deterministic fields — counts, sums,
+// and maxima, never wall-clock — so identical runs render identical bytes.
+type SweepStatsSnapshot struct {
+	// ScalarSweeps / FrontierSweeps count sweeps by engine; DenseSweeps /
+	// IndexedSweeps count them by scan strategy.
+	ScalarSweeps   int64 `json:"scalar_sweeps"`
+	FrontierSweeps int64 `json:"frontier_sweeps"`
+	DenseSweeps    int64 `json:"dense_sweeps"`
+	IndexedSweeps  int64 `json:"indexed_sweeps"`
+	// States / Edges are total product states expanded and adjacency
+	// entries examined; PeakFrontier is the largest single-level frontier
+	// (cross-shard sum) any sweep reached.
+	States       int64 `json:"states"`
+	Edges        int64 `json:"edges"`
+	PeakFrontier int64 `json:"peak_frontier"`
+	// Alpha is the direction-switch threshold the engine ran with, echoed
+	// so level rows can be audited: a level runs bottom-up when
+	// alpha·discovered > unvisited held at the previous barrier.
+	Alpha int64 `json:"alpha,omitempty"`
+	// Levels is the per-depth breakdown of frontier-engine sweeps.
+	Levels []SweepLevel `json:"levels,omitempty"`
+	// ShardStates[s] is the states discovered by shard s across sharded
+	// sweeps; OutboxStates is the total states shipped between shards at
+	// level exchanges.
+	ShardStates  []int64 `json:"shard_states,omitempty"`
+	OutboxStates int64   `json:"outbox_states,omitempty"`
+}
+
+// Snapshot renders the accumulated telemetry. A nil receiver yields nil.
+func (ss *SweepStats) Snapshot() *SweepStatsSnapshot {
+	if ss == nil {
+		return nil
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	snap := &SweepStatsSnapshot{
+		ScalarSweeps:   ss.scalarSweeps,
+		FrontierSweeps: ss.frontierSweeps,
+		DenseSweeps:    ss.denseSweeps,
+		IndexedSweeps:  ss.indexedSweeps,
+		States:         ss.states,
+		Edges:          ss.edges,
+		PeakFrontier:   ss.peakFrontier,
+		OutboxStates:   ss.outboxStates,
+	}
+	if ss.frontierSweeps > 0 {
+		snap.Alpha = frontierAlpha
+	}
+	for i, la := range ss.levels {
+		snap.Levels = append(snap.Levels, SweepLevel{
+			Level:      i,
+			Sweeps:     la.sweeps,
+			Frontier:   la.frontier,
+			Discovered: la.discovered,
+			Edges:      la.edges,
+			BottomUp:   la.bottomUp,
+			TopDown:    la.topDown,
+			Unvisited:  la.unvisited,
+		})
+	}
+	if len(ss.shardStates) > 0 {
+		snap.ShardStates = append([]int64(nil), ss.shardStates...)
+	}
+	return snap
+}

@@ -76,6 +76,11 @@ type QueryRequest struct {
 	// MaxStates / MaxRows override the server's default budget when > 0.
 	MaxStates int64 `json:"max_states,omitempty"`
 	MaxRows   int64 `json:"max_rows,omitempty"`
+	// Analyze turns on EXPLAIN ANALYZE mode: the response's "analyze" field
+	// carries the annotated plan tree — per-node planner estimate vs
+	// measured actual with q-errors — plus the kernel's per-level sweep
+	// telemetry and the plan-knob mispick audit.
+	Analyze bool `json:"analyze,omitempty"`
 	// Stream requests chunked NDJSON delivery — equivalent to sending
 	// Accept: application/x-ndjson.
 	Stream bool `json:"stream,omitempty"`
@@ -104,6 +109,10 @@ type QueryResponse struct {
 	StatesVisited int64   `json:"states_visited"`
 	RowsProduced  int64   `json:"rows_produced"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
+
+	// Analyze is the annotated plan tree, present only when the request set
+	// "analyze": true.
+	Analyze *core.AnnotatedPlan `json:"analyze,omitempty"`
 }
 
 // GraphInfo is one entry of GET /v1/graphs.
@@ -292,6 +301,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Budget:   eval.Budget{MaxStates: req.MaxStates, MaxRows: req.MaxRows},
 		Trace:    tr,
 		Progress: act.Progress,
+		Analyze:  req.Analyze,
 	}
 	timeout := s.timeoutFor(time.Duration(req.TimeoutMS) * time.Millisecond)
 	var st *streamer
@@ -305,6 +315,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(act.Started)
 	s.latency.Observe(time.Since(arrived).Seconds())
+	if resp != nil && resp.Analyze != nil && resp.Analyze.Plan.QError > 0 {
+		s.qerror.Observe(resp.Analyze.Plan.QError)
+	}
 
 	outcome := "ok"
 	status := http.StatusOK
@@ -433,6 +446,7 @@ func renderResponse(eng *core.Engine, graphName string, resp *core.Response, ela
 		StatesVisited: resp.StatesVisited,
 		RowsProduced:  resp.RowsProduced,
 		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+		Analyze:       resp.Analyze,
 	}
 	switch resp.Kind {
 	case "pairs":

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"runtime"
 	"sort"
 
 	"graphquery/internal/obs"
@@ -57,6 +58,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Plan mispicks: one family, a {graph,knob} label set per audited plan
+	// knob. Every knob is rendered for every graph (zeros included) so
+	// dashboards see stable series from the first scrape.
+	m.Family("gq_plan_mispick_total",
+		"Plan-knob choices contradicted by measured actuals, from analyze-mode audits.", "counter")
+	for _, name := range names {
+		rt := st.Graphs[name].Runtime
+		for _, k := range [...]struct {
+			knob  string
+			value int64
+		}{
+			{"direction", rt.MispickDirection},
+			{"scan", rt.MispickScan},
+			{"frontier", rt.MispickFrontier},
+			{"shards", rt.MispickShards},
+		} {
+			m.Sample("gq_plan_mispick_total", k.value, map[string]string{"graph": name, "knob": k.knob})
+		}
+	}
+
+	// Cardinality-feedback aggregates: the decayed estimate-vs-actual record
+	// store each engine accumulates from analyze-mode queries.
+	m.Family("gq_cardest_feedback_records_total",
+		"Estimate-vs-actual observations deposited by analyze-mode queries.", "counter")
+	for _, name := range names {
+		m.Sample("gq_cardest_feedback_records_total", st.Graphs[name].Feedback.Records,
+			map[string]string{"graph": name})
+	}
+	m.Family("gq_cardest_feedback_exprs",
+		"Distinct expressions tracked by the cardinality feedback store.", "gauge")
+	for _, name := range names {
+		m.Sample("gq_cardest_feedback_exprs", int64(st.Graphs[name].Feedback.Exprs),
+			map[string]string{"graph": name})
+	}
+	m.Family("gq_cardest_feedback_mean_qerror",
+		"Decayed geometric-mean q-error of cardinality estimates.", "gauge")
+	for _, name := range names {
+		m.SampleFloat("gq_cardest_feedback_mean_qerror", st.Graphs[name].Feedback.MeanQError,
+			map[string]string{"graph": name})
+	}
+	m.Family("gq_cardest_feedback_max_qerror",
+		"Largest q-error a cardinality estimate ever reached.", "gauge")
+	for _, name := range names {
+		m.SampleFloat("gq_cardest_feedback_max_qerror", st.Graphs[name].Feedback.MaxQError,
+			map[string]string{"graph": name})
+	}
+
 	// Live-store families: the aggregate counters, then per-graph status
 	// under a graph label — all from the same Stats() snapshot, so they
 	// match /v1/statz's "store" object exactly.
@@ -76,6 +124,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Histogram("gq_query_duration_seconds",
 		"Wall-clock of admitted queries, queue wait included.", s.latency, nil)
 
+	m.Histogram("gq_cardest_qerror",
+		"Root estimate-vs-actual q-error of analyze-mode queries.", s.qerror, nil)
+
+	// Go runtime health, from one ReadMemStats snapshot per scrape (stop-
+	// the-world, microseconds at these heap sizes — fine at scrape cadence).
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Gauge("gq_go_goroutines", "Goroutines currently live.", int64(runtime.NumGoroutine()), nil)
+	m.Gauge("gq_go_heap_alloc_bytes", "Bytes of allocated heap objects.", int64(ms.HeapAlloc), nil)
+	m.Family("gq_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	m.SampleFloat("gq_go_gc_pause_seconds_total", float64(ms.PauseTotalNs)/1e9, nil)
+
 	// Per-stage latency: one family, one label set per evaluation stage.
 	// Stage durations are recorded from the same trace spans the query
 	// record carries, so sum(gq_stage_duration_seconds_sum) never exceeds
@@ -86,6 +146,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.HistogramSample("gq_stage_duration_seconds", s.stageLatency[i],
 			map[string]string{"stage": name})
 	}
+}
+
+// qErrorBuckets are the gq_cardest_qerror histogram bounds: powers of two
+// from exact (q-error is >= 1 by construction) through four orders of
+// magnitude — the range where an estimate goes from trustworthy to useless.
+func qErrorBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384}
 }
 
 // graphFamilies are the per-graph metric families, each one field of

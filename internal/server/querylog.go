@@ -24,9 +24,13 @@ func buildRecord(act *obs.Active, outcome string, err error, elapsed time.Durati
 	spans := tr.Spans()
 	states, rows := obs.TotalStates(spans), obs.TotalRows(spans)
 	var graphRev uint64
+	var analyze any
 	if resp != nil {
 		states, rows = resp.StatesVisited, resp.RowsProduced
 		graphRev = resp.GraphRev
+		if resp.Analyze != nil {
+			analyze = resp.Analyze
+		}
 	}
 	rec := obs.CompletedQuery{
 		ID:        act.ID,
@@ -41,6 +45,7 @@ func buildRecord(act *obs.Active, outcome string, err error, elapsed time.Durati
 		States:    states,
 		Rows:      rows,
 		Spans:     spans,
+		Analyze:   analyze,
 	}
 	if err != nil {
 		rec.Error = err.Error()
@@ -60,7 +65,7 @@ func (s *Server) logQuery(rec obs.CompletedQuery, elapsed time.Duration) {
 		s.logMu.Unlock()
 	}
 	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
-		s.logger().Warn("slow query",
+		attrs := []any{
 			"id", rec.ID,
 			"graph", rec.Graph,
 			"query", rec.Query,
@@ -70,7 +75,16 @@ func (s *Server) logQuery(rec obs.CompletedQuery, elapsed time.Duration) {
 			"spans", obs.SpansString(rec.Spans),
 			"states", rec.States,
 			"rows", rec.Rows,
-		)
+		}
+		// Analyze-mode slow queries carry their annotated plan: the
+		// estimate-vs-actual audit is most valuable exactly when a query was
+		// slower than the planner thought it would be.
+		if rec.Analyze != nil {
+			if b, err := json.Marshal(rec.Analyze); err == nil {
+				attrs = append(attrs, "analyze", string(b))
+			}
+		}
+		s.logger().Warn("slow query", attrs...)
 	}
 }
 

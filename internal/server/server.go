@@ -136,6 +136,10 @@ type Server struct {
 	// included), exposed as gq_query_duration_seconds on GET /metrics.
 	latency *obs.Histogram
 
+	// qerror observes the root-level estimate-vs-actual q-error of every
+	// analyze-mode query, exposed as gq_cardest_qerror on GET /metrics.
+	qerror *obs.Histogram
+
 	// stageLatency holds one histogram per evaluation stage, indexed like
 	// stageNames and exposed as gq_stage_duration_seconds{stage=...}.
 	stageLatency [len(stageNames)]*obs.Histogram
@@ -167,6 +171,7 @@ func New(cfg Config) *Server {
 		engines:  make(map[string]*core.Engine),
 		sem:      make(chan struct{}, mc),
 		latency:  obs.NewHistogram(obs.DefBuckets()),
+		qerror:   obs.NewHistogram(qErrorBuckets()),
 		registry: obs.NewRegistry(cfg.Recent),
 	}
 	s.store = store.New(store.Config{

@@ -42,10 +42,14 @@ $GO build -race -o "$workdir/gqserverd" ./cmd/gqserverd
 # -shards 2 routes heavy sweeps onto the sharded frontier engine, so the
 # kill/cancel flow below exercises cross-shard cancellation and the shard
 # counters must surface in /metrics and /v1/statz.
+# -query-log-max-bytes is set high enough that this run never rotates (the
+# record-count check below relies on a single file) but the rotating-writer
+# path is what every record goes through.
 querylog="$workdir/query.jsonl"
 "$workdir/gqserverd" -addr 127.0.0.1:0 -graphs bank,figure5-12,clique-40,clique-200,clique-300,grid-50x50 \
   -max-concurrent 4 -max-queue 4 -default-timeout 10s -parallelism 1 -shards 2 \
-  -slow-query 1ns -query-log "$querylog" -debug-addr 127.0.0.1:0 -mutable \
+  -slow-query 1ns -query-log "$querylog" -query-log-max-bytes $((64 << 20)) -query-log-keep 2 \
+  -debug-addr 127.0.0.1:0 -mutable \
   >"$logfile" 2>&1 &
 pid=$!
 
@@ -248,6 +252,27 @@ total_sum=$(printf '%s\n' "$metrics" | sed -n 's/^gq_query_duration_seconds_sum 
 awk -v s="$stage_sum" -v t="$total_sum" 'BEGIN {exit !(s <= t)}' \
   || fail "stage duration sum ($stage_sum) exceeds query duration sum ($total_sum)"
 echo "serve-smoke: ok: stage histograms within wall clock ($stage_sum <= $total_sum)"
+
+# EXPLAIN ANALYZE: "analyze": true returns the annotated plan tree (estimate
+# vs actual with q-error) plus per-level sweep telemetry, feeds the q-error
+# histogram and the per-graph cardinality feedback store, and /metrics
+# exports the Go runtime health gauges.
+analyze_out=$(curl -fsS "$base/v1/query" \
+  -d '{"graph":"clique-40","query":"a a*","analyze":true}')
+expect analyze-plan '"plan":{"name":"pairs"' "$analyze_out"
+expect analyze-qerror '"q_error"' "$analyze_out"
+expect analyze-sweep '"sweep"' "$analyze_out"
+metrics=$(curl -fsS "$base/metrics")
+expect metrics-qerror 'gq_cardest_qerror_count 1' "$metrics"
+expect metrics-mispick 'gq_plan_mispick_total{graph="clique-40",knob="direction"}' "$metrics"
+expect metrics-feedback 'gq_cardest_feedback_records_total{graph="clique-40"} 1' "$metrics"
+expect metrics-go-goroutines 'gq_go_goroutines' "$metrics"
+expect metrics-go-heap 'gq_go_heap_alloc_bytes' "$metrics"
+expect metrics-go-gc 'gq_go_gc_pause_seconds_total' "$metrics"
+expect statz-feedback '"feedback"' "$(curl -fsS "$base/v1/statz")"
+grep -q '"analyze":{"plan"' "$querylog" \
+  || fail "query event log record missing the annotated plan for the analyze query"
+echo "serve-smoke: ok: EXPLAIN ANALYZE (plan tree, q-error, feedback, Go runtime gauges)"
 
 # Live graph store: bulk-load a graph over the write surface and query it.
 load_out=$(curl -sS "$base/v1/graphs" -d '{"name":"live","graph":{
